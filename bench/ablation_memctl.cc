@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Memory-controller design-space ablations beyond the paper's Figure 9
+ * (DESIGN.md's per-experiment index lists these as our own ablations):
+ *
+ *  - burst-register count sweep (r = 1 .. 32): locates the knee where the
+ *    controller saturates the bus (the paper picked r = 16 = 512/w);
+ *  - burst size sweep: the bandwidth/resource tradeoff of Section 5;
+ *  - blocking vs non-blocking output addressing under a filter workload
+ *    with divergent output rates (the paper's rationale for defaulting
+ *    the output addressing unit to non-blocking);
+ *  - channel scaling 1..4.
+ */
+
+#include "bench_common.h"
+#include "lang/builder.h"
+
+using namespace fleet;
+
+namespace {
+
+lang::Program
+dropAllUnit()
+{
+    lang::ProgramBuilder b("DropAll", 32, 32);
+    lang::Value seen = b.reg("seen", 1, 0);
+    b.assign(seen, lang::Value::lit(1, 1));
+    return b.finish();
+}
+
+/** Filter unit whose selectivity depends on a per-stream config byte:
+ * some PUs emit almost everything, others almost nothing. */
+lang::Program
+filterUnit()
+{
+    lang::ProgramBuilder b("Filter", 8, 8);
+    lang::Value threshold = b.reg("threshold", 8, 0);
+    lang::Value configured = b.reg("configured", 1, 0);
+    b.if_(!b.streamFinished(), [&] {
+        b.if_(configured == 0, [&] {
+            b.assign(threshold, b.input());
+            b.assign(configured, lang::Value::lit(1, 1));
+        }).elseIf(b.input() < threshold, [&] {
+            b.emit(b.input());
+        });
+    });
+    return b.finish();
+}
+
+std::vector<BitBuffer>
+randomStreams(int count, uint64_t bytes, int token_width, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<BitBuffer> streams;
+    for (int p = 0; p < count; ++p) {
+        BitBuffer stream;
+        for (uint64_t i = 0; i < bytes * 8 / token_width; ++i)
+            stream.appendBits(rng.next(), token_width);
+        streams.push_back(std::move(stream));
+    }
+    return streams;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Ablation: memory controller design space",
+                       "All runs: 64 drop-all PUs on one channel unless "
+                       "noted; GB/s scaled x4 channels.");
+
+    // --- Burst register sweep. --------------------------------------------
+    {
+        Table table({"Burst registers r", "GB/s (4ch)", "% of bus"});
+        for (int r : {1, 2, 4, 8, 16, 32}) {
+            system::SystemConfig config;
+            config.inputCtrl.numBurstRegs = r;
+            auto streams = randomStreams(64, 16384, 32, 21);
+            double gbps = bench::channelScaledGBps(dropAllUnit(), streams,
+                                                   4, config);
+            table.row().cell(r).cell(gbps).cell(100.0 * gbps / 32.0, 0);
+        }
+        std::printf("%s\n", table.str().c_str());
+    }
+
+    // --- Burst size sweep. -------------------------------------------------
+    {
+        Table table({"Burst size (bits)", "GB/s (4ch)",
+                     "Burst-reg FFs/channel"});
+        for (int burst : {512, 1024, 2048, 4096}) {
+            system::SystemConfig config;
+            config.inputCtrl.burstBits = burst;
+            config.outputCtrl.burstBits = burst;
+            auto streams = randomStreams(64, 16384, 32, 22);
+            double gbps = bench::channelScaledGBps(dropAllUnit(), streams,
+                                                   4, config);
+            table.row()
+                .cell(burst)
+                .cell(gbps)
+                .cell(uint64_t(16) * burst * 2);
+        }
+        std::printf("%s\n", table.str().c_str());
+    }
+
+    // --- Per-PU buffer capacity (double buffering). -------------------------
+    {
+        // With few fast consumers the refetch latency is exposed; extra
+        // buffer capacity hides it (the paper fixes capacity at one
+        // burst to save BRAM).
+        Table table({"Buffer capacity (bursts)", "GB/s (4ch, 16 PUs/ch)",
+                     "BRAM36 per PU (in+out)"});
+        for (int bufs : {1, 2, 4}) {
+            system::SystemConfig config;
+            config.inputCtrl.bufferBursts = bufs;
+            config.outputCtrl.bufferBursts = bufs;
+            auto streams = randomStreams(16, 32768, 32, 25);
+            double gbps = bench::channelScaledGBps(dropAllUnit(), streams,
+                                                   4, config);
+            table.row().cell(bufs).cell(gbps).cell(2 * bufs);
+        }
+        std::printf("%s\n", table.str().c_str());
+    }
+
+    // --- Blocking vs non-blocking output addressing. -----------------------
+    {
+        Table table({"Output addressing", "Completion cycles",
+                     "Output GB/s"});
+        for (bool blocking : {false, true}) {
+            system::SystemConfig config;
+            config.numChannels = 1;
+            config.outputCtrl.blockingAddressing = blocking;
+            // Threshold byte per stream: alternate near-0% and near-100%
+            // selectivity, the divergent-output-rate case of Section 5.
+            std::vector<BitBuffer> streams;
+            Rng rng(23);
+            for (int p = 0; p < 16; ++p) {
+                BitBuffer stream;
+                stream.appendBits(p % 2 == 0 ? 4 : 252, 8);
+                for (int i = 0; i < 16384; ++i)
+                    stream.appendBits(rng.next(), 8);
+                streams.push_back(std::move(stream));
+            }
+            const char *label = blocking ? "blocking"
+                                         : "non-blocking (default)";
+            try {
+                system::FleetSystem fleet_system(filterUnit(), config,
+                                                 streams);
+                fleet_system.run();
+                auto stats = fleet_system.stats();
+                table.row()
+                    .cell(label)
+                    .cell(stats.cycles)
+                    .cell(stats.outputGBps());
+            } catch (const FatalError &e) {
+                // Blocking output addressing can genuinely deadlock with
+                // divergent filter rates: the input addressing unit waits
+                // on a full PU whose output waits on another PU's
+                // unfilled burst — the pathology behind Section 5's
+                // non-blocking default.
+                table.row().cell(label).cell("DEADLOCK").cell("-");
+            }
+        }
+        std::printf("%s\n", table.str().c_str());
+    }
+
+    // --- Channel scaling. ---------------------------------------------------
+    {
+        Table table({"Channels", "GB/s", "Scaling"});
+        double base = 0;
+        for (int channels : {1, 2, 4}) {
+            system::SystemConfig config;
+            config.numChannels = channels;
+            auto streams = randomStreams(64 * channels, 8192, 32, 24);
+            system::FleetSystem fleet_system(dropAllUnit(), config,
+                                             streams);
+            fleet_system.run();
+            double gbps = fleet_system.stats().inputGBps();
+            if (channels == 1)
+                base = gbps;
+            table.row().cell(channels).cell(gbps).cell(gbps / base, 2);
+        }
+        std::printf("%s\n", table.str().c_str());
+    }
+    return 0;
+}

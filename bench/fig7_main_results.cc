@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Regenerates Figure 7 of the paper: for each of the six applications,
+ * Fleet's processing-unit count, throughput and performance-per-watt on
+ * the modelled F1 platform, against the measured CPU baseline and the
+ * modelled GPU (SIMT divergence) baseline. The paper's reported values
+ * print alongside for shape comparison.
+ *
+ * Methodology notes (see DESIGN.md and EXPERIMENTS.md):
+ *  - Fleet GB/s comes from cycle-accurate simulation of one memory
+ *    channel populated with its share of the fitted PUs (capped for
+ *    simulation time), scaled by the channel count; #PUs comes from the
+ *    area model.
+ *  - CPU GB/s is measured on this host and extrapolated linearly from
+ *    the measured threads to the paper's 36 hyperthreads (streams are
+ *    independent, so throughput scales with cores).
+ *  - GPU GB/s comes from the V100-calibrated warp-divergence model.
+ *  - Perf/W uses the power models of src/model/power.h (the paper itself
+ *    models DRAM power as a constant 12.5 W).
+ */
+
+#include <algorithm>
+#include <thread>
+
+#include "apps/intcode.h"
+#include "baseline/cpu.h"
+#include "baseline/simt.h"
+#include "baseline/timing.h"
+#include "bench_common.h"
+#include "compile/compiler.h"
+#include "model/area.h"
+#include "model/power.h"
+
+using namespace fleet;
+
+namespace {
+
+struct AppResult
+{
+    std::string name;
+    int pus = 0;
+    double fleetGBps = 0;
+    double fleetPerfW = 0;
+    double cpuGBps = 0;
+    double cpuPerfW = 0;
+    double gpuGBps = 0;
+    double gpuPerfW = 0;
+};
+
+AppResult
+evaluateApp(const apps::Application &app, const model::Device &device,
+            const model::PowerParams &power, int cpu_threads)
+{
+    AppResult result;
+    result.name = app.name();
+    lang::Program program = app.program();
+    auto compiled = compile::compileProgram(program);
+    memctl::ControllerParams ctrl;
+
+    // --- Area model: how many PUs fit. -----------------------------------
+    auto per_pu = model::estimatePuResources(compiled.circuit, ctrl);
+    result.pus = model::maxProcessingUnits(device, per_pu, ctrl);
+
+    // --- Fleet throughput: one channel, scaled. --------------------------
+    // Integer coding averages five input ranges, as in the paper.
+    std::vector<int> value_ranges = {15};
+    if (app.name() == "IntegerCoding")
+        value_ranges = {5, 10, 15, 20, 25};
+
+    int per_channel = std::min(result.pus / device.memoryChannels, 96);
+    per_channel = std::max(per_channel, 1);
+    const uint64_t stream_bytes = 16384;
+
+    double fleet_sum = 0;
+    double gpu_sum = 0;
+    double cpu_sum = 0;
+    for (int range : value_ranges) {
+        std::unique_ptr<apps::Application> variant;
+        const apps::Application *use = &app;
+        if (app.name() == "IntegerCoding") {
+            variant = std::make_unique<apps::IntcodeApp>(
+                apps::IntcodeParams{range});
+            use = variant.get();
+        }
+        auto streams = bench::makeStreams(*use, per_channel, stream_bytes,
+                                   1000 + range);
+        fleet_sum += bench::channelScaledGBps(use->program(), streams,
+                                              device.memoryChannels);
+
+        // --- GPU model: two warps of distinct streams. -------------------
+        auto gpu_streams = bench::makeStreams(*use, 64, 8192, 2000 + range);
+        baseline::SimtParams simt_params;
+        auto simt = baseline::simulateWarps(use->program(), gpu_streams,
+                                            simt_params);
+        gpu_sum += simt.gbps(simt_params);
+
+        // --- CPU baseline: measured then extrapolated to 36 HT. ----------
+        auto kernel = baseline::makeCpuKernel(use->name());
+        std::vector<std::vector<uint8_t>> cpu_streams;
+        for (int i = 0; i < cpu_threads * 4; ++i) {
+            Rng rng(3000 + range * 37 + i);
+            cpu_streams.push_back(
+                use->generateStream(rng, 1 << 20).toBytes());
+        }
+        baseline::MeasureOptions opts;
+        opts.threads = cpu_threads;
+        opts.repeats = 2;
+        auto measured = baseline::measureCpu(*kernel, cpu_streams, opts);
+        cpu_sum += measured.gbps() * 36.0 / cpu_threads;
+    }
+    result.fleetGBps = fleet_sum / value_ranges.size();
+    result.gpuGBps = gpu_sum / value_ranges.size();
+    result.cpuGBps = cpu_sum / value_ranges.size();
+
+    // --- Power. -----------------------------------------------------------
+    auto controllers = model::estimateControllerResources(ctrl);
+    double fpga_w =
+        model::fpgaPackagePower(power, per_pu, result.pus, controllers) +
+        power.dramW;
+    result.fleetPerfW = result.fleetGBps / fpga_w;
+    result.cpuPerfW = result.cpuGBps / (power.cpuPackageW + power.dramW);
+    result.gpuPerfW = result.gpuGBps / (power.gpuPackageW + power.dramW);
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 7: Fleet on (modelled) Amazon F1 vs CPU/GPU",
+        "Simulated/modelled values with the paper's reported numbers in "
+        "parentheses.\nCPU measured on this host, extrapolated to the "
+        "paper's 36 hyperthreads; see header comment.");
+
+    model::Device device;
+    model::PowerParams power;
+    int cpu_threads =
+        std::max(1u, std::thread::hardware_concurrency());
+
+    auto fmt = [](double ours, double paper, int precision = 2) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f (%.*f)", precision, ours,
+                      precision, paper);
+        return std::string(buf);
+    };
+
+    Table table({"App", "#PUs", "Fleet GB/s", "Fleet Perf/W",
+                 "CPU GB/s", "CPU Perf/W", "GPU GB/s", "GPU Perf/W",
+                 "vs CPU", "vs GPU"});
+    for (auto &app : apps::allApplications()) {
+        AppResult r = evaluateApp(*app, device, power, cpu_threads);
+        const auto &paper = bench::paperRowFor(r.name);
+        table.row()
+            .cell(r.name)
+            .cell(fmt(r.pus, paper.pus, 0))
+            .cell(fmt(r.fleetGBps, paper.fleetGBps))
+            .cell(fmt(r.fleetPerfW, paper.fleetPerfWDram))
+            .cell(fmt(r.cpuGBps, paper.cpuGBps))
+            .cell(fmt(r.cpuPerfW, paper.cpuPerfWDram, 3))
+            .cell(fmt(r.gpuGBps, paper.gpuGBps))
+            .cell(fmt(r.gpuPerfW, paper.gpuPerfWDram))
+            .cell(fmt(r.fleetPerfW / std::max(r.cpuPerfW, 1e-9),
+                      paper.fleetPerfWDram / paper.cpuPerfWDram, 1))
+            .cell(fmt(r.fleetPerfW / std::max(r.gpuPerfW, 1e-9),
+                      paper.fleetPerfWDram / paper.gpuPerfWDram, 1));
+        std::fflush(stdout);
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("Columns: ours (paper). Perf/W includes the paper's "
+                "12.5 W DRAM assumption.\n");
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator stack itself:
+ * functional-simulator token rate per application, interpreted-RTL cycle
+ * rate, the fast-vs-RTL full-system gap (why the fast timing model
+ * exists), and the hot utility paths (BitFifo, DRAM model).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/registry.h"
+#include "dram/dram.h"
+#include "memctl/bitfifo.h"
+#include "sim/simulator.h"
+#include "system/fleet_system.h"
+#include "system/pu_rtl.h"
+#include "system/pu_testbench.h"
+#include "util/rng.h"
+
+using namespace fleet;
+
+namespace {
+
+BitBuffer
+appStream(const std::string &name, uint64_t bytes, uint64_t seed)
+{
+    auto app = apps::makeApplication(name);
+    Rng rng(seed);
+    return app->generateStream(rng, bytes);
+}
+
+void
+BM_FunctionalSim(benchmark::State &state, const std::string &name)
+{
+    auto app = apps::makeApplication(name);
+    lang::Program program = app->program();
+    BitBuffer stream = appStream(name, 1 << 14, 1);
+    sim::FunctionalSimulator simulator(program);
+    for (auto _ : state) {
+        auto result = simulator.run(stream);
+        benchmark::DoNotOptimize(result.emits);
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            (stream.sizeBits() / 8));
+}
+
+void
+BM_RtlSim(benchmark::State &state, const std::string &name)
+{
+    auto app = apps::makeApplication(name);
+    system::RtlPu pu(app->program());
+    BitBuffer stream = appStream(name, 1 << 12, 2);
+    for (auto _ : state) {
+        auto result = system::runPu(pu, stream);
+        benchmark::DoNotOptimize(result.cycles);
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            (stream.sizeBits() / 8));
+}
+
+void
+BM_FullSystem(benchmark::State &state, system::PuBackend backend)
+{
+    auto app = apps::makeApplication("Regex");
+    std::vector<BitBuffer> streams;
+    Rng rng(3);
+    for (int p = 0; p < 8; ++p)
+        streams.push_back(app->generateStream(rng, 4096));
+    system::SystemConfig config;
+    config.numChannels = 1;
+    config.backend = backend;
+    uint64_t bytes = 0;
+    for (const auto &stream : streams)
+        bytes += stream.sizeBits() / 8;
+    for (auto _ : state) {
+        system::FleetSystem fleet_system(app->program(), config, streams);
+        fleet_system.run();
+        benchmark::DoNotOptimize(fleet_system.stats().cycles);
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) * bytes);
+}
+
+void
+BM_BitFifo(benchmark::State &state)
+{
+    memctl::BitFifo fifo(1024);
+    Rng rng(4);
+    uint64_t value = rng.next();
+    for (auto _ : state) {
+        fifo.push(value, 32);
+        benchmark::DoNotOptimize(fifo.pop(32));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_DramChannel(benchmark::State &state)
+{
+    dram::DramParams params;
+    dram::DramChannel channel(params, 1 << 20);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        if (channel.arReady()) {
+            channel.arPush(addr, 2);
+            addr = (addr + 128) & ((1 << 20) - 1);
+        }
+        if (channel.rValid())
+            channel.rPop();
+        channel.tick();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_FunctionalSim, json, std::string("JsonParsing"));
+BENCHMARK_CAPTURE(BM_FunctionalSim, intcode, std::string("IntegerCoding"));
+BENCHMARK_CAPTURE(BM_FunctionalSim, regex, std::string("Regex"));
+BENCHMARK_CAPTURE(BM_FunctionalSim, bloom, std::string("BloomFilter"));
+BENCHMARK_CAPTURE(BM_RtlSim, json, std::string("JsonParsing"));
+BENCHMARK_CAPTURE(BM_RtlSim, regex, std::string("Regex"));
+BENCHMARK_CAPTURE(BM_FullSystem, fast, system::PuBackend::Fast);
+BENCHMARK_CAPTURE(BM_FullSystem, rtl, system::PuBackend::Rtl);
+BENCHMARK(BM_BitFifo);
+BENCHMARK(BM_DramChannel);
+
+BENCHMARK_MAIN();

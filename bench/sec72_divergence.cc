@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Regenerates the Section 7.2 divergence/vectorization experiments that
+ * explain Fleet's advantage:
+ *
+ *  - GPU: running with identical data in every lane removes control-flow
+ *    divergence; the paper measured +2.33x for JSON parsing and +1.25x
+ *    for integer coding. Our warp model reruns the same experiment.
+ *  - CPU: the Bloom filter is the only application with vectorizable
+ *    per-token work (8 identical hashes); disabling vectorization cost
+ *    the paper 3.79x. We measure the unrolled/SIMD-friendly loop against
+ *    the scalar one.
+ */
+
+#include "apps/intcode.h"
+#include "baseline/cpu.h"
+#include "baseline/simt.h"
+#include "baseline/timing.h"
+#include "bench_common.h"
+
+using namespace fleet;
+
+int
+main()
+{
+    bench::printHeader("Section 7.2: stream divergence and vectorization",
+                       "GPU warp model: identical vs distinct per-lane "
+                       "streams. CPU: vectorizable vs scalar Bloom loop.");
+
+    Table gpu({"App", "Divergence factor (modelled)",
+               "Paper speedup w/ identical data"});
+    for (auto &app : apps::allApplications()) {
+        Rng rng(11);
+        std::vector<BitBuffer> distinct;
+        for (int l = 0; l < 32; ++l)
+            distinct.push_back(app->generateStream(rng, 4096));
+
+        baseline::SimtParams params;
+        auto div_run = baseline::simulateWarps(app->program(), distinct,
+                                               params);
+        // The divergence factor is the modelled analogue of the paper's
+        // identical-data speedup: how much control divergence inflates
+        // issued warp instructions. With identical per-lane data the
+        // factor is exactly 1 (verified in tests).
+        const char *paper = "-";
+        if (app->name() == "JsonParsing")
+            paper = "2.33x";
+        else if (app->name() == "IntegerCoding")
+            paper = "1.25x";
+        gpu.row()
+            .cell(app->name())
+            .cell(div_run.divergenceFactor())
+            .cell(paper);
+    }
+    std::printf("%s\n", gpu.str().c_str());
+
+    // --- CPU vectorization (Bloom filter). --------------------------------
+    auto app = apps::makeApplication("BloomFilter");
+    std::vector<std::vector<uint8_t>> streams;
+    for (int i = 0; i < 8; ++i) {
+        Rng rng(100 + i);
+        streams.push_back(app->generateStream(rng, 1 << 20).toBytes());
+    }
+    baseline::MeasureOptions opts;
+    opts.threads = 1; // isolate per-core vectorization
+    opts.repeats = 3;
+    auto vec = baseline::measureCpu(*baseline::makeCpuKernel("BloomFilter",
+                                                             true),
+                                    streams, opts);
+    auto scalar = baseline::measureCpu(
+        *baseline::makeCpuKernel("BloomFilter", false), streams, opts);
+
+    Table cpu({"Bloom filter CPU loop", "GB/s (1 thread)", "Speedup",
+               "Paper"});
+    cpu.row().cell("Scalar hash loop").cell(scalar.gbps()).cell(1.0, 2)
+        .cell("1.00x");
+    cpu.row()
+        .cell("Unrolled/vectorizable")
+        .cell(vec.gbps())
+        .cell(vec.gbps() / scalar.gbps(), 2)
+        .cell("3.79x");
+    std::printf("%s\n", cpu.str().c_str());
+    return 0;
+}

@@ -1,0 +1,56 @@
+#ifndef FLEET_APPS_APP_H
+#define FLEET_APPS_APP_H
+
+/**
+ * @file
+ * Common interface for the six evaluation applications (Section 7.1 of
+ * the paper): JSON field extraction, integer coding, gradient-boosted
+ * decision trees, Smith-Waterman fuzzy matching, regex matching, and
+ * Bloom filter construction. Each application provides:
+ *
+ *  - program(): the processing unit written in the Fleet language;
+ *  - generateStream(): a representative workload stream (one per PU);
+ *  - golden(): a straightforward reference implementation used to verify
+ *    every backend's output.
+ *
+ * The registry (registry.h) exposes all six for the test suites and the
+ * benchmark harnesses.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "util/bitbuf.h"
+#include "util/rng.h"
+
+namespace fleet {
+namespace apps {
+
+class Application
+{
+  public:
+    virtual ~Application() = default;
+
+    virtual std::string name() const = 0;
+
+    /** The Fleet processing-unit program. */
+    virtual lang::Program program() const = 0;
+
+    /**
+     * Generate one input stream of roughly `approx_bytes` payload
+     * (config prologue included). Streams are independent per PU, as in
+     * the paper's model.
+     */
+    virtual BitBuffer generateStream(Rng &rng,
+                                     uint64_t approx_bytes) const = 0;
+
+    /** Reference output for a stream (must match all backends). */
+    virtual BitBuffer golden(const BitBuffer &stream) const = 0;
+};
+
+} // namespace apps
+} // namespace fleet
+
+#endif // FLEET_APPS_APP_H

@@ -1,0 +1,150 @@
+#include "apps/bloom.h"
+
+#include "lang/builder.h"
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace apps {
+
+using lang::Bram;
+using lang::ProgramBuilder;
+using lang::Value;
+using lang::mux;
+
+uint32_t
+BloomApp::hashConstant(int i)
+{
+    // Odd multiplicative constants (Knuth-style), fixed for
+    // reproducibility across the unit, golden model, and baselines.
+    static const uint32_t kConstants[] = {
+        0x9e3779b1u, 0x85ebca77u, 0xc2b2ae3du, 0x27d4eb2fu,
+        0x165667b1u, 0xd3a2646du, 0xfd7046c5u, 0xb55a4f09u,
+        0x8da6b343u, 0xd8163841u, 0xcb1ab31fu, 0x165667b5u,
+    };
+    return kConstants[i % (sizeof(kConstants) / sizeof(kConstants[0]))];
+}
+
+lang::Program
+BloomApp::program() const
+{
+    const int block = params_.blockItems;
+    const int words = params_.filterBits / params_.wordBits;
+    const int index_bits = bitsToRepresent(uint64_t(params_.filterBits) - 1);
+    const int word_addr_bits = indexWidth(words);
+    const int offset_bits = bitsToRepresent(uint64_t(params_.wordBits) - 1);
+    const int k = params_.numHashes;
+    if (params_.filterBits % params_.wordBits != 0)
+        fatal("BloomApp: filterBits must be a multiple of wordBits");
+
+    ProgramBuilder b("BloomFilter", 32, params_.wordBits);
+    Bram filter = b.bram("filter", words, params_.wordBits);
+    Value itemCounter = b.reg("itemCounter",
+                              bitsToRepresent(uint64_t(block)), 0);
+    Value hashIdx = b.reg("hashIdx", bitsToRepresent(uint64_t(k - 1)), 0);
+    Value emitIdx = b.reg("emitIdx", bitsToRepresent(uint64_t(words)), 0);
+
+    // Select the hash for the current hashIdx: bit index =
+    // (item * C_i) >> (32 - log2(filterBits)).
+    auto hash_bit_index = [&](const Value &idx) {
+        Value result = Value::lit(0, index_bits);
+        for (int i = 0; i < k; ++i) {
+            Value h = (b.input() * Value::lit(hashConstant(i), 32))
+                          .slice(31, 0)
+                          .slice(31, 32 - index_bits);
+            result = mux(idx == uint64_t(i), h, result);
+        }
+        return result;
+    };
+
+    Value blockDone = itemCounter == uint64_t(block);
+    Value emitActive = blockDone && (emitIdx < uint64_t(words));
+
+    // Phase 1: emit and clear the filter at a block boundary.
+    b.while_(emitActive, [&] {
+        b.emit(filter[emitIdx.resize(word_addr_bits)]);
+        b.assign(filter[emitIdx.resize(word_addr_bits)],
+                 Value::lit(0, params_.wordBits));
+        b.assign(emitIdx, emitIdx + 1);
+    });
+
+    // Phase 2: the first k-1 hash insertions for the current item.
+    Value hashing = !emitActive && (hashIdx != uint64_t(k - 1)) &&
+                    !b.streamFinished();
+    b.while_(hashing, [&] {
+        Value bit = hash_bit_index(hashIdx);
+        Value word = bit.slice(index_bits - 1, offset_bits);
+        Value offset = bit.slice(offset_bits - 1, 0);
+        b.assign(filter[word],
+                 filter[word] |
+                     (Value::lit(1, params_.wordBits) << offset));
+        b.assign(hashIdx, hashIdx + 1);
+    });
+
+    // Final virtual cycle: the k-th insertion, counter updates.
+    b.if_(!b.streamFinished(), [&] {
+        Value bit = hash_bit_index(Value::lit(k - 1, hashIdx.width()));
+        Value word = bit.slice(index_bits - 1, offset_bits);
+        Value offset = bit.slice(offset_bits - 1, 0);
+        b.assign(filter[word],
+                 filter[word] |
+                     (Value::lit(1, params_.wordBits) << offset));
+        b.assign(itemCounter,
+                 mux(blockDone, 1, itemCounter + 1));
+        b.assign(hashIdx, Value::lit(0, hashIdx.width()));
+    });
+    b.if_(blockDone, [&] {
+        b.assign(emitIdx, Value::lit(0, emitIdx.width()));
+    });
+
+    return b.finish();
+}
+
+BitBuffer
+BloomApp::generateStream(Rng &rng, uint64_t approx_bytes) const
+{
+    uint64_t items = std::max<uint64_t>(
+        1, approx_bytes / 4 / params_.blockItems) *
+        params_.blockItems;
+    BitBuffer stream;
+    for (uint64_t i = 0; i < items; ++i)
+        stream.appendBits(rng.next() & 0xffffffffu, 32);
+    return stream;
+}
+
+BitBuffer
+BloomApp::golden(const BitBuffer &stream) const
+{
+    const int words = params_.filterBits / params_.wordBits;
+    const int index_bits = bitsToRepresent(uint64_t(params_.filterBits) - 1);
+    BitBuffer out;
+    std::vector<uint64_t> filter(words, 0);
+    uint64_t items = stream.sizeBits() / 32;
+    uint64_t in_block = 0;
+    auto flush = [&] {
+        for (int w = 0; w < words; ++w) {
+            out.appendBits(filter[w], params_.wordBits);
+            filter[w] = 0;
+        }
+    };
+    for (uint64_t i = 0; i < items; ++i) {
+        if (in_block == uint64_t(params_.blockItems)) {
+            flush();
+            in_block = 0;
+        }
+        uint32_t item = static_cast<uint32_t>(stream.readBits(i * 32, 32));
+        for (int h = 0; h < params_.numHashes; ++h) {
+            uint32_t bit = (uint32_t(item * hashConstant(h))) >>
+                           (32 - index_bits);
+            filter[bit / params_.wordBits] |=
+                uint64_t(1) << (bit % params_.wordBits);
+        }
+        ++in_block;
+    }
+    if (in_block == uint64_t(params_.blockItems))
+        flush(); // Final full block emitted during stream_finished.
+    return out;
+}
+
+} // namespace apps
+} // namespace fleet

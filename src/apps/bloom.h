@@ -1,0 +1,55 @@
+#ifndef FLEET_APPS_BLOOM_H
+#define FLEET_APPS_BLOOM_H
+
+/**
+ * @file
+ * Bloom filter construction (Section 7.1). The unit hashes each 32-bit
+ * item with k multiply-shift hash functions and sets bits in a BRAM-based
+ * bitfield; after every block of items it emits the filter words and
+ * clears them. Because a BRAM supports only one write per virtual cycle,
+ * each item takes k virtual cycles (k-1 loop iterations plus the final
+ * cycle) — the behaviour the paper cites when explaining the Bloom
+ * filter's CPU-vectorizable structure (k identical hash computations per
+ * token).
+ *
+ * Stream layout: 32-bit items only (no config prologue). Streams should
+ * be a whole number of blocks so the final filter is emitted by the
+ * stream-finished execution.
+ */
+
+#include "apps/app.h"
+
+namespace fleet {
+namespace apps {
+
+struct BloomParams
+{
+    int blockItems = 512;   ///< Items per filter block.
+    int filterBits = 4096;  ///< Bitfield size (power of two).
+    int wordBits = 32;      ///< BRAM word width (= output token width).
+    int numHashes = 8;      ///< k.
+};
+
+class BloomApp : public Application
+{
+  public:
+    explicit BloomApp(BloomParams params = {}) : params_(params) {}
+
+    std::string name() const override { return "BloomFilter"; }
+    lang::Program program() const override;
+    BitBuffer generateStream(Rng &rng, uint64_t approx_bytes) const override;
+    BitBuffer golden(const BitBuffer &stream) const override;
+
+    const BloomParams &params() const { return params_; }
+
+    /** The k multiply-shift constants (shared with baselines). */
+    static uint32_t hashConstant(int i);
+
+  private:
+    BloomParams params_;
+};
+
+} // namespace apps
+} // namespace fleet
+
+#endif // FLEET_APPS_BLOOM_H

@@ -1,0 +1,258 @@
+#include "apps/dtree.h"
+
+#include "lang/builder.h"
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace apps {
+
+using lang::Bram;
+using lang::ProgramBuilder;
+using lang::Value;
+using lang::VecReg;
+using lang::mux;
+
+lang::Program
+DtreeApp::program() const
+{
+    const int node_addr = indexWidth(params_.maxNodes);
+    const int feat_addr = indexWidth(params_.maxFeatures);
+    const int tree_idx_bits = bitsToRepresent(uint64_t(params_.maxTrees));
+
+    ProgramBuilder b("DecisionTree", 32, 32);
+    Bram nodes = b.bram("nodes", params_.maxNodes, 64);
+    Bram features = b.bram("features", params_.maxFeatures, 32);
+    VecReg roots = b.vreg("roots", params_.maxTrees, node_addr);
+
+    // Configuration registers.
+    Value mode = b.reg("mode", 2, 0); // 0=counts 1=roots 2=nodes 3=data
+    Value cfgCount = b.reg("cfgCount", 2, 0);
+    Value numTrees = b.reg("numTrees", tree_idx_bits, 0);
+    Value numFeatures = b.reg("numFeatures", feat_addr + 1, 0);
+    Value numNodes = b.reg("numNodes", node_addr + 1, 0);
+    Value loadCount = b.reg("loadCount", node_addr + 1, 0);
+    Value pairPhase = b.reg("pairPhase", 1, 0);
+    Value pendingMeta = b.reg("pendingMeta", 32, 0);
+
+    // Evaluation registers.
+    Value featIdx = b.reg("featIdx", feat_addr + 1, 0);
+    Value busy = b.reg("busy", 1, 0);
+    Value evalPhase = b.reg("evalPhase", 1, 0); // 0=fetch node 1=test
+    Value treeIdx = b.reg("treeIdx", tree_idx_bits, 0);
+    Value curNode = b.reg("curNode", node_addr, 0);
+    Value nodeFeat = b.reg("nodeFeat", feat_addr, 0);
+    Value nodeLeft = b.reg("nodeLeft", node_addr, 0);
+    Value nodeRight = b.reg("nodeRight", node_addr, 0);
+    Value nodeThresh = b.reg("nodeThresh", 32, 0);
+    Value sum = b.reg("sum", 32, 0);
+
+    // --- Ensemble evaluation (runs between datapoints) ------------------
+    b.while_(busy == 1, [&] {
+        b.if_(evalPhase == 0, [&] {
+            Value entry = nodes[curNode];
+            Value meta = entry.slice(31, 0);
+            Value value = entry.slice(63, 32);
+            Value is_leaf = meta.bit(31);
+            b.if_(is_leaf, [&] {
+                Value new_sum = (sum + value).resize(32);
+                b.if_(treeIdx == (numTrees - 1).resize(tree_idx_bits), [&] {
+                    b.emit(new_sum);
+                    b.assign(busy, Value::lit(0, 1));
+                }).else_([&] {
+                    b.assign(treeIdx, treeIdx + 1);
+                    b.assign(curNode, roots[(treeIdx + 1)
+                                                .resize(tree_idx_bits)
+                                                .resize(indexWidth(
+                                                    params_.maxTrees))]);
+                });
+                b.assign(sum, new_sum);
+            }).else_([&] {
+                b.assign(nodeFeat, meta.slice(30, 20).resize(feat_addr));
+                b.assign(nodeLeft, meta.slice(19, 10).resize(node_addr));
+                b.assign(nodeRight, meta.slice(9, 0).resize(node_addr));
+                b.assign(nodeThresh, value);
+                b.assign(evalPhase, Value::lit(1, 1));
+            });
+        }).else_([&] {
+            Value f = features[nodeFeat];
+            b.assign(curNode, mux(f <= nodeThresh, nodeLeft, nodeRight));
+            b.assign(evalPhase, Value::lit(0, 1));
+        });
+    });
+
+    // --- Stream parsing (one token per final virtual cycle) -------------
+    b.if_(!b.streamFinished(), [&] {
+        b.if_(mode == 0, [&] {
+            b.if_(cfgCount == 0, [&] {
+                b.assign(numTrees, b.input().resize(tree_idx_bits));
+            }).elseIf(cfgCount == 1, [&] {
+                b.assign(numFeatures, b.input().resize(feat_addr + 1));
+            }).else_([&] {
+                b.assign(numNodes, b.input().resize(node_addr + 1));
+                b.assign(mode, Value::lit(1, 2));
+                b.assign(loadCount, Value::lit(0, node_addr + 1));
+            });
+            b.assign(cfgCount, cfgCount + 1);
+        }).elseIf(mode == 1, [&] {
+            b.assign(roots[loadCount.resize(indexWidth(params_.maxTrees))],
+                     b.input().resize(node_addr));
+            b.if_((loadCount + 1).resize(node_addr + 1) ==
+                      numTrees.resize(node_addr + 1), [&] {
+                b.assign(mode, Value::lit(2, 2));
+                b.assign(loadCount, Value::lit(0, node_addr + 1));
+            }).else_([&] {
+                b.assign(loadCount, loadCount + 1);
+            });
+        }).elseIf(mode == 2, [&] {
+            b.if_(pairPhase == 0, [&] {
+                b.assign(pendingMeta, b.input());
+                b.assign(pairPhase, Value::lit(1, 1));
+            }).else_([&] {
+                b.assign(nodes[loadCount.resize(node_addr)],
+                         lang::cat(b.input(), pendingMeta));
+                b.assign(pairPhase, Value::lit(0, 1));
+                b.if_((loadCount + 1).resize(node_addr + 1) == numNodes,
+                      [&] {
+                          b.assign(mode, Value::lit(3, 2));
+                          b.assign(loadCount, Value::lit(0, node_addr + 1));
+                      })
+                    .else_([&] { b.assign(loadCount, loadCount + 1); });
+            });
+        }).else_([&] {
+            // Datapoint feature loading.
+            b.assign(features[featIdx.resize(feat_addr)], b.input());
+            b.if_((featIdx + 1).resize(feat_addr + 1) == numFeatures, [&] {
+                b.assign(featIdx, Value::lit(0, feat_addr + 1));
+                b.assign(busy, Value::lit(1, 1));
+                b.assign(evalPhase, Value::lit(0, 1));
+                b.assign(treeIdx, Value::lit(0, tree_idx_bits));
+                b.assign(curNode,
+                         roots[Value::lit(0,
+                                          indexWidth(params_.maxTrees))]);
+                b.assign(sum, Value::lit(0, 32));
+            }).else_([&] {
+                b.assign(featIdx, featIdx + 1);
+            });
+        });
+    });
+
+    return b.finish();
+}
+
+namespace {
+
+struct TreeNode
+{
+    bool isLeaf;
+    uint32_t featureIdx;
+    uint32_t left, right;
+    uint32_t value; ///< Threshold or leaf score.
+};
+
+uint32_t
+buildRandomTree(Rng &rng, std::vector<TreeNode> &nodes, int depth,
+                int num_features)
+{
+    uint32_t idx = static_cast<uint32_t>(nodes.size());
+    nodes.push_back({});
+    if (depth == 0 || rng.nextChance(1, 5)) {
+        nodes[idx] = TreeNode{true, 0, 0, 0,
+                              uint32_t(rng.nextBelow(1000))};
+        return idx;
+    }
+    uint32_t feat = uint32_t(rng.nextBelow(uint64_t(num_features)));
+    uint32_t thresh = uint32_t(rng.next());
+    uint32_t left = buildRandomTree(rng, nodes, depth - 1, num_features);
+    uint32_t right = buildRandomTree(rng, nodes, depth - 1, num_features);
+    nodes[idx] = TreeNode{false, feat, left, right, thresh};
+    return idx;
+}
+
+} // namespace
+
+BitBuffer
+DtreeApp::generateStream(Rng &rng, uint64_t approx_bytes) const
+{
+    std::vector<TreeNode> nodes;
+    std::vector<uint32_t> tree_roots;
+    for (int t = 0; t < params_.genTrees; ++t)
+        tree_roots.push_back(buildRandomTree(rng, nodes, params_.genDepth,
+                                             params_.genFeatures));
+    if (nodes.size() > uint64_t(params_.maxNodes))
+        fatal("DtreeApp: generated ensemble too large");
+
+    BitBuffer stream;
+    stream.appendBits(tree_roots.size(), 32);
+    stream.appendBits(uint64_t(params_.genFeatures), 32);
+    stream.appendBits(nodes.size(), 32);
+    for (uint32_t root : tree_roots)
+        stream.appendBits(root, 32);
+    for (const auto &node : nodes) {
+        uint32_t meta = (node.isLeaf ? 0x80000000u : 0) |
+                        ((node.featureIdx & 0x7ff) << 20) |
+                        ((node.left & 0x3ff) << 10) | (node.right & 0x3ff);
+        stream.appendBits(meta, 32);
+        stream.appendBits(node.value, 32);
+    }
+
+    uint64_t header_bytes = stream.sizeBits() / 8;
+    uint64_t point_bytes = uint64_t(params_.genFeatures) * 4;
+    uint64_t points = approx_bytes > header_bytes
+                          ? (approx_bytes - header_bytes) / point_bytes
+                          : 1;
+    points = std::max<uint64_t>(points, 1);
+    for (uint64_t i = 0; i < points * uint64_t(params_.genFeatures); ++i)
+        stream.appendBits(rng.next() & 0xffffffffu, 32);
+    return stream;
+}
+
+BitBuffer
+DtreeApp::golden(const BitBuffer &stream) const
+{
+    uint64_t pos = 0;
+    auto next = [&] {
+        uint64_t v = stream.readBits(pos, 32);
+        pos += 32;
+        return v;
+    };
+    uint64_t num_trees = next();
+    uint64_t num_features = next();
+    uint64_t num_nodes = next();
+    std::vector<uint32_t> tree_roots;
+    for (uint64_t t = 0; t < num_trees; ++t)
+        tree_roots.push_back(uint32_t(next()));
+    std::vector<std::pair<uint32_t, uint32_t>> nodes; // (meta, value)
+    for (uint64_t n = 0; n < num_nodes; ++n) {
+        uint32_t meta = uint32_t(next());
+        uint32_t value = uint32_t(next());
+        nodes.emplace_back(meta, value);
+    }
+
+    BitBuffer out;
+    std::vector<uint32_t> point(num_features);
+    while (pos + num_features * 32 <= stream.sizeBits()) {
+        for (uint64_t f = 0; f < num_features; ++f)
+            point[f] = uint32_t(next());
+        uint32_t sum = 0;
+        for (uint32_t root : tree_roots) {
+            uint32_t cur = root;
+            while (true) {
+                auto [meta, value] = nodes[cur];
+                if (meta & 0x80000000u) {
+                    sum += value;
+                    break;
+                }
+                uint32_t feat = (meta >> 20) & 0x7ff;
+                uint32_t left = (meta >> 10) & 0x3ff;
+                uint32_t right = meta & 0x3ff;
+                cur = point[feat] <= value ? left : right;
+            }
+        }
+        out.appendBits(sum, 32);
+    }
+    return out;
+}
+
+} // namespace apps
+} // namespace fleet

@@ -1,0 +1,65 @@
+#ifndef FLEET_APPS_DTREE_H
+#define FLEET_APPS_DTREE_H
+
+/**
+ * @file
+ * Gradient-boosted decision tree evaluation (Section 7.1). The unit loads
+ * the tree nodes (located at the start of the stream) into a BRAM, then
+ * evaluates the ensemble on each datapoint — a runtime-configurable
+ * number of 32-bit features — emitting one 32-bit score per datapoint.
+ *
+ * Tree walking alternates two virtual-cycle phases (node fetch, feature
+ * test) so that each BRAM is read at most once per virtual cycle and no
+ * read depends on another read in the same cycle — this is the paper's
+ * "one comparison per BRAM read" behaviour that makes the application
+ * BRAM-throughput-bound.
+ *
+ * Stream layout (32-bit tokens):
+ *   [numTrees][numFeatures][numNodes][roots x numTrees]
+ *   [2 tokens per node: meta, value] [datapoints: numFeatures tokens each]
+ * Node meta: bit31 = isLeaf, bits30..20 = featureIdx, bits19..10 = left,
+ * bits9..0 = right. Value: threshold for interior nodes (unsigned
+ * compare, feature <= threshold goes left), additive leaf score for
+ * leaves (mod 2^32).
+ */
+
+#include "apps/app.h"
+
+namespace fleet {
+namespace apps {
+
+struct DtreeParams
+{
+    int maxNodes = 1024;
+    int maxFeatures = 256;
+    int maxTrees = 16;
+    // Workload shape for generateStream. The default ensemble keeps the
+    // application BRAM-throughput-bound, as in the paper ("does only one
+    // comparison for each BRAM read"): 16 trees of depth <= 5 mean a
+    // datapoint's evaluation takes far more virtual cycles than its
+    // feature loading.
+    int genTrees = 16;
+    int genDepth = 5;
+    int genFeatures = 12;
+};
+
+class DtreeApp : public Application
+{
+  public:
+    explicit DtreeApp(DtreeParams params = {}) : params_(params) {}
+
+    std::string name() const override { return "DecisionTree"; }
+    lang::Program program() const override;
+    BitBuffer generateStream(Rng &rng, uint64_t approx_bytes) const override;
+    BitBuffer golden(const BitBuffer &stream) const override;
+
+    const DtreeParams &params() const { return params_; }
+
+  private:
+    DtreeParams params_;
+};
+
+} // namespace apps
+} // namespace fleet
+
+#endif // FLEET_APPS_DTREE_H

@@ -1,0 +1,283 @@
+#include "apps/intcode.h"
+
+#include "lang/builder.h"
+#include "lang/stdlib.h"
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace apps {
+
+using lang::ProgramBuilder;
+using lang::Value;
+using lang::VecReg;
+using lang::mux;
+
+int
+IntcodeApp::varByteBits(uint32_t value)
+{
+    int bytes = 1;
+    while (value >= 128) {
+        value >>= 7;
+        ++bytes;
+    }
+    return bytes * 8;
+}
+
+lang::Program
+IntcodeApp::program() const
+{
+    constexpr int kWidths = 16; // 2, 4, ..., 32 bits.
+    constexpr int B = kBlockInts;
+
+    ProgramBuilder b("IntegerCoding", 32, 8);
+    VecReg blk = b.vreg("blk", B, 32);
+    Value blkIdx = b.reg("blkIdx", 2, 0);
+    Value busy = b.reg("busy", 1, 0);
+    Value phase = b.reg("phase", 3, 0); // 0=hdr 1=main 2=exc 3=flush
+    Value fieldIdx = b.reg("fieldIdx", 3, 0);
+    Value widthIdx = b.reg("widthIdx", 4, 0);
+    Value bitmap = b.reg("bitmap", B, 0);
+    lang::lib::BitPacker packer(b, "out", 8, 64);
+    Value excVal = b.reg("excVal", 32, 0);
+    Value excActive = b.reg("excActive", 1, 0);
+
+    // Var-byte cost of a 32-bit value, as a combinational priority chain.
+    auto vb_bits = [&](const Value &v) {
+        Value bits = Value::lit(40, 6);
+        bits = mux(v < Value::lit(1ull << 28, 32), 32, bits);
+        bits = mux(v < Value::lit(1ull << 21, 32), 24, bits);
+        bits = mux(v < Value::lit(1ull << 14, 32), 16, bits);
+        bits = mux(v < Value::lit(1ull << 7, 32), 8, bits);
+        return bits;
+    };
+    auto fits = [&](const Value &v, int width_bits) {
+        if (width_bits >= 32)
+            return Value::lit(1, 1);
+        return (v >> Value::lit(width_bits, 6)) == Value::lit(0, 32);
+    };
+
+    // --- Block collection (one integer per final virtual cycle) ---------
+    // The fourth integer of a block is `input` during its collection
+    // cycle, so the parallel cost evaluation uses three vector-register
+    // reads plus the live token.
+    std::vector<Value> ints = {blk[Value::lit(0, 2)], blk[Value::lit(1, 2)],
+                               blk[Value::lit(2, 2)], b.input()};
+
+    // Parallel costing of all sixteen widths (the "tries sixteen fixed
+    // width encodings in parallel" of Section 7.1, fused into one cycle).
+    Value best_idx = Value::lit(kWidths - 1, 4);
+    Value best_cost = Value::lit(0, 9);
+    Value best_map = Value::lit(0, B);
+    {
+        std::vector<Value> costs, maps;
+        for (int i = 0; i < kWidths; ++i) {
+            int width_bits = 2 * (i + 1);
+            Value cost = Value::lit(0, 9);
+            Value map = Value::lit(0, B);
+            for (int j = 0; j < B; ++j) {
+                Value fit = fits(ints[j], width_bits);
+                cost = (cost +
+                        mux(fit, Value::lit(width_bits, 6),
+                            vb_bits(ints[j])))
+                           .resize(9);
+                map = (map | (mux(fit, Value::lit(0, 1), Value::lit(1, 1))
+                                  .resize(B)
+                              << Value::lit(j, 2)))
+                          .resize(B);
+            }
+            costs.push_back(cost);
+            maps.push_back(map);
+        }
+        best_cost = costs[kWidths - 1];
+        best_map = maps[kWidths - 1];
+        for (int i = kWidths - 2; i >= 0; --i) {
+            Value take = costs[i] <= best_cost;
+            best_idx = mux(take, Value::lit(i, 4), best_idx);
+            best_cost = mux(take, costs[i], best_cost);
+            best_map = mux(take, maps[i], best_map);
+        }
+    }
+
+    b.if_(!b.streamFinished(), [&] {
+        b.assign(blk[blkIdx], b.input());
+        b.assign(blkIdx, blkIdx + 1);
+        b.if_(blkIdx == 3, [&] {
+            b.assign(widthIdx, best_idx);
+            b.assign(bitmap, best_map);
+            b.assign(busy, Value::lit(1, 1));
+            b.assign(phase, Value::lit(0, 3));
+            b.assign(fieldIdx, Value::lit(0, 3));
+            packer.clear();
+        });
+    });
+
+    // --- Block emission state machine ------------------------------------
+    Value chosen_bits = ((widthIdx.resize(6) + 1) << Value::lit(1, 1));
+    Value cur_int = blk[fieldIdx.resize(2)];
+
+    b.while_(busy == 1, [&] {
+        b.if_(packer.hasToken(), [&] {
+            packer.emitToken();
+        }).elseIf(phase == 0, [&] {
+            // Header byte: low nibble width index, high nibble bitmap.
+            packer.pushFixed(lang::cat(bitmap, widthIdx), 8);
+            b.assign(phase, Value::lit(1, 3));
+            b.assign(fieldIdx, Value::lit(0, 3));
+        }).elseIf(phase == 1, [&] {
+            b.if_(fieldIdx == uint64_t(B), [&] {
+                b.assign(phase, Value::lit(2, 3));
+                b.assign(fieldIdx, Value::lit(0, 3));
+            }).elseIf((bitmap >> fieldIdx.resize(2)).slice(0, 0) == 0, [&] {
+                // Main section: pack the fitting integer.
+                packer.push(cur_int, chosen_bits);
+                b.assign(fieldIdx, fieldIdx + 1);
+            }).else_([&] {
+                b.assign(fieldIdx, fieldIdx + 1);
+            });
+        }).elseIf(phase == 2, [&] {
+            b.if_(fieldIdx == uint64_t(B), [&] {
+                b.assign(phase, Value::lit(3, 3));
+            }).elseIf(!excActive &&
+                          (bitmap >> fieldIdx.resize(2)).slice(0, 0) == 0,
+                      [&] {
+                          b.assign(fieldIdx, fieldIdx + 1);
+                      })
+                .else_([&] {
+                    // Var-byte emission, one byte per virtual cycle.
+                    Value v = mux(excActive, excVal, cur_int);
+                    Value more = (v >> Value::lit(7, 3)) != Value::lit(0, 32);
+                    packer.pushFixed(lang::cat(more, v.slice(6, 0)), 8);
+                    b.assign(excVal, (v >> Value::lit(7, 3)).resize(32));
+                    b.assign(excActive, more);
+                    b.if_(!more, [&] {
+                        b.assign(fieldIdx, fieldIdx + 1);
+                    });
+                });
+        }).else_([&] {
+            // Flush: pad the final partial byte, then finish the block.
+            b.if_(packer.pending(), [&] {
+                packer.emitPadded();
+            }).else_([&] {
+                b.assign(busy, Value::lit(0, 1));
+            });
+        });
+    });
+
+    return b.finish();
+}
+
+BitBuffer
+IntcodeApp::generateStream(Rng &rng, uint64_t approx_bytes) const
+{
+    uint64_t ints = std::max<uint64_t>(approx_bytes / 4, kBlockInts);
+    ints = ints / kBlockInts * kBlockInts;
+    BitBuffer stream;
+    for (uint64_t i = 0; i < ints; ++i)
+        stream.appendBits(rng.next() & mask64(params_.maxValueBits), 32);
+    return stream;
+}
+
+BitBuffer
+IntcodeApp::golden(const BitBuffer &stream) const
+{
+    constexpr int kWidths = 16;
+    BitBuffer out;
+    uint64_t count = stream.sizeBits() / 32;
+    for (uint64_t base = 0; base + kBlockInts <= count;
+         base += kBlockInts) {
+        uint32_t ints[kBlockInts];
+        for (int j = 0; j < kBlockInts; ++j)
+            ints[j] = uint32_t(stream.readBits((base + j) * 32, 32));
+
+        // Cost all widths; prefer the smallest on ties (matching the
+        // unit's fold direction).
+        int best_idx = kWidths - 1;
+        int best_cost = -1;
+        uint32_t best_map = 0;
+        for (int i = kWidths - 1; i >= 0; --i) {
+            int width_bits = 2 * (i + 1);
+            int cost = 0;
+            uint32_t map = 0;
+            for (int j = 0; j < kBlockInts; ++j) {
+                bool fit = width_bits >= 32 ||
+                           (ints[j] >> width_bits) == 0;
+                cost += fit ? width_bits : varByteBits(ints[j]);
+                if (!fit)
+                    map |= 1u << j;
+            }
+            if (best_cost < 0 || cost <= best_cost) {
+                best_cost = cost;
+                best_idx = i;
+                best_map = map;
+            }
+        }
+
+        // Emit the block, byte-aligned.
+        BitBuffer block;
+        block.appendBits(uint64_t(best_idx) | (uint64_t(best_map) << 4),
+                         8);
+        int width_bits = 2 * (best_idx + 1);
+        for (int j = 0; j < kBlockInts; ++j)
+            if (!(best_map & (1u << j)))
+                block.appendBits(ints[j], width_bits);
+        for (int j = 0; j < kBlockInts; ++j) {
+            if (best_map & (1u << j)) {
+                uint32_t v = ints[j];
+                while (true) {
+                    bool more = v >= 128;
+                    block.appendBits((v & 0x7f) | (more ? 0x80 : 0), 8);
+                    if (!more)
+                        break;
+                    v >>= 7;
+                }
+            }
+        }
+        block.padToMultipleOf(8);
+        out.appendBuffer(block);
+    }
+    return out;
+}
+
+std::vector<uint32_t>
+IntcodeApp::decode(const BitBuffer &encoded)
+{
+    std::vector<uint32_t> out;
+    uint64_t pos = 0;
+    while (pos + 8 <= encoded.sizeBits()) {
+        uint64_t header = encoded.readBits(pos, 8);
+        pos += 8;
+        int width_idx = int(header & 0xf);
+        uint32_t map = uint32_t(header >> 4);
+        int width_bits = 2 * (width_idx + 1);
+        uint32_t ints[kBlockInts];
+        for (int j = 0; j < kBlockInts; ++j) {
+            if (!(map & (1u << j))) {
+                ints[j] = uint32_t(encoded.readBits(pos, width_bits));
+                pos += width_bits;
+            }
+        }
+        for (int j = 0; j < kBlockInts; ++j) {
+            if (map & (1u << j)) {
+                uint32_t v = 0;
+                int shift = 0;
+                while (true) {
+                    uint64_t byte = encoded.readBits(pos, 8);
+                    pos += 8;
+                    v |= uint32_t(byte & 0x7f) << shift;
+                    shift += 7;
+                    if (!(byte & 0x80))
+                        break;
+                }
+                ints[j] = v;
+            }
+        }
+        pos = roundUp(pos, 8);
+        for (int j = 0; j < kBlockInts; ++j)
+            out.push_back(ints[j]);
+    }
+    return out;
+}
+
+} // namespace apps
+} // namespace fleet

@@ -1,0 +1,60 @@
+#ifndef FLEET_APPS_INTCODE_H
+#define FLEET_APPS_INTCODE_H
+
+/**
+ * @file
+ * Integer coding (Section 7.1). The unit compresses blocks of four
+ * consecutive 32-bit integers: sixteen candidate fixed widths (2, 4, ...,
+ * 32 bits) are costed in parallel in a single virtual cycle; integers
+ * that fit the chosen width go to a main section and the rest to an
+ * exception section coded with variable-byte encoding — the OptPFD-style
+ * scheme the paper describes. Output tokens are 8 bits (the paper notes
+ * dynamic shifts are expensive, so output words are assembled a byte at
+ * a time), and each block is byte-aligned for decodability.
+ *
+ * Block format: header byte (low nibble = width index, high nibble =
+ * exception bitmap), main section (fitting integers packed at the chosen
+ * width, in order), exception section (var-byte, 7 data bits per byte,
+ * bit 7 = continuation), zero-padded to a byte boundary.
+ *
+ * A software decoder (decode()) round-trips the format in tests.
+ */
+
+#include "apps/app.h"
+
+namespace fleet {
+namespace apps {
+
+struct IntcodeParams
+{
+    /** Integers drawn uniformly from [0, 2^maxValueBits). The paper's
+     * experiment averages runs over maxValueBits in {5,10,15,20,25}. */
+    int maxValueBits = 15;
+};
+
+class IntcodeApp : public Application
+{
+  public:
+    static constexpr int kBlockInts = 4;
+
+    explicit IntcodeApp(IntcodeParams params = {}) : params_(params) {}
+
+    std::string name() const override { return "IntegerCoding"; }
+    lang::Program program() const override;
+    BitBuffer generateStream(Rng &rng, uint64_t approx_bytes) const override;
+    BitBuffer golden(const BitBuffer &stream) const override;
+
+    /** Decode an encoded stream back to the original integers. */
+    static std::vector<uint32_t> decode(const BitBuffer &encoded);
+
+    /** Cost (in bits) of var-byte coding a value. */
+    static int varByteBits(uint32_t value);
+
+  private:
+    IntcodeParams params_;
+};
+
+} // namespace apps
+} // namespace fleet
+
+#endif // FLEET_APPS_INTCODE_H

@@ -1,0 +1,452 @@
+#include "apps/json.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "lang/builder.h"
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace apps {
+
+using lang::Bram;
+using lang::ProgramBuilder;
+using lang::Value;
+using lang::mux;
+
+namespace {
+
+constexpr uint8_t kNone = 0xff;
+constexpr uint32_t kFlagAccept = 1;
+constexpr uint32_t kFlagLastSibling = 2;
+
+/** In-memory trie used to build the config prologue. */
+struct TrieLevel
+{
+    // Within one key segment: char -> continuation.
+    struct Entry
+    {
+        std::unique_ptr<TrieLevel> within; ///< Longer keys this segment.
+        std::unique_ptr<TrieLevel> down;   ///< Next segment (nested obj).
+        bool accept = false;               ///< Full path ends here.
+    };
+    std::map<char, Entry> entries;
+};
+
+void
+addPath(TrieLevel &level, const std::string &path, size_t pos)
+{
+    if (pos >= path.size())
+        fatal("JsonApp: empty field path segment in '", path, "'");
+    char c = path[pos];
+    if (c == '.')
+        fatal("JsonApp: empty segment in field path '", path, "'");
+    TrieLevel::Entry &entry = level.entries[c];
+    if (pos + 1 == path.size()) {
+        entry.accept = true;
+        return;
+    }
+    if (path[pos + 1] == '.') {
+        if (!entry.down)
+            entry.down = std::make_unique<TrieLevel>();
+        addPath(*entry.down, path, pos + 2);
+        return;
+    }
+    if (!entry.within)
+        entry.within = std::make_unique<TrieLevel>();
+    addPath(*entry.within, path, pos + 1);
+}
+
+struct FlatEntry
+{
+    uint8_t ch, within, down, flags;
+};
+
+/** Serialize levels depth-first: each sibling group occupies consecutive
+ * entries (the unit walks a group by incrementing the index until it sees
+ * the last-sibling flag). Returns the group's head index. */
+uint8_t
+flattenLevel(const TrieLevel &level, std::vector<FlatEntry> &out)
+{
+    size_t head = out.size();
+    if (level.entries.empty())
+        panic("JsonApp: empty trie level");
+    if (head + level.entries.size() > 255)
+        fatal("JsonApp: field set exceeds 255 trie nodes");
+    out.resize(head + level.entries.size());
+    size_t idx = head;
+    for (const auto &[c, entry] : level.entries) {
+        out[idx].ch = static_cast<uint8_t>(c);
+        out[idx].flags = entry.accept ? kFlagAccept : 0;
+        ++idx;
+    }
+    out[idx - 1].flags |= kFlagLastSibling;
+    idx = head;
+    for (const auto &[c, entry] : level.entries) {
+        out[idx].within =
+            entry.within ? flattenLevel(*entry.within, out) : kNone;
+        out[idx].down = entry.down ? flattenLevel(*entry.down, out) : kNone;
+        ++idx;
+    }
+    return static_cast<uint8_t>(head);
+}
+
+std::vector<uint8_t>
+buildConfig(const std::vector<std::string> &fields)
+{
+    TrieLevel root;
+    for (const auto &field : fields)
+        addPath(root, field, 0);
+    std::vector<FlatEntry> flat;
+    uint8_t head = flattenLevel(root, flat);
+    if (head != 0)
+        panic("JsonApp: root group must start at entry 0");
+    std::vector<uint8_t> config;
+    config.push_back(static_cast<uint8_t>(flat.size()));
+    for (const auto &entry : flat) {
+        config.push_back(entry.ch);
+        config.push_back(entry.within);
+        config.push_back(entry.down);
+        config.push_back(entry.flags);
+    }
+    return config;
+}
+
+// Parser modes for the text state machine.
+enum Mode : uint64_t
+{
+    kIdle = 0,      // between records
+    kExpectKey = 1, // after '{' or ','
+    kKey = 2,       // inside a key string
+    kAfterKey = 3,  // expecting ':'
+    kValue = 4,     // expecting '"' or '{'
+    kStr = 5,       // inside a string value
+    kAfterVal = 6,  // expecting ',' or '}'
+};
+
+} // namespace
+
+JsonApp::JsonApp(JsonParams params)
+    : params_(std::move(params)), config_(buildConfig(params_.fields))
+{
+}
+
+lang::Program
+JsonApp::program() const
+{
+    ProgramBuilder b("JsonParsing", 8, 8);
+    Bram trie = b.bram("trie", params_.maxTrieNodes, 32);
+    Bram stack = b.bram("stack", params_.maxDepth, 8);
+
+    // Config loading.
+    Value cfgDone = b.reg("cfgDone", 1, 0);
+    Value cfgN = b.reg("cfgN", 8, 0);
+    Value cfgEntry = b.reg("cfgEntry", 8, 0);
+    Value cfgByte = b.reg("cfgByte", 2, 0);
+    Value cfgAccum = b.reg("cfgAccum", 24, 0);
+    Value cfgHaveN = b.reg("cfgHaveN", 1, 0);
+
+    // Candidate cache: the trie entry currently under consideration.
+    Value candNode = b.reg("candNode", 8, 0);
+    Value candChar = b.reg("candChar", 8, 0);
+    Value candWithin = b.reg("candWithin", 8, 0);
+    Value candDown = b.reg("candDown", 8, 0);
+    Value candAccept = b.reg("candAccept", 1, 0);
+    Value candLast = b.reg("candLast", 1, 0);
+    Value candValid = b.reg("candValid", 1, 0);
+    Value pendingLoad = b.reg("pendingLoad", 1, 0);
+    Value loadAddr = b.reg("loadAddr", 8, 0);
+
+    // Parser state.
+    Value mode = b.reg("mode", 3, kIdle);
+    Value ctx = b.reg("ctx", 8, kNone);
+    Value depth = b.reg("depth", 7, 0);
+    Value kLive = b.reg("kLive", 1, 0);
+    Value mAccept = b.reg("mAccept", 1, 0);
+    Value mDown = b.reg("mDown", 8, kNone);
+    Value mSegEnd = b.reg("mSegEnd", 1, 0);
+    Value capturing = b.reg("capturing", 1, 0);
+
+    auto load_entry = [&](const Value &entry, const Value &node) {
+        b.assign(candNode, node);
+        b.assign(candChar, entry.slice(7, 0));
+        b.assign(candWithin, entry.slice(15, 8));
+        b.assign(candDown, entry.slice(23, 16));
+        b.assign(candAccept, entry.bit(24));
+        b.assign(candLast, entry.bit(25));
+        b.assign(candValid, Value::lit(1, 1));
+    };
+
+    // --- Candidate refill (runs before the next token's final cycle) ----
+    b.while_(pendingLoad == 1, [&] {
+        load_entry(trie[loadAddr], loadAddr);
+        b.assign(pendingLoad, Value::lit(0, 1));
+    });
+
+    // --- Sibling walk: mismatched candidate, more alternatives ----------
+    Value walk = (pendingLoad == 0) && (mode == uint64_t(kKey)) &&
+                 (kLive == 1) && (candValid == 1) &&
+                 (candChar != b.input()) && (candLast == 0) &&
+                 (b.input() != uint64_t('"')) && !b.streamFinished();
+    b.while_(walk, [&] {
+        Value next = (candNode + 1).resize(8);
+        load_entry(trie[next], next);
+    });
+
+    // --- One token per final virtual cycle ------------------------------
+    Value ch = b.input();
+    auto is = [&](char c) { return ch == uint64_t(uint8_t(c)); };
+
+    // Candidate group reload request (used at expect-key transitions).
+    auto request_load = [&](const Value &addr) {
+        b.assign(pendingLoad, (addr != uint64_t(kNone)).resize(1));
+        b.assign(loadAddr, addr);
+        b.assign(candValid, Value::lit(0, 1));
+    };
+
+    b.if_(!b.streamFinished(), [&] {
+        b.if_(cfgDone == 0, [&] {
+            b.if_(cfgHaveN == 0, [&] {
+                b.assign(cfgN, ch);
+                b.assign(cfgHaveN, Value::lit(1, 1));
+                b.if_(ch == 0, [&] {
+                    b.assign(cfgDone, Value::lit(1, 1));
+                });
+            }).else_([&] {
+                b.if_(cfgByte == 3, [&] {
+                    b.assign(trie[cfgEntry], lang::cat(ch, cfgAccum));
+                    b.assign(cfgByte, Value::lit(0, 2));
+                    b.assign(cfgAccum, Value::lit(0, 24));
+                    b.if_((cfgEntry + 1).resize(8) == cfgN, [&] {
+                        b.assign(cfgDone, Value::lit(1, 1));
+                    });
+                    b.assign(cfgEntry, cfgEntry + 1);
+                }).else_([&] {
+                    // Accumulate low-to-high: byte k lands at bits 8k.
+                    b.assign(cfgAccum,
+                             cfgAccum |
+                                 (ch.resize(24)
+                                  << lang::cat(cfgByte, Value::lit(0, 3))));
+                    b.assign(cfgByte, cfgByte + 1);
+                });
+            });
+        }).elseIf(mode == uint64_t(kIdle), [&] {
+            b.if_(is('{'), [&] {
+                b.assign(stack[depth.slice(5, 0)], ctx);
+                b.assign(depth, depth + 1);
+                Value root = mux(cfgN != 0, Value::lit(0, 8),
+                                 Value::lit(kNone, 8));
+                b.assign(ctx, root);
+                request_load(root);
+                b.assign(mode, Value::lit(kExpectKey, 3));
+            });
+        }).elseIf(mode == uint64_t(kExpectKey), [&] {
+            b.if_(is('"'), [&] {
+                b.assign(mode, Value::lit(kKey, 3));
+                b.assign(kLive, (ctx != uint64_t(kNone)).resize(1));
+                b.assign(mAccept, Value::lit(0, 1));
+                b.assign(mDown, Value::lit(kNone, 8));
+                b.assign(mSegEnd, Value::lit(0, 1));
+            }).elseIf(is('}'), [&] {
+                // Empty object.
+                b.assign(depth, depth - 1);
+                b.assign(ctx, stack[(depth - 1).slice(5, 0)]);
+                b.assign(mode, mux(depth == 1, Value::lit(kIdle, 3),
+                                   Value::lit(kAfterVal, 3)));
+            });
+        }).elseIf(mode == uint64_t(kKey), [&] {
+            b.if_(is('"'), [&] {
+                b.assign(mode, Value::lit(kAfterKey, 3));
+            }).else_([&] {
+                Value match = kLive && candValid && (candChar == ch);
+                b.if_(match, [&] {
+                    b.assign(mAccept, candAccept);
+                    b.assign(mDown, candDown);
+                    b.assign(mSegEnd,
+                             candAccept ||
+                                 (candDown != uint64_t(kNone)).resize(1));
+                    request_load(candWithin);
+                }).else_([&] {
+                    // Walk already exhausted the sibling group.
+                    b.assign(kLive, Value::lit(0, 1));
+                    b.assign(mSegEnd, Value::lit(0, 1));
+                });
+            });
+        }).elseIf(mode == uint64_t(kAfterKey), [&] {
+            b.if_(is(':'), [&] {
+                b.assign(mode, Value::lit(kValue, 3));
+            });
+        }).elseIf(mode == uint64_t(kValue), [&] {
+            b.if_(is('"'), [&] {
+                b.assign(mode, Value::lit(kStr, 3));
+                b.assign(capturing, kLive && mSegEnd && mAccept);
+            }).elseIf(is('{'), [&] {
+                b.assign(stack[depth.slice(5, 0)], ctx);
+                b.assign(depth, depth + 1);
+                Value newctx = mux(kLive && mSegEnd, mDown,
+                                   Value::lit(kNone, 8));
+                b.assign(ctx, newctx);
+                request_load(newctx);
+                b.assign(mode, Value::lit(kExpectKey, 3));
+            });
+        }).elseIf(mode == uint64_t(kStr), [&] {
+            b.if_(is('"'), [&] {
+                b.if_(capturing == 1, [&] {
+                    b.emit(Value::lit('\n', 8));
+                });
+                b.assign(capturing, Value::lit(0, 1));
+                b.assign(mode, Value::lit(kAfterVal, 3));
+            }).else_([&] {
+                b.if_(capturing == 1, [&] { b.emit(ch); });
+            });
+        }).else_([&] { // kAfterVal
+            b.if_(is(','), [&] {
+                b.assign(mode, Value::lit(kExpectKey, 3));
+                request_load(ctx);
+            }).elseIf(is('}'), [&] {
+                b.assign(depth, depth - 1);
+                b.assign(ctx, stack[(depth - 1).slice(5, 0)]);
+                b.assign(mode, mux(depth == 1, Value::lit(kIdle, 3),
+                                   Value::lit(kAfterVal, 3)));
+            });
+        });
+    });
+
+    return b.finish();
+}
+
+BitBuffer
+JsonApp::generateStream(Rng &rng, uint64_t approx_bytes) const
+{
+    // Key pool: the field-path segments plus decoys (including prefixes
+    // and extensions of real segments to stress the trie walk).
+    std::vector<std::string> segments;
+    for (const auto &field : params_.fields) {
+        size_t start = 0;
+        while (start < field.size()) {
+            size_t dot = field.find('.', start);
+            if (dot == std::string::npos)
+                dot = field.size();
+            segments.push_back(field.substr(start, dot - start));
+            start = dot + 1;
+        }
+    }
+    std::vector<std::string> decoys = {"status", "x", "na", "namex",
+                                       "userx", "idx", "i", "geoz"};
+    static const char kValueChars[] =
+        "abcdefghijklmnopqrstuvwxyz0123456789 -_";
+
+    std::string text;
+    auto random_value = [&] {
+        std::string v;
+        int len = 1 + static_cast<int>(rng.nextBelow(12));
+        for (int i = 0; i < len; ++i)
+            v += kValueChars[rng.nextBelow(sizeof(kValueChars) - 1)];
+        return v;
+    };
+
+    std::function<void(int)> gen_object = [&](int depth) {
+        text += '{';
+        int pairs = 1 + static_cast<int>(rng.nextBelow(4));
+        for (int i = 0; i < pairs; ++i) {
+            if (i > 0)
+                text += ',';
+            const std::string &key =
+                rng.nextChance(1, 2)
+                    ? segments[rng.nextBelow(segments.size())]
+                    : decoys[rng.nextBelow(decoys.size())];
+            text += '"';
+            text += key;
+            text += "\":";
+            if (depth < 3 && rng.nextChance(1, 3)) {
+                gen_object(depth + 1);
+            } else {
+                text += '"';
+                text += random_value();
+                text += '"';
+            }
+        }
+        text += '}';
+    };
+
+    while (text.size() < approx_bytes) {
+        gen_object(0);
+        text += '\n';
+    }
+
+    BitBuffer stream;
+    for (uint8_t byte : config_)
+        stream.appendBits(byte, 8);
+    stream.appendBuffer(BitBuffer::fromString(text));
+    return stream;
+}
+
+BitBuffer
+JsonApp::golden(const BitBuffer &stream) const
+{
+    // Skip the config prologue.
+    uint64_t pos = (1 + 4 * uint64_t(config_[0])) * 8;
+    std::string text;
+    while (pos + 8 <= stream.sizeBits()) {
+        text += static_cast<char>(stream.readBits(pos, 8));
+        pos += 8;
+    }
+
+    // Direct recursive-descent reference: emit values whose full dotted
+    // path is in the field set (independent of the trie encoding, so the
+    // trie construction itself is under test).
+    std::string out;
+    size_t i = 0;
+    std::function<void(const std::string &)> parse_object =
+        [&](const std::string &prefix) {
+            ++i; // '{'
+            if (i < text.size() && text[i] == '}') {
+                ++i;
+                return;
+            }
+            while (i < text.size()) {
+                ++i; // '"'
+                std::string key;
+                while (i < text.size() && text[i] != '"')
+                    key += text[i++];
+                ++i; // '"'
+                ++i; // ':'
+                std::string path =
+                    prefix.empty() ? key : prefix + "." + key;
+                if (text[i] == '{') {
+                    parse_object(path);
+                } else {
+                    ++i; // '"'
+                    std::string value;
+                    while (i < text.size() && text[i] != '"')
+                        value += text[i++];
+                    ++i; // '"'
+                    for (const auto &field : params_.fields) {
+                        if (field == path) {
+                            out += value;
+                            out += '\n';
+                            break;
+                        }
+                    }
+                }
+                if (text[i] == ',') {
+                    ++i;
+                    continue;
+                }
+                ++i; // '}'
+                return;
+            }
+        };
+    while (i < text.size()) {
+        if (text[i] == '{')
+            parse_object("");
+        else
+            ++i;
+    }
+    return BitBuffer::fromString(out);
+}
+
+} // namespace apps
+} // namespace fleet

@@ -1,0 +1,65 @@
+#ifndef FLEET_APPS_JSON_H
+#define FLEET_APPS_JSON_H
+
+/**
+ * @file
+ * JSON field extraction (Section 7.1). The unit reads a list of fields to
+ * extract (e.g. a.b, a.c), encoded as a character trie at the start of
+ * its input stream, stores the transition table in a BRAM, and then emits
+ * the values of those fields for the (potentially nested) JSON records in
+ * the remainder of the stream. Most of the unit is the state machine that
+ * decides whether a field match has been reached and handles the JSON
+ * control characters, exactly as the paper describes.
+ *
+ * Restricted record grammar (the workload generator only produces this):
+ *   record := '{' pair (',' pair)* '}' '\n'        (or '{}')
+ *   pair   := '"' key '"' ':' value
+ *   value  := '"' chars '"' | record-object
+ * with no whitespace and no escape sequences.
+ *
+ * Trie encoding (config prologue): one count byte N, then N four-byte
+ * entries [char][within][down][flags]: `within` points to the candidate
+ * group for the next character of the same key segment, `down` to the
+ * candidate group of the next path segment (object nesting), 0xFF meaning
+ * none. Alternative candidates at one position are stored consecutively;
+ * flags bit0 marks an accepting leaf (capture the value) and bit1 the
+ * last entry of its sibling group.
+ *
+ * Output: the characters of each matched field value, '\n' terminated.
+ */
+
+#include "apps/app.h"
+
+namespace fleet {
+namespace apps {
+
+struct JsonParams
+{
+    std::vector<std::string> fields = {"user.name", "user.geo.city", "id",
+                                       "meta.tag"};
+    int maxTrieNodes = 256;
+    int maxDepth = 64;
+};
+
+class JsonApp : public Application
+{
+  public:
+    explicit JsonApp(JsonParams params = {});
+
+    std::string name() const override { return "JsonParsing"; }
+    lang::Program program() const override;
+    BitBuffer generateStream(Rng &rng, uint64_t approx_bytes) const override;
+    BitBuffer golden(const BitBuffer &stream) const override;
+
+    /** Serialized trie prologue for this field set. */
+    const std::vector<uint8_t> &trieConfig() const { return config_; }
+
+  private:
+    JsonParams params_;
+    std::vector<uint8_t> config_;
+};
+
+} // namespace apps
+} // namespace fleet
+
+#endif // FLEET_APPS_JSON_H

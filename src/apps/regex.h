@@ -1,0 +1,48 @@
+#ifndef FLEET_APPS_REGEX_H
+#define FLEET_APPS_REGEX_H
+
+/**
+ * @file
+ * Regex matching (Section 7.1). The unit is generated at compile time
+ * from a regex string following the NFA-circuit construction of Sidhu &
+ * Prasanna: one single-bit register per Glushkov position, character
+ * class tests as comparator trees on the input token, and an emit of the
+ * current stream index whenever any accepting position fires. The default
+ * pattern is the email regex from the benchmark suite the paper cites.
+ */
+
+#include "apps/app.h"
+#include "apps/regex_nfa.h"
+
+namespace fleet {
+namespace apps {
+
+struct RegexParams
+{
+    std::string pattern = "[\\w.+-]+@[\\w.-]+\\.[\\w.-]+";
+};
+
+class RegexApp : public Application
+{
+  public:
+    explicit RegexApp(RegexParams params = {})
+        : params_(std::move(params)), nfa_(buildRegexNfa(params_.pattern))
+    {
+    }
+
+    std::string name() const override { return "Regex"; }
+    lang::Program program() const override;
+    BitBuffer generateStream(Rng &rng, uint64_t approx_bytes) const override;
+    BitBuffer golden(const BitBuffer &stream) const override;
+
+    const RegexNfa &nfa() const { return nfa_; }
+
+  private:
+    RegexParams params_;
+    RegexNfa nfa_;
+};
+
+} // namespace apps
+} // namespace fleet
+
+#endif // FLEET_APPS_REGEX_H

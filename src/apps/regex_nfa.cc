@@ -1,0 +1,373 @@
+#include "apps/regex_nfa.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace fleet {
+namespace apps {
+
+namespace {
+
+std::bitset<256>
+namedClass(char c)
+{
+    std::bitset<256> cls;
+    auto add_range = [&](int lo, int hi) {
+        for (int i = lo; i <= hi; ++i)
+            cls.set(i);
+    };
+    switch (c) {
+      case 'w':
+        add_range('a', 'z');
+        add_range('A', 'Z');
+        add_range('0', '9');
+        cls.set('_');
+        break;
+      case 'd':
+        add_range('0', '9');
+        break;
+      case 's':
+        cls.set(' ');
+        cls.set('\t');
+        cls.set('\r');
+        cls.set('\n');
+        break;
+      default:
+        // Escaped literal (\., \\, \+, ...).
+        cls.set(static_cast<unsigned char>(c));
+        break;
+    }
+    return cls;
+}
+
+// Regex AST used only during construction.
+struct Node
+{
+    enum class Kind { Class, Concat, Alt, Star, Plus, Opt, Epsilon };
+    Kind kind;
+    std::bitset<256> cls;
+    int position = -1;
+    std::unique_ptr<Node> a, b;
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+class Parser
+{
+  public:
+    Parser(const std::string &pattern, RegexNfa &nfa)
+        : pattern_(pattern), nfa_(nfa)
+    {
+    }
+
+    NodePtr
+    parse()
+    {
+        NodePtr node = parseAlt();
+        if (pos_ != pattern_.size())
+            fatal("regex: unexpected '", pattern_[pos_], "' at ", pos_);
+        return node;
+    }
+
+  private:
+    bool atEnd() const { return pos_ >= pattern_.size(); }
+    char peek() const { return pattern_[pos_]; }
+
+    NodePtr
+    makeClass(const std::bitset<256> &cls)
+    {
+        auto node = std::make_unique<Node>();
+        node->kind = Node::Kind::Class;
+        node->cls = cls;
+        node->position = nfa_.numPositions();
+        nfa_.positionClass.push_back(cls);
+        return node;
+    }
+
+    NodePtr
+    makeBinary(Node::Kind kind, NodePtr a, NodePtr b)
+    {
+        auto node = std::make_unique<Node>();
+        node->kind = kind;
+        node->a = std::move(a);
+        node->b = std::move(b);
+        return node;
+    }
+
+    NodePtr
+    makeUnary(Node::Kind kind, NodePtr a)
+    {
+        auto node = std::make_unique<Node>();
+        node->kind = kind;
+        node->a = std::move(a);
+        return node;
+    }
+
+    NodePtr
+    parseAlt()
+    {
+        NodePtr node = parseConcat();
+        while (!atEnd() && peek() == '|') {
+            ++pos_;
+            node = makeBinary(Node::Kind::Alt, std::move(node),
+                              parseConcat());
+        }
+        return node;
+    }
+
+    NodePtr
+    parseConcat()
+    {
+        NodePtr node;
+        while (!atEnd() && peek() != '|' && peek() != ')') {
+            NodePtr atom = parseRepeat();
+            node = node ? makeBinary(Node::Kind::Concat, std::move(node),
+                                     std::move(atom))
+                        : std::move(atom);
+        }
+        if (!node) {
+            node = std::make_unique<Node>();
+            node->kind = Node::Kind::Epsilon;
+        }
+        return node;
+    }
+
+    NodePtr
+    parseRepeat()
+    {
+        NodePtr node = parseAtom();
+        while (!atEnd()) {
+            if (peek() == '*')
+                node = makeUnary(Node::Kind::Star, std::move(node));
+            else if (peek() == '+')
+                node = makeUnary(Node::Kind::Plus, std::move(node));
+            else if (peek() == '?')
+                node = makeUnary(Node::Kind::Opt, std::move(node));
+            else
+                break;
+            ++pos_;
+        }
+        return node;
+    }
+
+    NodePtr
+    parseAtom()
+    {
+        if (atEnd())
+            fatal("regex: unexpected end of pattern");
+        char c = peek();
+        if (c == '(') {
+            ++pos_;
+            NodePtr node = parseAlt();
+            if (atEnd() || peek() != ')')
+                fatal("regex: missing ')'");
+            ++pos_;
+            return node;
+        }
+        if (c == '[')
+            return makeClass(parseClass());
+        if (c == '.') {
+            ++pos_;
+            std::bitset<256> cls;
+            cls.set();
+            cls.reset('\n');
+            return makeClass(cls);
+        }
+        if (c == '\\') {
+            ++pos_;
+            if (atEnd())
+                fatal("regex: trailing backslash");
+            char e = pattern_[pos_++];
+            return makeClass(namedClass(e));
+        }
+        if (c == '*' || c == '+' || c == '?' || c == '|' || c == ')')
+            fatal("regex: misplaced '", c, "'");
+        ++pos_;
+        std::bitset<256> cls;
+        cls.set(static_cast<unsigned char>(c));
+        return makeClass(cls);
+    }
+
+    std::bitset<256>
+    parseClass()
+    {
+        ++pos_; // consume '['
+        std::bitset<256> cls;
+        bool first_char = true;
+        while (!atEnd() && peek() != ']') {
+            char c = peek();
+            if (c == '\\') {
+                ++pos_;
+                if (atEnd())
+                    fatal("regex: trailing backslash in class");
+                cls |= namedClass(pattern_[pos_++]);
+                first_char = false;
+                continue;
+            }
+            // Range c-hi (a '-' as first or last char is a literal).
+            if (pos_ + 2 < pattern_.size() && pattern_[pos_ + 1] == '-' &&
+                pattern_[pos_ + 2] != ']') {
+                char hi = pattern_[pos_ + 2];
+                if (hi < c)
+                    fatal("regex: bad range in class");
+                for (int i = c; i <= hi; ++i)
+                    cls.set(i);
+                pos_ += 3;
+                first_char = false;
+                continue;
+            }
+            cls.set(static_cast<unsigned char>(c));
+            ++pos_;
+            first_char = false;
+        }
+        if (atEnd())
+            fatal("regex: missing ']'");
+        ++pos_; // consume ']'
+        if (first_char)
+            fatal("regex: empty character class");
+        return cls;
+    }
+
+    const std::string &pattern_;
+    RegexNfa &nfa_;
+    size_t pos_ = 0;
+};
+
+struct GlushkovSets
+{
+    bool nullable;
+    std::vector<int> first;
+    std::vector<int> last;
+};
+
+GlushkovSets
+computeSets(const Node &node, RegexNfa &nfa)
+{
+    switch (node.kind) {
+      case Node::Kind::Epsilon:
+        return {true, {}, {}};
+      case Node::Kind::Class:
+        return {false, {node.position}, {node.position}};
+      case Node::Kind::Concat: {
+        GlushkovSets a = computeSets(*node.a, nfa);
+        GlushkovSets b = computeSets(*node.b, nfa);
+        for (int q : a.last)
+            for (int p : b.first)
+                nfa.follow[q].push_back(p);
+        GlushkovSets out;
+        out.nullable = a.nullable && b.nullable;
+        out.first = a.first;
+        if (a.nullable)
+            out.first.insert(out.first.end(), b.first.begin(),
+                             b.first.end());
+        out.last = b.last;
+        if (b.nullable)
+            out.last.insert(out.last.end(), a.last.begin(), a.last.end());
+        return out;
+      }
+      case Node::Kind::Alt: {
+        GlushkovSets a = computeSets(*node.a, nfa);
+        GlushkovSets b = computeSets(*node.b, nfa);
+        GlushkovSets out;
+        out.nullable = a.nullable || b.nullable;
+        out.first = a.first;
+        out.first.insert(out.first.end(), b.first.begin(), b.first.end());
+        out.last = a.last;
+        out.last.insert(out.last.end(), b.last.begin(), b.last.end());
+        return out;
+      }
+      case Node::Kind::Star:
+      case Node::Kind::Plus:
+      case Node::Kind::Opt: {
+        GlushkovSets a = computeSets(*node.a, nfa);
+        if (node.kind != Node::Kind::Opt) {
+            for (int q : a.last)
+                for (int p : a.first)
+                    nfa.follow[q].push_back(p);
+        }
+        GlushkovSets out = a;
+        out.nullable = node.kind == Node::Kind::Plus ? a.nullable : true;
+        return out;
+      }
+    }
+    panic("regex: unknown AST node");
+}
+
+} // namespace
+
+RegexNfa
+buildRegexNfa(const std::string &pattern)
+{
+    RegexNfa nfa;
+    Parser parser(pattern, nfa);
+    NodePtr root = parser.parse();
+    nfa.follow.resize(nfa.numPositions());
+    GlushkovSets sets = computeSets(*root, nfa);
+    nfa.nullable = sets.nullable;
+    if (nfa.nullable)
+        fatal("regex: pattern matches the empty string; not supported");
+    nfa.first.assign(nfa.numPositions(), false);
+    for (int p : sets.first)
+        nfa.first[p] = true;
+    nfa.last.assign(nfa.numPositions(), false);
+    for (int p : sets.last)
+        nfa.last[p] = true;
+    // Deduplicate follow lists.
+    for (auto &list : nfa.follow) {
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+    return nfa;
+}
+
+bool
+RegexNfa::step(std::vector<bool> &state, uint8_t c) const
+{
+    std::vector<bool> next(numPositions(), false);
+    for (int p = 0; p < numPositions(); ++p) {
+        if (!positionClass[p].test(c))
+            continue;
+        bool active = first[p]; // Unanchored: any position may start.
+        if (!active) {
+            for (int q = 0; q < numPositions() && !active; ++q) {
+                if (state[q]) {
+                    for (int f : follow[q]) {
+                        if (f == p) {
+                            active = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        next[p] = active;
+    }
+    bool match = false;
+    for (int p = 0; p < numPositions(); ++p)
+        if (next[p] && last[p])
+            match = true;
+    state = std::move(next);
+    return match;
+}
+
+std::vector<std::pair<int, int>>
+classIntervals(const std::bitset<256> &cls)
+{
+    std::vector<std::pair<int, int>> intervals;
+    int start = -1;
+    for (int c = 0; c <= 256; ++c) {
+        bool in = c < 256 && cls.test(c);
+        if (in && start < 0)
+            start = c;
+        if (!in && start >= 0) {
+            intervals.emplace_back(start, c - 1);
+            start = -1;
+        }
+    }
+    return intervals;
+}
+
+} // namespace apps
+} // namespace fleet

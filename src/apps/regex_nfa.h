@@ -1,0 +1,61 @@
+#ifndef FLEET_APPS_REGEX_NFA_H
+#define FLEET_APPS_REGEX_NFA_H
+
+/**
+ * @file
+ * Regex parsing and Glushkov (position) NFA construction, the host-side
+ * metaprogramming behind the regex application: the paper generates the
+ * matching circuit from a compile-time regex specification following
+ * Sidhu & Prasanna, with one single-bit register per NFA position. The
+ * same NFA drives the golden software matcher, so the generated circuit
+ * and the reference share one construction.
+ *
+ * Supported syntax: literals, '.', escapes (\w \d \s \. etc.), character
+ * classes with ranges ([A-Za-z0-9_.-]), grouping (...), alternation '|',
+ * and the postfix operators '*', '+', '?'.
+ */
+
+#include <bitset>
+#include <string>
+#include <vector>
+
+namespace fleet {
+namespace apps {
+
+struct RegexNfa
+{
+    /** Character class of each position (index = position id). */
+    std::vector<std::bitset<256>> positionClass;
+    /** Positions that can start a match. */
+    std::vector<bool> first;
+    /** Positions that can end a match. */
+    std::vector<bool> last;
+    /** follow[q] = positions reachable immediately after q. */
+    std::vector<std::vector<int>> follow;
+    /** True if the regex matches the empty string (rejected for Fleet). */
+    bool nullable = false;
+
+    int numPositions() const
+    {
+        return static_cast<int>(positionClass.size());
+    }
+
+    /**
+     * Advance the unanchored matcher by one character; `state` holds one
+     * bool per position. Returns true if a match ends at this character.
+     */
+    bool step(std::vector<bool> &state, uint8_t c) const;
+};
+
+/** Parse a regex and build its position NFA. Throws FatalError on
+ * malformed patterns. */
+RegexNfa buildRegexNfa(const std::string &pattern);
+
+/** Decompose a character class into inclusive [lo, hi] byte intervals. */
+std::vector<std::pair<int, int>>
+classIntervals(const std::bitset<256> &cls);
+
+} // namespace apps
+} // namespace fleet
+
+#endif // FLEET_APPS_REGEX_NFA_H

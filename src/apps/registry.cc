@@ -1,0 +1,37 @@
+#include "apps/registry.h"
+
+#include "apps/bloom.h"
+#include "apps/dtree.h"
+#include "apps/intcode.h"
+#include "apps/json.h"
+#include "apps/regex.h"
+#include "apps/sw.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace apps {
+
+std::vector<std::unique_ptr<Application>>
+allApplications()
+{
+    std::vector<std::unique_ptr<Application>> apps;
+    apps.push_back(std::make_unique<JsonApp>());
+    apps.push_back(std::make_unique<IntcodeApp>());
+    apps.push_back(std::make_unique<DtreeApp>());
+    apps.push_back(std::make_unique<SwApp>());
+    apps.push_back(std::make_unique<RegexApp>());
+    apps.push_back(std::make_unique<BloomApp>());
+    return apps;
+}
+
+std::unique_ptr<Application>
+makeApplication(const std::string &name)
+{
+    for (auto &app : allApplications())
+        if (app->name() == name)
+            return std::move(app);
+    fatal("unknown application '", name, "'");
+}
+
+} // namespace apps
+} // namespace fleet

@@ -1,0 +1,27 @@
+#ifndef FLEET_APPS_REGISTRY_H
+#define FLEET_APPS_REGISTRY_H
+
+/**
+ * @file
+ * Registry of the six evaluation applications, in the order of the
+ * paper's Figure 7.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "apps/app.h"
+
+namespace fleet {
+namespace apps {
+
+/** All six applications with default parameters. */
+std::vector<std::unique_ptr<Application>> allApplications();
+
+/** One application by name (throws FatalError if unknown). */
+std::unique_ptr<Application> makeApplication(const std::string &name);
+
+} // namespace apps
+} // namespace fleet
+
+#endif // FLEET_APPS_REGISTRY_H

@@ -1,0 +1,176 @@
+#include "apps/sw.h"
+
+#include <algorithm>
+
+#include "lang/builder.h"
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace apps {
+
+using lang::ProgramBuilder;
+using lang::Value;
+using lang::VecReg;
+using lang::mux;
+
+lang::Program
+SwApp::program() const
+{
+    const int m = params_.targetLen;
+    const int w = params_.cellBits;
+    const uint64_t cell_max = mask64(w);
+    if (params_.matchScore <= 0 || params_.mismatchScore > 0 ||
+        params_.gapScore > 0) {
+        fatal("SwApp: expects positive match and non-positive "
+              "mismatch/gap scores");
+    }
+    const uint64_t ms = uint64_t(params_.matchScore);
+    const uint64_t mp = uint64_t(-params_.mismatchScore);
+    const uint64_t gp = uint64_t(-params_.gapScore);
+
+    ProgramBuilder b("SmithWaterman", 8, 32);
+    VecReg target = b.vreg("target", m, 8);
+    VecReg row = b.vreg("row", m, w);
+    Value threshold = b.reg("threshold", 8, 255);
+    Value cfgIdx = b.reg("cfgIdx", bitsToRepresent(uint64_t(m + 1)), 0);
+    Value index = b.reg("index", 32, 0);
+
+    // Saturating helpers on w-bit cells.
+    auto sat_add = [&](const Value &x, uint64_t k) {
+        return mux(x >= Value::lit(cell_max - k + 1, w),
+                   Value::lit(cell_max, w), (x + Value::lit(k, w)).resize(w));
+    };
+    auto sat_sub = [&](const Value &x, uint64_t k) {
+        if (k == 0)
+            return x;
+        return mux(x >= Value::lit(k, w), (x - Value::lit(k, w)).resize(w),
+                   Value::lit(0, w));
+    };
+    auto max2 = [&](const Value &a, const Value &c) {
+        return mux(a >= c, a, c);
+    };
+
+    Value in_config = cfgIdx <= uint64_t(m);
+    b.if_(in_config && !b.streamFinished(), [&] {
+        b.if_(cfgIdx < uint64_t(m), [&] {
+            b.assign(target[cfgIdx.resize(indexWidth(m))], b.input());
+        }).else_([&] {
+            b.assign(threshold, b.input());
+        });
+        b.assign(cfgIdx, cfgIdx + 1);
+    }).elseIf(!b.streamFinished(), [&] {
+        // One DP row update per text character; the left-neighbour term
+        // uses the *new* value of the previous cell, giving the classic
+        // single-row systolic update.
+        std::vector<Value> new_cells;
+        Value any_hit = Value::lit(0, 1);
+        for (int j = 0; j < m; ++j) {
+            Value diag_old = j == 0 ? Value::lit(0, w)
+                                    : row[Value::lit(j - 1, indexWidth(m))];
+            Value up_old = row[Value::lit(j, indexWidth(m))];
+            Value match = target[Value::lit(j, indexWidth(m))] == b.input();
+            Value diag_cand =
+                mux(match, sat_add(diag_old, ms), sat_sub(diag_old, mp));
+            Value up_cand = sat_sub(up_old, gp);
+            Value cell = max2(diag_cand, up_cand);
+            if (j > 0)
+                cell = max2(cell, sat_sub(new_cells[j - 1], gp));
+            new_cells.push_back(cell);
+            any_hit = any_hit || (cell >= threshold.resize(w));
+        }
+        for (int j = 0; j < m; ++j)
+            b.assign(row[Value::lit(j, indexWidth(m))], new_cells[j]);
+        b.if_(any_hit, [&] { b.emit(index); });
+        b.assign(index, (index + 1).resize(32));
+    });
+
+    return b.finish();
+}
+
+BitBuffer
+SwApp::generateStream(Rng &rng, uint64_t approx_bytes) const
+{
+    static const char kAlphabet[] = "ACGT";
+    BitBuffer stream;
+    // Target: a random DNA-like pattern.
+    std::vector<uint8_t> target;
+    for (int j = 0; j < params_.targetLen; ++j)
+        target.push_back(kAlphabet[rng.nextBelow(4)]);
+    for (uint8_t c : target)
+        stream.appendBits(c, 8);
+    // Threshold: requires a strong (but not exact) alignment.
+    uint64_t threshold = uint64_t(params_.matchScore) *
+                         (params_.targetLen - 3);
+    stream.appendBits(threshold, 8);
+    // Text: random with occasional near-matches of the target planted.
+    uint64_t text_len = approx_bytes;
+    for (uint64_t i = 0; i < text_len;) {
+        if (rng.nextChance(1, 500) && i + target.size() < text_len) {
+            for (uint8_t c : target) {
+                // ~10% mutation rate.
+                uint8_t out = rng.nextChance(1, 10)
+                                  ? kAlphabet[rng.nextBelow(4)]
+                                  : c;
+                stream.appendBits(out, 8);
+                ++i;
+            }
+        } else {
+            stream.appendBits(kAlphabet[rng.nextBelow(4)], 8);
+            ++i;
+        }
+    }
+    return stream;
+}
+
+BitBuffer
+SwApp::golden(const BitBuffer &stream) const
+{
+    const int m = params_.targetLen;
+    const uint64_t cell_max = mask64(params_.cellBits);
+    const uint64_t ms = uint64_t(params_.matchScore);
+    const uint64_t mp = uint64_t(-params_.mismatchScore);
+    const uint64_t gp = uint64_t(-params_.gapScore);
+
+    BitBuffer out;
+    uint64_t tokens = stream.sizeBits() / 8;
+    if (tokens < uint64_t(m) + 1)
+        return out;
+    std::vector<uint8_t> target(m);
+    for (int j = 0; j < m; ++j)
+        target[j] = uint8_t(stream.readBits(j * 8, 8));
+    uint64_t threshold = stream.readBits(uint64_t(m) * 8, 8);
+
+    auto sat_add = [&](uint64_t x, uint64_t k) {
+        return std::min(cell_max, x + k);
+    };
+    auto sat_sub = [&](uint64_t x, uint64_t k) {
+        return x >= k ? x - k : 0;
+    };
+
+    std::vector<uint64_t> row(m, 0);
+    uint64_t index = 0;
+    for (uint64_t t = uint64_t(m) + 1; t < tokens; ++t) {
+        uint8_t c = uint8_t(stream.readBits(t * 8, 8));
+        std::vector<uint64_t> next(m, 0);
+        bool hit = false;
+        for (int j = 0; j < m; ++j) {
+            uint64_t diag_old = j == 0 ? 0 : row[j - 1];
+            uint64_t diag_cand = target[j] == c ? sat_add(diag_old, ms)
+                                                : sat_sub(diag_old, mp);
+            uint64_t cell = std::max(diag_cand, sat_sub(row[j], gp));
+            if (j > 0)
+                cell = std::max(cell, sat_sub(next[j - 1], gp));
+            next[j] = cell;
+            hit = hit || cell >= threshold;
+        }
+        row = next;
+        if (hit)
+            out.appendBits(index, 32);
+        ++index;
+    }
+    return out;
+}
+
+} // namespace apps
+} // namespace fleet

@@ -1,0 +1,51 @@
+#ifndef FLEET_APPS_SW_H
+#define FLEET_APPS_SW_H
+
+/**
+ * @file
+ * Smith-Waterman fuzzy matching (Section 7.1). The unit holds one row of
+ * the dynamic-programming matrix in m vector-register cells (m = 16 in
+ * the paper's experiments), updating all of them in a single virtual
+ * cycle per stream character, and emits the current stream index whenever
+ * any cell meets the runtime-provided score threshold.
+ *
+ * Stream layout: m bytes of target string, 1 byte threshold, then the
+ * text. Affine gaps are not modelled: linear gap penalty, as in the
+ * classic recurrence H[i][j] = max(0, H[i-1][j-1]+s, H[i-1][j]-g,
+ * H[i][j-1]-g).
+ */
+
+#include "apps/app.h"
+
+namespace fleet {
+namespace apps {
+
+struct SwParams
+{
+    int targetLen = 16;    ///< m.
+    int matchScore = 2;
+    int mismatchScore = -1;
+    int gapScore = -1;
+    int cellBits = 8;      ///< DP cell width (scores saturate below 2^8).
+};
+
+class SwApp : public Application
+{
+  public:
+    explicit SwApp(SwParams params = {}) : params_(params) {}
+
+    std::string name() const override { return "SmithWaterman"; }
+    lang::Program program() const override;
+    BitBuffer generateStream(Rng &rng, uint64_t approx_bytes) const override;
+    BitBuffer golden(const BitBuffer &stream) const override;
+
+    const SwParams &params() const { return params_; }
+
+  private:
+    SwParams params_;
+};
+
+} // namespace apps
+} // namespace fleet
+
+#endif // FLEET_APPS_SW_H

@@ -1,0 +1,518 @@
+#include "baseline/cpu.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "apps/bloom.h"
+#include "apps/intcode.h"
+#include "apps/regex.h"
+#include "apps/regex_nfa.h"
+#include "apps/sw.h"
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace baseline {
+
+namespace {
+
+void
+put32(std::vector<uint8_t> &out, uint32_t value)
+{
+    out.push_back(uint8_t(value));
+    out.push_back(uint8_t(value >> 8));
+    out.push_back(uint8_t(value >> 16));
+    out.push_back(uint8_t(value >> 24));
+}
+
+uint32_t
+get32(const uint8_t *p)
+{
+    return uint32_t(p[0]) | (uint32_t(p[1]) << 8) | (uint32_t(p[2]) << 16) |
+           (uint32_t(p[3]) << 24);
+}
+
+// ---------------------------------------------------------------------------
+// JSON field extraction: trie automaton over bytes.
+// ---------------------------------------------------------------------------
+
+class JsonCpu : public CpuKernel
+{
+  public:
+    std::string name() const override { return "JsonParsing"; }
+
+    std::vector<uint8_t>
+    run(const std::vector<uint8_t> &stream) const override
+    {
+        std::vector<uint8_t> out;
+        if (stream.empty())
+            return out;
+        const int n = stream[0];
+        size_t pos = 1 + size_t(n) * 4;
+        if (stream.size() < pos)
+            return out;
+        const uint8_t *trie = stream.data() + 1; // entries of 4 bytes
+
+        constexpr uint8_t kNone = 0xff;
+        enum Mode { Idle, ExpectKey, Key, AfterKey, ValueStart, Str,
+                    AfterVal };
+        Mode mode = Idle;
+        uint8_t ctx = kNone;
+        uint8_t stack[64];
+        int depth = 0;
+        uint8_t cand = kNone; // candidate entry index, kNone = invalid
+        bool k_live = false;
+        bool m_accept = false, m_seg_end = false;
+        uint8_t m_down = kNone;
+        bool capturing = false;
+
+        auto entry = [&](uint8_t idx) { return trie + size_t(idx) * 4; };
+
+        for (size_t i = pos; i < stream.size(); ++i) {
+            uint8_t c = stream[i];
+            switch (mode) {
+              case Idle:
+                if (c == '{') {
+                    stack[depth++ & 63] = ctx;
+                    ctx = n != 0 ? 0 : kNone;
+                    cand = ctx;
+                    mode = ExpectKey;
+                }
+                break;
+              case ExpectKey:
+                if (c == '"') {
+                    mode = Key;
+                    k_live = ctx != kNone;
+                    cand = ctx;
+                    m_accept = false;
+                    m_seg_end = false;
+                    m_down = kNone;
+                } else if (c == '}') {
+                    ctx = stack[--depth & 63];
+                    mode = depth == 0 ? Idle : AfterVal;
+                }
+                break;
+              case Key:
+                if (c == '"') {
+                    mode = AfterKey;
+                    break;
+                }
+                if (k_live && cand != kNone) {
+                    // Walk the consecutive sibling group.
+                    uint8_t cur = cand;
+                    bool matched = false;
+                    while (true) {
+                        const uint8_t *e = entry(cur);
+                        if (e[0] == c) {
+                            m_accept = e[3] & 1;
+                            m_down = e[2];
+                            m_seg_end = m_accept || e[2] != kNone;
+                            cand = e[1]; // within
+                            matched = true;
+                            break;
+                        }
+                        if (e[3] & 2) // last sibling
+                            break;
+                        ++cur;
+                    }
+                    if (!matched) {
+                        k_live = false;
+                        m_seg_end = false;
+                    }
+                } else {
+                    k_live = false;
+                    m_seg_end = false;
+                }
+                break;
+              case AfterKey:
+                if (c == ':')
+                    mode = ValueStart;
+                break;
+              case ValueStart:
+                if (c == '"') {
+                    mode = Str;
+                    capturing = k_live && m_seg_end && m_accept;
+                } else if (c == '{') {
+                    stack[depth++ & 63] = ctx;
+                    ctx = (k_live && m_seg_end) ? m_down : kNone;
+                    mode = ExpectKey;
+                }
+                break;
+              case Str:
+                if (c == '"') {
+                    if (capturing)
+                        out.push_back('\n');
+                    capturing = false;
+                    mode = AfterVal;
+                } else if (capturing) {
+                    out.push_back(c);
+                }
+                break;
+              case AfterVal:
+                if (c == ',') {
+                    mode = ExpectKey;
+                } else if (c == '}') {
+                    ctx = stack[--depth & 63];
+                    mode = depth == 0 ? Idle : AfterVal;
+                }
+                break;
+            }
+        }
+        return out;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Integer coding.
+// ---------------------------------------------------------------------------
+
+class IntcodeCpu : public CpuKernel
+{
+  public:
+    std::string name() const override { return "IntegerCoding"; }
+
+    std::vector<uint8_t>
+    run(const std::vector<uint8_t> &stream) const override
+    {
+        std::vector<uint8_t> out;
+        out.reserve(stream.size());
+        size_t count = stream.size() / 4;
+        uint64_t acc = 0;
+        int acc_bits = 0;
+        auto push = [&](uint64_t value, int bits) {
+            acc |= value << acc_bits;
+            acc_bits += bits;
+            while (acc_bits >= 8) {
+                out.push_back(uint8_t(acc));
+                acc >>= 8;
+                acc_bits -= 8;
+            }
+        };
+        for (size_t base = 0; base + 4 <= count; base += 4) {
+            uint32_t v[4];
+            int vb[4];
+            for (int j = 0; j < 4; ++j) {
+                v[j] = get32(stream.data() + (base + j) * 4);
+                vb[j] = apps::IntcodeApp::varByteBits(v[j]);
+            }
+            int best_idx = 15, best_cost = 1 << 30;
+            uint32_t best_map = 0;
+            for (int i = 15; i >= 0; --i) {
+                int b = 2 * (i + 1);
+                int cost = 0;
+                uint32_t map = 0;
+                for (int j = 0; j < 4; ++j) {
+                    bool fit = b >= 32 || (v[j] >> b) == 0;
+                    cost += fit ? b : vb[j];
+                    if (!fit)
+                        map |= 1u << j;
+                }
+                if (cost <= best_cost) {
+                    best_cost = cost;
+                    best_idx = i;
+                    best_map = map;
+                }
+            }
+            push(uint64_t(best_idx) | (uint64_t(best_map) << 4), 8);
+            int b = 2 * (best_idx + 1);
+            for (int j = 0; j < 4; ++j)
+                if (!(best_map & (1u << j)))
+                    push(v[j], b);
+            for (int j = 0; j < 4; ++j) {
+                if (best_map & (1u << j)) {
+                    uint32_t x = v[j];
+                    while (true) {
+                        bool more = x >= 128;
+                        push((x & 0x7f) | (more ? 0x80 : 0), 8);
+                        if (!more)
+                            break;
+                        x >>= 7;
+                    }
+                }
+            }
+            if (acc_bits % 8 != 0)
+                push(0, 8 - acc_bits % 8);
+        }
+        return out;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Gradient-boosted decision trees.
+// ---------------------------------------------------------------------------
+
+class DtreeCpu : public CpuKernel
+{
+  public:
+    std::string name() const override { return "DecisionTree"; }
+
+    std::vector<uint8_t>
+    run(const std::vector<uint8_t> &stream) const override
+    {
+        std::vector<uint8_t> out;
+        const uint8_t *p = stream.data();
+        size_t words = stream.size() / 4;
+        size_t pos = 0;
+        auto next = [&] { return get32(p + 4 * pos++); };
+        if (words < 3)
+            return out;
+        uint32_t num_trees = next();
+        uint32_t num_features = next();
+        uint32_t num_nodes = next();
+        std::vector<uint32_t> roots(num_trees);
+        for (auto &root : roots)
+            root = next();
+        std::vector<uint32_t> meta(num_nodes), value(num_nodes);
+        for (uint32_t i = 0; i < num_nodes; ++i) {
+            meta[i] = next();
+            value[i] = next();
+        }
+        std::vector<uint32_t> point(num_features);
+        while (pos + num_features <= words) {
+            for (uint32_t f = 0; f < num_features; ++f)
+                point[f] = next();
+            uint32_t sum = 0;
+            for (uint32_t root : roots) {
+                uint32_t cur = root;
+                while (!(meta[cur] & 0x80000000u)) {
+                    uint32_t feat = (meta[cur] >> 20) & 0x7ff;
+                    cur = point[feat] <= value[cur]
+                              ? (meta[cur] >> 10) & 0x3ff
+                              : meta[cur] & 0x3ff;
+                }
+                sum += value[cur];
+            }
+            put32(out, sum);
+        }
+        return out;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Smith-Waterman.
+// ---------------------------------------------------------------------------
+
+class SwCpu : public CpuKernel
+{
+  public:
+    explicit SwCpu(apps::SwParams params) : params_(params) {}
+    std::string name() const override { return "SmithWaterman"; }
+
+    std::vector<uint8_t>
+    run(const std::vector<uint8_t> &stream) const override
+    {
+        std::vector<uint8_t> out;
+        const int m = params_.targetLen;
+        if (stream.size() < size_t(m) + 1)
+            return out;
+        const uint8_t *target = stream.data();
+        uint32_t threshold = stream[m];
+        const uint32_t ms = uint32_t(params_.matchScore);
+        const uint32_t mp = uint32_t(-params_.mismatchScore);
+        const uint32_t gp = uint32_t(-params_.gapScore);
+        const uint32_t cell_max = 255;
+
+        std::vector<uint32_t> row(m, 0), next(m, 0);
+        uint32_t index = 0;
+        for (size_t t = size_t(m) + 1; t < stream.size(); ++t) {
+            uint8_t c = stream[t];
+            bool hit = false;
+            uint32_t left_new = 0;
+            for (int j = 0; j < m; ++j) {
+                uint32_t diag_old = j == 0 ? 0 : row[j - 1];
+                uint32_t cell =
+                    target[j] == c
+                        ? std::min(cell_max, diag_old + ms)
+                        : (diag_old >= mp ? diag_old - mp : 0);
+                uint32_t up = row[j] >= gp ? row[j] - gp : 0;
+                cell = std::max(cell, up);
+                if (j > 0) {
+                    uint32_t left = left_new >= gp ? left_new - gp : 0;
+                    cell = std::max(cell, left);
+                }
+                next[j] = cell;
+                left_new = cell;
+                hit |= cell >= threshold;
+            }
+            row.swap(next);
+            if (hit)
+                put32(out, index);
+            ++index;
+        }
+        return out;
+    }
+
+  private:
+    apps::SwParams params_;
+};
+
+// ---------------------------------------------------------------------------
+// Regex: bit-parallel NFA over uint64 state.
+// ---------------------------------------------------------------------------
+
+class RegexCpu : public CpuKernel
+{
+  public:
+    explicit RegexCpu(const std::string &pattern)
+        : nfa_(apps::buildRegexNfa(pattern))
+    {
+        int positions = nfa_.numPositions();
+        if (positions > 64)
+            fatal("RegexCpu: more than 64 NFA positions");
+        for (int c = 0; c < 256; ++c) {
+            uint64_t mask = 0;
+            for (int p = 0; p < positions; ++p)
+                if (nfa_.positionClass[p].test(c))
+                    mask |= uint64_t(1) << p;
+            matchMask_[c] = mask;
+        }
+        first_ = 0;
+        last_ = 0;
+        followMask_.assign(positions, 0);
+        for (int p = 0; p < positions; ++p) {
+            if (nfa_.first[p])
+                first_ |= uint64_t(1) << p;
+            if (nfa_.last[p])
+                last_ |= uint64_t(1) << p;
+            for (int f : nfa_.follow[p])
+                followMask_[p] |= uint64_t(1) << f;
+        }
+    }
+
+    std::string name() const override { return "Regex"; }
+
+    std::vector<uint8_t>
+    run(const std::vector<uint8_t> &stream) const override
+    {
+        std::vector<uint8_t> out;
+        uint64_t state = 0;
+        for (size_t i = 0; i < stream.size(); ++i) {
+            uint64_t reach = first_;
+            uint64_t s = state;
+            while (s) {
+                int p = __builtin_ctzll(s);
+                s &= s - 1;
+                reach |= followMask_[p];
+            }
+            state = reach & matchMask_[stream[i]];
+            if (state & last_)
+                put32(out, uint32_t(i));
+        }
+        return out;
+    }
+
+  private:
+    apps::RegexNfa nfa_;
+    uint64_t matchMask_[256];
+    uint64_t first_ = 0, last_ = 0;
+    std::vector<uint64_t> followMask_;
+};
+
+// ---------------------------------------------------------------------------
+// Bloom filter construction.
+// ---------------------------------------------------------------------------
+
+class BloomCpu : public CpuKernel
+{
+  public:
+    BloomCpu(apps::BloomParams params, bool vectorized)
+        : params_(params), vectorized_(vectorized)
+    {
+    }
+
+    std::string name() const override { return "BloomFilter"; }
+
+    std::vector<uint8_t>
+    run(const std::vector<uint8_t> &stream) const override
+    {
+        std::vector<uint8_t> out;
+        const int shift = 32 - bitsToRepresent(
+                                   uint64_t(params_.filterBits) - 1);
+        const int words = params_.filterBits / 32;
+        std::vector<uint32_t> filter(words, 0);
+        size_t items = stream.size() / 4;
+        size_t in_block = 0;
+        auto flush = [&] {
+            for (int w = 0; w < words; ++w) {
+                put32(out, filter[w]);
+                filter[w] = 0;
+            }
+        };
+        if (vectorized_ && params_.numHashes == 8) {
+            // Unrolled, SIMD-friendly: eight independent multiplies per
+            // item (the paper's AVX2-vectorizable structure).
+            uint32_t c0 = apps::BloomApp::hashConstant(0);
+            uint32_t c1 = apps::BloomApp::hashConstant(1);
+            uint32_t c2 = apps::BloomApp::hashConstant(2);
+            uint32_t c3 = apps::BloomApp::hashConstant(3);
+            uint32_t c4 = apps::BloomApp::hashConstant(4);
+            uint32_t c5 = apps::BloomApp::hashConstant(5);
+            uint32_t c6 = apps::BloomApp::hashConstant(6);
+            uint32_t c7 = apps::BloomApp::hashConstant(7);
+            for (size_t i = 0; i < items; ++i) {
+                if (in_block == size_t(params_.blockItems)) {
+                    flush();
+                    in_block = 0;
+                }
+                uint32_t item = get32(stream.data() + i * 4);
+                uint32_t b0 = (item * c0) >> shift, b1 = (item * c1) >> shift;
+                uint32_t b2 = (item * c2) >> shift, b3 = (item * c3) >> shift;
+                uint32_t b4 = (item * c4) >> shift, b5 = (item * c5) >> shift;
+                uint32_t b6 = (item * c6) >> shift, b7 = (item * c7) >> shift;
+                filter[b0 >> 5] |= 1u << (b0 & 31);
+                filter[b1 >> 5] |= 1u << (b1 & 31);
+                filter[b2 >> 5] |= 1u << (b2 & 31);
+                filter[b3 >> 5] |= 1u << (b3 & 31);
+                filter[b4 >> 5] |= 1u << (b4 & 31);
+                filter[b5 >> 5] |= 1u << (b5 & 31);
+                filter[b6 >> 5] |= 1u << (b6 & 31);
+                filter[b7 >> 5] |= 1u << (b7 & 31);
+                ++in_block;
+            }
+        } else {
+            for (size_t i = 0; i < items; ++i) {
+                if (in_block == size_t(params_.blockItems)) {
+                    flush();
+                    in_block = 0;
+                }
+                uint32_t item = get32(stream.data() + i * 4);
+                for (int h = 0; h < params_.numHashes; ++h) {
+                    uint32_t bit =
+                        (item * apps::BloomApp::hashConstant(h)) >> shift;
+                    filter[bit >> 5] |= 1u << (bit & 31);
+                }
+                ++in_block;
+            }
+        }
+        if (in_block == size_t(params_.blockItems))
+            flush();
+        return out;
+    }
+
+  private:
+    apps::BloomParams params_;
+    bool vectorized_;
+};
+
+} // namespace
+
+std::unique_ptr<CpuKernel>
+makeCpuKernel(const std::string &app_name, bool vectorized)
+{
+    if (app_name == "JsonParsing")
+        return std::make_unique<JsonCpu>();
+    if (app_name == "IntegerCoding")
+        return std::make_unique<IntcodeCpu>();
+    if (app_name == "DecisionTree")
+        return std::make_unique<DtreeCpu>();
+    if (app_name == "SmithWaterman")
+        return std::make_unique<SwCpu>(apps::SwParams{});
+    if (app_name == "Regex")
+        return std::make_unique<RegexCpu>(apps::RegexParams{}.pattern);
+    if (app_name == "BloomFilter")
+        return std::make_unique<BloomCpu>(apps::BloomParams{}, vectorized);
+    fatal("makeCpuKernel: unknown application '", app_name, "'");
+}
+
+} // namespace baseline
+} // namespace fleet

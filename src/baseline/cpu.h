@@ -1,0 +1,42 @@
+#ifndef FLEET_BASELINE_CPU_H
+#define FLEET_BASELINE_CPU_H
+
+/**
+ * @file
+ * Hand-optimized CPU implementations of the six applications, using the
+ * same token-based processing model and algorithms as the Fleet units
+ * (Section 7.2: "hand-optimized CPU (C) versions, which use the same
+ * token-based processing model and algorithms"). Each kernel must produce
+ * output identical to its application's golden reference — enforced by
+ * the test suite — and is timed by baseline/timing.h with one stream per
+ * hardware thread, the paper's CPU execution model.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fleet {
+namespace baseline {
+
+class CpuKernel
+{
+  public:
+    virtual ~CpuKernel() = default;
+    virtual std::string name() const = 0;
+    /** Process one raw stream; returns the output bytes. */
+    virtual std::vector<uint8_t>
+    run(const std::vector<uint8_t> &stream) const = 0;
+};
+
+/** CPU kernel for an application by registry name. For "BloomFilter",
+ * `vectorized` selects the unrolled SIMD-friendly hash loop (the paper's
+ * only CPU-vectorizable application, Section 7.2). */
+std::unique_ptr<CpuKernel> makeCpuKernel(const std::string &app_name,
+                                         bool vectorized = true);
+
+} // namespace baseline
+} // namespace fleet
+
+#endif // FLEET_BASELINE_CPU_H

@@ -1,0 +1,143 @@
+#include "baseline/hls.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+#include "lang/flatten.h"
+#include "model/area.h"
+#include "util/bits.h"
+
+namespace fleet {
+namespace baseline {
+
+double
+hlsMemoryMBps(const HlsMemoryParams &params, bool unrolled)
+{
+    double cycles_per_word = unrolled ? params.unrolledCyclesPerWord
+                                      : params.pipelinedCyclesPerWord;
+    double bytes_per_second = 8.0 / cycles_per_word *
+                              params.clockMHz * 1e6;
+    return bytes_per_second / 1e6;
+}
+
+double
+hlsMemoryCeilingMBps(double clock_mhz)
+{
+    return 8.0 * clock_mhz; // 64 bits per cycle, in MB/s.
+}
+
+int
+hlsInitiationInterval(const lang::Program &program)
+{
+    lang::FlatProgram flat = lang::flatten(program);
+
+    // Syntactic access counts per resource.
+    std::vector<int> bram_reads(program.brams.size(), 0);
+    std::vector<int> bram_writes(program.brams.size(), 0);
+    std::vector<int> vreg_reads(program.vregs.size(), 0);
+    std::vector<int> vreg_writes(program.vregs.size(), 0);
+    int emits = static_cast<int>(flat.emits.size());
+
+    for (const auto &occ : flat.bramReads)
+        bram_reads[occ.bramId]++;
+
+    // Vector-register reads: count VecRegRead occurrences in all action
+    // expressions (OpenCL arrays map to BRAMs too). Expressions are DAGs;
+    // shared subtrees are one access site, so walk with a visited set.
+    std::unordered_set<const lang::ExprNode *> visited;
+    std::function<void(const lang::Expr &)> count_vreg =
+        [&](const lang::Expr &e) {
+            if (!e || visited.count(e.get()))
+                return;
+            visited.insert(e.get());
+            if (e->kind == lang::ExprKind::VecRegRead)
+                vreg_reads[e->stateId]++;
+            count_vreg(e->a);
+            count_vreg(e->b);
+            count_vreg(e->c);
+        };
+    for (const auto &assign : flat.assigns) {
+        count_vreg(assign.value);
+        if (assign.cond)
+            count_vreg(assign.cond);
+        switch (assign.target.kind) {
+          case lang::LValue::Kind::BramElem:
+            bram_writes[assign.target.stateId]++;
+            count_vreg(assign.target.index);
+            break;
+          case lang::LValue::Kind::VecElem:
+            vreg_writes[assign.target.stateId]++;
+            count_vreg(assign.target.index);
+            break;
+          default:
+            break;
+        }
+    }
+    for (const auto &emit : flat.emits) {
+        count_vreg(emit.value);
+        if (emit.cond)
+            count_vreg(emit.cond);
+    }
+
+    // One read port and one write port per array; one write port on the
+    // output buffer. Every access beyond a port's budget costs a cycle.
+    int ii = 1;
+    for (size_t b = 0; b < program.brams.size(); ++b) {
+        ii += std::max(0, bram_reads[b] - 1);
+        ii += std::max(0, bram_writes[b] - 1);
+    }
+    for (size_t v = 0; v < program.vregs.size(); ++v) {
+        ii += std::max(0, vreg_reads[v] - 1);
+        ii += std::max(0, vreg_writes[v] - 1);
+    }
+    ii += std::max(0, emits - 1);
+    return ii;
+}
+
+model::Resources
+hlsAreaEstimate(const rtl::Circuit &circuit, const lang::Program &program,
+                const memctl::ControllerParams &ctrl)
+{
+    model::Resources fleet_area =
+        model::estimatePuResources(circuit, ctrl);
+
+    // Width pessimism: OpenCL integer types round every datapath width
+    // up to the next of 8/16/32/64 bits. Estimate the ratio over the
+    // circuit's real widths.
+    auto rounded = [](int width) {
+        if (width <= 8)
+            return 8;
+        if (width <= 16)
+            return 16;
+        if (width <= 32)
+            return 32;
+        return 64;
+    };
+    uint64_t exact_bits = 0, padded_bits = 0;
+    for (const auto &node : circuit.nodes()) {
+        exact_bits += node.width;
+        padded_bits += rounded(node.width);
+    }
+    double width_factor =
+        exact_bits ? double(padded_bits) / double(exact_bits) : 1.0;
+
+    int ii = hlsInitiationInterval(program);
+
+    model::Resources hls_area;
+    hls_area.luts = uint64_t(fleet_area.luts * width_factor *
+                             (1.0 + 0.10 * ii));
+    // Pipeline registers: each extra stage latches the (padded) live
+    // datapath.
+    uint64_t datapath_ffs = 0;
+    for (const auto &reg : circuit.regs())
+        datapath_ffs += rounded(reg.width);
+    hls_area.ffs = uint64_t(fleet_area.ffs * width_factor) +
+                   uint64_t(ii) * datapath_ffs;
+    hls_area.bram36 = fleet_area.bram36;
+    hls_area.dsps = fleet_area.dsps;
+    return hls_area;
+}
+
+} // namespace baseline
+} // namespace fleet

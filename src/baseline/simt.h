@@ -1,0 +1,94 @@
+#ifndef FLEET_BASELINE_SIMT_H
+#define FLEET_BASELINE_SIMT_H
+
+/**
+ * @file
+ * GPU baseline model: a SIMT warp-divergence simulator standing in for
+ * the paper's CUDA implementations on a V100 (hardware we do not have;
+ * substitution documented in DESIGN.md). The paper's GPU execution model
+ * is "each thread processes a single stream" with implicit warp-level
+ * vectorization; its key finding is that control-flow divergence across
+ * streams serializes warps (JSON +2.33x and integer coding +1.25x faster
+ * with identical per-lane data; Section 7.2).
+ *
+ * The model executes the *same Fleet program* on 32 lanes in lockstep,
+ * one virtual cycle per warp step, using the functional simulator's
+ * action signatures. Lanes whose executed-action signature differs form
+ * divergent groups; each distinct group issues its instructions
+ * serially, while a converged warp would issue the union once. Warp
+ * instruction counts convert to time via V100-calibrated machine
+ * constants, floored by memory bandwidth.
+ */
+
+#include <vector>
+
+#include "lang/ast.h"
+#include "util/bitbuf.h"
+
+namespace fleet {
+namespace baseline {
+
+struct SimtParams
+{
+    int warpSize = 32;
+    double clockGHz = 1.38;      ///< V100 boost clock.
+    int warpIssueSlots = 320;    ///< 80 SMs x 4 schedulers.
+    double issueEfficiency = 0.75;
+    double memBandwidthGBps = 900.0; ///< HBM2.
+    double memEfficiency = 0.55;
+    /** Fixed per-virtual-cycle overhead (loop control, token fetch). */
+    int stepOverheadInsts = 6;
+    /** Extra cost of a BRAM (shared/local memory) write: read-modify-
+     * write with bank conflicts and address arithmetic. */
+    int bramWriteExtraInsts = 24;
+};
+
+struct SimtResult
+{
+    uint64_t warpInstructions = 0;      ///< With divergence serialization.
+    uint64_t convergedInstructions = 0; ///< If all lanes agreed.
+    uint64_t warpSteps = 0;
+    uint64_t inputBytes = 0;
+
+    /** How much divergence inflates issued instructions (>= 1). */
+    double
+    divergenceFactor() const
+    {
+        return convergedInstructions
+                   ? double(warpInstructions) / convergedInstructions
+                   : 1.0;
+    }
+
+    double
+    seconds(const SimtParams &params) const
+    {
+        double issue_rate = params.warpIssueSlots * params.clockGHz * 1e9 *
+                            params.issueEfficiency;
+        double compute = warpInstructions / issue_rate;
+        double memory = inputBytes / (params.memBandwidthGBps * 1e9 *
+                                      params.memEfficiency);
+        return std::max(compute, memory);
+    }
+
+    double
+    gbps(const SimtParams &params) const
+    {
+        return inputBytes / seconds(params) / 1e9;
+    }
+};
+
+/**
+ * Simulate the program over the given streams, `warpSize` streams per
+ * warp (lanes in a short final warp are left idle). The result's
+ * instruction counts are scaled as if the whole GPU ran warps of this
+ * shape — i.e. they are per-warp counts multiplied by the number of
+ * warps, which is what the time model needs.
+ */
+SimtResult simulateWarps(const lang::Program &program,
+                         const std::vector<BitBuffer> &streams,
+                         const SimtParams &params = {});
+
+} // namespace baseline
+} // namespace fleet
+
+#endif // FLEET_BASELINE_SIMT_H

@@ -1,0 +1,62 @@
+#include "baseline/timing.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace fleet {
+namespace baseline {
+
+MeasureResult
+measureCpu(const CpuKernel &kernel,
+           const std::vector<std::vector<uint8_t>> &streams,
+           const MeasureOptions &options)
+{
+    MeasureResult result;
+    result.threads = options.threads > 0
+                         ? options.threads
+                         : int(std::thread::hardware_concurrency());
+    if (result.threads < 1)
+        result.threads = 1;
+    for (const auto &stream : streams)
+        result.inputBytes += stream.size();
+
+    static std::atomic<uint64_t> sink{0};
+    double best = 1e30;
+    for (int rep = 0; rep < options.repeats; ++rep) {
+        std::atomic<size_t> next{0};
+        std::atomic<uint64_t> out_bytes{0};
+        auto worker = [&] {
+            uint64_t checksum = 0;
+            uint64_t bytes = 0;
+            while (true) {
+                size_t idx = next.fetch_add(1);
+                if (idx >= streams.size())
+                    break;
+                auto out = kernel.run(streams[idx]);
+                bytes += out.size();
+                for (size_t i = 0; i < out.size(); i += 64)
+                    checksum += out[i];
+            }
+            sink += checksum;
+            out_bytes += bytes;
+        };
+        auto start = std::chrono::steady_clock::now();
+        std::vector<std::thread> pool;
+        for (int t = 1; t < result.threads; ++t)
+            pool.emplace_back(worker);
+        worker();
+        for (auto &thread : pool)
+            thread.join();
+        auto stop = std::chrono::steady_clock::now();
+        double seconds =
+            std::chrono::duration<double>(stop - start).count();
+        best = std::min(best, seconds);
+        result.outputBytes = out_bytes.load();
+    }
+    result.seconds = best;
+    return result;
+}
+
+} // namespace baseline
+} // namespace fleet

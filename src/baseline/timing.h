@@ -1,0 +1,44 @@
+#ifndef FLEET_BASELINE_TIMING_H
+#define FLEET_BASELINE_TIMING_H
+
+/**
+ * @file
+ * Measurement harness for CPU baselines: each hardware thread processes
+ * one stream at a time (the paper's CPU execution model — "on the CPU,
+ * each core processes a single stream"), wall-clocked over the whole
+ * batch, best of several repeats.
+ */
+
+#include <vector>
+
+#include "baseline/cpu.h"
+
+namespace fleet {
+namespace baseline {
+
+struct MeasureOptions
+{
+    int threads = 0; ///< 0 = hardware concurrency.
+    int repeats = 3;
+};
+
+struct MeasureResult
+{
+    double seconds = 0;
+    uint64_t inputBytes = 0;
+    uint64_t outputBytes = 0;
+    int threads = 0;
+
+    double gbps() const { return inputBytes / seconds / 1e9; }
+};
+
+/** Time a kernel over a batch of streams. Outputs are discarded (but
+ * accumulated into a checksum so the work cannot be optimized away). */
+MeasureResult measureCpu(const CpuKernel &kernel,
+                         const std::vector<std::vector<uint8_t>> &streams,
+                         const MeasureOptions &options = {});
+
+} // namespace baseline
+} // namespace fleet
+
+#endif // FLEET_BASELINE_TIMING_H

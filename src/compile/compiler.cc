@@ -1,0 +1,577 @@
+#include "compile/compiler.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "lang/check.h"
+#include "lang/flatten.h"
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace compile {
+
+using lang::Expr;
+using lang::ExprKind;
+using lang::FlatProgram;
+using lang::LValue;
+using lang::Program;
+using rtl::Circuit;
+using rtl::kNoNode;
+using rtl::NodeId;
+
+namespace {
+
+/**
+ * Builds the circuit for one program. Kept as a class so the two
+ * expression-translation environments (current values and forwarded next
+ * values) can share the structural state.
+ */
+class UnitCompiler
+{
+  public:
+    UnitCompiler(const Program &program, const CompileOptions &options)
+        : program_(program), options_(options), circuit_(program.name)
+    {
+    }
+
+    CompiledUnit compile();
+
+  private:
+    /** Translate an expression against current register/BRAM values. */
+    NodeId trans(const Expr &e);
+    /** Translate against forwarded next values (stage-1 addressing). */
+    NodeId transNext(const Expr &e);
+
+    /** Gating condition for an action in the current environment. */
+    NodeId gateNow(const Expr &cond, bool inside_while);
+    /** Gating condition in the next-value environment. */
+    NodeId gateNext(const Expr &cond, bool inside_while);
+    /** while_done over forwarded next values (built lazily: it is only
+     * legal/needed when some BRAM is read at multiple addresses). */
+    NodeId whileDoneNext();
+
+    const Program &program_;
+    CompileOptions options_;
+    Circuit circuit_;
+    FlatProgram flat_;
+
+    /** Runtime-check conflict terms (insertRuntimeChecks). */
+    std::vector<NodeId> conflictTerms_;
+
+    /** Add pairwise-conflict terms for a group of gates. */
+    void
+    addConflicts(const std::vector<NodeId> &gates)
+    {
+        if (!options_.insertRuntimeChecks)
+            return;
+        for (size_t i = 0; i < gates.size(); ++i)
+            for (size_t j = i + 1; j < gates.size(); ++j)
+                conflictTerms_.push_back(
+                    circuit_.makeAnd(gates[i], gates[j]));
+    }
+
+    // Ports.
+    NodeId inTok_ = kNoNode, inValid_ = kNoNode, inFin_ = kNoNode,
+           outReady_ = kNoNode;
+
+    // Architectural registers.
+    int regI_ = -1, regV_ = -1, regF_ = -1;
+
+    // Per user register / vreg element / bram.
+    std::vector<int> userRegs_;
+    std::vector<std::vector<int>> vregRegs_;
+    std::vector<int> bramIdx_;
+    std::vector<int> lastWrAddrRegs_;
+    std::vector<int> lastWrDataRegs_;
+    std::vector<int> rdAddrHoldRegs_;
+    std::vector<NodeId> fwdRdData_; ///< Forwarded read data per BRAM.
+
+    // Key control nodes.
+    NodeId whileDone_ = kNoNode, whileDoneNext_ = kNoNode;
+    NodeId outputValid_ = kNoNode, vDone_ = kNoNode, inputReady_ = kNoNode;
+
+    // Next-value nodes per user register / vreg element (r_n, before the
+    // v_done gate).
+    std::vector<NodeId> regNext_;
+    std::vector<std::vector<NodeId>> vregNext_;
+
+    struct WrPort
+    {
+        NodeId en, addr, data;
+    };
+    std::vector<WrPort> bramWrPorts_;
+
+    std::unordered_map<const lang::ExprNode *, NodeId> memoNow_;
+    std::unordered_map<const lang::ExprNode *, NodeId> memoNext_;
+};
+
+NodeId
+UnitCompiler::trans(const Expr &e)
+{
+    auto it = memoNow_.find(e.get());
+    if (it != memoNow_.end())
+        return it->second;
+    Circuit &c = circuit_;
+    NodeId result = kNoNode;
+    switch (e->kind) {
+      case ExprKind::Const:
+        result = c.makeConst(e->value, e->width);
+        break;
+      case ExprKind::Input:
+        result = c.regOut(regI_);
+        break;
+      case ExprKind::StreamFinished:
+        result = c.regOut(regF_);
+        break;
+      case ExprKind::RegRead:
+        result = c.regOut(userRegs_[e->stateId]);
+        break;
+      case ExprKind::VecRegRead: {
+        const auto &decl = program_.vreg(e->stateId);
+        if (e->a->kind == ExprKind::Const) {
+            // Constant index: a direct wire, as real RTL would elaborate.
+            uint64_t j = e->a->value;
+            result = j < uint64_t(decl.elements)
+                         ? c.regOut(vregRegs_[e->stateId][j])
+                         : c.makeConst(0, decl.width);
+            break;
+        }
+        // Mux tree over the element registers; out-of-range indexes read
+        // zero, matching the functional simulator's don't-care rule.
+        NodeId idx = trans(e->a);
+        result = c.makeConst(0, decl.width);
+        for (int j = 0; j < decl.elements; ++j) {
+            NodeId is_j = c.makeBin(BinOp::Eq, idx,
+                                    c.makeConst(j, decl.indexWidth));
+            result = c.makeMux(is_j, c.regOut(vregRegs_[e->stateId][j]),
+                               result);
+        }
+        break;
+      }
+      case ExprKind::BramRead:
+        // All reads of one BRAM in a virtual cycle see the same (single)
+        // issued address, so every read expression maps to the forwarded
+        // read-data node; the address expression feeds stage 1 separately.
+        result = fwdRdData_[e->stateId];
+        break;
+      case ExprKind::Bin:
+        result = c.makeBin(e->binOp, trans(e->a), trans(e->b));
+        break;
+      case ExprKind::Un:
+        result = c.makeUn(e->unOp, trans(e->a));
+        break;
+      case ExprKind::Mux:
+        result = c.makeMux(trans(e->c), trans(e->a), trans(e->b));
+        break;
+      case ExprKind::Slice:
+        result = c.makeSlice(trans(e->a), e->sliceLo + e->width - 1,
+                             e->sliceLo);
+        break;
+      case ExprKind::Concat:
+        result = c.makeConcat(trans(e->a), trans(e->b));
+        break;
+    }
+    memoNow_[e.get()] = result;
+    return result;
+}
+
+NodeId
+UnitCompiler::transNext(const Expr &e)
+{
+    auto it = memoNext_.find(e.get());
+    if (it != memoNext_.end())
+        return it->second;
+    Circuit &c = circuit_;
+    NodeId result = kNoNode;
+    switch (e->kind) {
+      case ExprKind::Const:
+        result = c.makeConst(e->value, e->width);
+        break;
+      case ExprKind::Input: {
+        // Forwarded held token: a new token is captured only on the input
+        // handshake; otherwise the register keeps its value. (This is the
+        // Figure 4 line 29 fix documented in DESIGN.md.)
+        NodeId captured = c.makeMux(inValid_, inTok_,
+                                    c.makeConst(0, program_.inputTokenWidth));
+        result = c.makeMux(inputReady_, captured, c.regOut(regI_));
+        break;
+      }
+      case ExprKind::StreamFinished: {
+        NodeId f = c.regOut(regF_);
+        NodeId f_set = c.makeBin(BinOp::LOr, f, inFin_);
+        result = c.makeMux(inputReady_, f_set, f);
+        break;
+      }
+      case ExprKind::RegRead: {
+        // Committed only when the virtual cycle completes.
+        NodeId r_n = regNext_[e->stateId];
+        result = c.makeMux(vDone_, r_n, c.regOut(userRegs_[e->stateId]));
+        break;
+      }
+      case ExprKind::VecRegRead: {
+        const auto &decl = program_.vreg(e->stateId);
+        auto elem_next = [&](int j) {
+            return c.makeMux(vDone_, vregNext_[e->stateId][j],
+                             c.regOut(vregRegs_[e->stateId][j]));
+        };
+        if (e->a->kind == ExprKind::Const) {
+            uint64_t j = e->a->value;
+            result = j < uint64_t(decl.elements)
+                         ? elem_next(int(j))
+                         : c.makeConst(0, decl.width);
+            break;
+        }
+        NodeId idx = transNext(e->a);
+        result = c.makeConst(0, decl.width);
+        for (int j = 0; j < decl.elements; ++j) {
+            NodeId is_j = c.makeBin(BinOp::Eq, idx,
+                                    c.makeConst(j, decl.indexWidth));
+            result = c.makeMux(is_j, elem_next(j), result);
+        }
+        break;
+      }
+      case ExprKind::BramRead:
+        panic("compiler: BRAM read reached stage-1 addressing; the static "
+              "checker should have rejected this program");
+      case ExprKind::Bin:
+        result = c.makeBin(e->binOp, transNext(e->a), transNext(e->b));
+        break;
+      case ExprKind::Un:
+        result = c.makeUn(e->unOp, transNext(e->a));
+        break;
+      case ExprKind::Mux:
+        result = c.makeMux(transNext(e->c), transNext(e->a),
+                           transNext(e->b));
+        break;
+      case ExprKind::Slice:
+        result = c.makeSlice(transNext(e->a), e->sliceLo + e->width - 1,
+                             e->sliceLo);
+        break;
+      case ExprKind::Concat:
+        result = c.makeConcat(transNext(e->a), transNext(e->b));
+        break;
+    }
+    memoNext_[e.get()] = result;
+    return result;
+}
+
+NodeId
+UnitCompiler::gateNow(const Expr &cond, bool inside_while)
+{
+    NodeId base = cond ? trans(cond) : circuit_.makeConst(1, 1);
+    return inside_while ? base : circuit_.makeAnd(whileDone_, base);
+}
+
+NodeId
+UnitCompiler::whileDoneNext()
+{
+    if (whileDoneNext_ == kNoNode) {
+        std::vector<NodeId> nodes;
+        for (const auto &cond : flat_.whileConds)
+            nodes.push_back(transNext(cond));
+        whileDoneNext_ = circuit_.makeNot(circuit_.makeOrReduce(nodes));
+    }
+    return whileDoneNext_;
+}
+
+NodeId
+UnitCompiler::gateNext(const Expr &cond, bool inside_while)
+{
+    NodeId base = cond ? transNext(cond) : circuit_.makeConst(1, 1);
+    return inside_while ? base : circuit_.makeAnd(whileDoneNext(), base);
+}
+
+CompiledUnit
+UnitCompiler::compile()
+{
+    lang::checkProgram(program_);
+    flat_ = lang::flatten(program_);
+    Circuit &c = circuit_;
+
+    // --- Ports and architectural state -----------------------------------
+    inTok_ = c.addInput("input_token", program_.inputTokenWidth);
+    inValid_ = c.addInput("input_valid", 1);
+    inFin_ = c.addInput("input_finished", 1);
+    outReady_ = c.addInput("output_ready", 1);
+
+    regI_ = c.addReg("i", program_.inputTokenWidth, 0);
+    regV_ = c.addReg("v", 1, 0);
+    regF_ = c.addReg("f", 1, 0);
+
+    for (const auto &reg : program_.regs)
+        userRegs_.push_back(c.addReg("u_" + reg.name, reg.width, reg.init));
+    for (const auto &vreg : program_.vregs) {
+        std::vector<int> elems;
+        for (int j = 0; j < vreg.elements; ++j) {
+            elems.push_back(c.addReg(
+                "u_" + vreg.name + "_" + std::to_string(j), vreg.width,
+                vreg.init));
+        }
+        vregRegs_.push_back(std::move(elems));
+    }
+    for (const auto &bram : program_.brams) {
+        int b = c.addBram("u_" + bram.name, bram.elements, bram.width);
+        bramIdx_.push_back(b);
+        // Sentinel init: one past the largest legal address, so the
+        // forwarding compare cannot spuriously hit after reset.
+        lastWrAddrRegs_.push_back(
+            c.addReg(bram.name + "_lastWrAddr", bram.addrWidth + 1,
+                     uint64_t(1) << bram.addrWidth));
+        lastWrDataRegs_.push_back(
+            c.addReg(bram.name + "_lastWrData", bram.width, 0));
+        rdAddrHoldRegs_.push_back(
+            c.addReg(bram.name + "_rdAddrHold", bram.addrWidth, 0));
+        // Forwarded read data: last virtual cycle's write wins over the
+        // (read-first) BRAM output when the addresses match.
+        NodeId hold_ext = c.makeResize(c.regOut(rdAddrHoldRegs_.back()),
+                                       bram.addrWidth + 1);
+        NodeId match = c.makeBin(BinOp::Eq,
+                                 c.regOut(lastWrAddrRegs_.back()), hold_ext);
+        fwdRdData_.push_back(c.makeMux(match,
+                                       c.regOut(lastWrDataRegs_.back()),
+                                       c.bramRdData(b)));
+    }
+
+    // --- Control: while_done, output_valid, v_done, input_ready ----------
+    std::vector<NodeId> while_nodes;
+    for (const auto &cond : flat_.whileConds)
+        while_nodes.push_back(trans(cond));
+    whileDone_ = c.makeNot(c.makeOrReduce(while_nodes));
+
+    std::vector<NodeId> emit_gates;
+    std::vector<NodeId> emit_vals;
+    for (const auto &emit : flat_.emits) {
+        emit_gates.push_back(gateNow(emit.cond, emit.insideWhile));
+        emit_vals.push_back(trans(emit.value));
+    }
+    outputValid_ = c.makeAnd(c.regOut(regV_), c.makeOrReduce(emit_gates));
+    addConflicts(emit_gates);
+    NodeId output_token = c.makeConst(0, program_.outputTokenWidth);
+    for (size_t k = emit_gates.size(); k-- > 0;)
+        output_token = c.makeMux(emit_gates[k], emit_vals[k], output_token);
+
+    NodeId output_ok = c.makeBin(BinOp::LOr, c.makeNot(outputValid_),
+                                 outReady_);
+    vDone_ = c.makeAnd(c.regOut(regV_), output_ok);
+    inputReady_ = c.makeBin(BinOp::LOr, c.makeNot(c.regOut(regV_)),
+                            c.makeAnd(whileDone_, output_ok));
+
+    // --- Stage 2: next values for registers, vregs, BRAM writes ----------
+    struct RegAssign
+    {
+        NodeId gate;
+        NodeId value;
+    };
+    std::vector<std::vector<RegAssign>> per_reg(program_.regs.size());
+    struct VecAssign
+    {
+        NodeId gate;
+        NodeId index;
+        NodeId value;
+    };
+    std::vector<std::vector<VecAssign>> per_vreg(program_.vregs.size());
+    struct BramWrite
+    {
+        NodeId gate;
+        NodeId addr;
+        NodeId value;
+    };
+    std::vector<std::vector<BramWrite>> per_bram(program_.brams.size());
+
+    for (const auto &assign : flat_.assigns) {
+        NodeId gate = gateNow(assign.cond, assign.insideWhile);
+        switch (assign.target.kind) {
+          case LValue::Kind::Reg: {
+            int w = program_.reg(assign.target.stateId).width;
+            per_reg[assign.target.stateId].push_back(
+                RegAssign{gate, c.makeResize(trans(assign.value), w)});
+            break;
+          }
+          case LValue::Kind::VecElem: {
+            int w = program_.vreg(assign.target.stateId).width;
+            per_vreg[assign.target.stateId].push_back(
+                VecAssign{gate, trans(assign.target.index),
+                          c.makeResize(trans(assign.value), w)});
+            break;
+          }
+          case LValue::Kind::BramElem: {
+            int w = program_.bram(assign.target.stateId).width;
+            per_bram[assign.target.stateId].push_back(
+                BramWrite{gate, trans(assign.target.index),
+                          c.makeResize(trans(assign.value), w)});
+            break;
+          }
+        }
+    }
+
+    regNext_.resize(program_.regs.size());
+    for (size_t r = 0; r < program_.regs.size(); ++r) {
+        NodeId acc = c.regOut(userRegs_[r]);
+        std::vector<NodeId> gates;
+        for (size_t k = per_reg[r].size(); k-- > 0;) {
+            acc = c.makeMux(per_reg[r][k].gate, per_reg[r][k].value, acc);
+            gates.push_back(per_reg[r][k].gate);
+        }
+        addConflicts(gates);
+        regNext_[r] = acc;
+        c.setRegNext(userRegs_[r], acc, vDone_);
+    }
+
+    vregNext_.resize(program_.vregs.size());
+    for (size_t v = 0; v < program_.vregs.size(); ++v) {
+        const auto &decl = program_.vregs[v];
+        vregNext_[v].resize(decl.elements);
+        for (int j = 0; j < decl.elements; ++j) {
+            NodeId acc = c.regOut(vregRegs_[v][j]);
+            std::vector<NodeId> gates;
+            for (size_t k = per_vreg[v].size(); k-- > 0;) {
+                const auto &va = per_vreg[v][k];
+                NodeId is_j = c.makeBin(BinOp::Eq, va.index,
+                                        c.makeConst(j, decl.indexWidth));
+                NodeId gate = c.makeAnd(va.gate, is_j);
+                acc = c.makeMux(gate, va.value, acc);
+                gates.push_back(gate);
+            }
+            addConflicts(gates);
+            vregNext_[v][j] = acc;
+            c.setRegNext(vregRegs_[v][j], acc, vDone_);
+        }
+    }
+
+    for (size_t b = 0; b < program_.brams.size(); ++b) {
+        const auto &decl = program_.brams[b];
+        std::vector<NodeId> gates;
+        NodeId wr_addr = c.makeConst(0, decl.addrWidth);
+        NodeId wr_data = c.makeConst(0, decl.width);
+        for (size_t k = per_bram[b].size(); k-- > 0;) {
+            const auto &w = per_bram[b][k];
+            gates.push_back(w.gate);
+            wr_addr = c.makeMux(w.gate, w.addr, wr_addr);
+            wr_data = c.makeMux(w.gate, w.value, wr_data);
+        }
+        addConflicts(gates);
+        NodeId wr_en = c.makeAnd(vDone_, c.makeOrReduce(gates));
+
+        // Forwarding registers track the last committed write.
+        c.setRegNext(lastWrAddrRegs_[b],
+                     c.makeResize(wr_addr, decl.addrWidth + 1), wr_en);
+        c.setRegNext(lastWrDataRegs_[b], wr_data, wr_en);
+
+        // Read port wired below (needs the next-value environment).
+        bramWrPorts_.push_back(WrPort{wr_en, wr_addr, wr_data});
+    }
+
+    // --- Stage 1: next-virtual-cycle read addresses -----------------------
+    // Deduplicate reads per BRAM by structural address equality, OR-ing
+    // their gates ("each BRAM is read at most once per virtual cycle").
+    for (size_t b = 0; b < program_.brams.size(); ++b) {
+        const auto &decl = program_.brams[b];
+        std::vector<std::pair<Expr, std::vector<const lang::BramReadOcc *>>>
+            unique_reads;
+        for (const auto &occ : flat_.bramReads) {
+            if (occ.bramId != static_cast<int>(b))
+                continue;
+            bool merged = false;
+            for (auto &[addr, occs] : unique_reads) {
+                if (lang::exprEqual(addr, occ.addr)) {
+                    occs.push_back(&occ);
+                    merged = true;
+                    break;
+                }
+            }
+            if (!merged)
+                unique_reads.push_back({occ.addr, {&occ}});
+        }
+
+        NodeId next_addr;
+        if (unique_reads.size() > 1 && options_.insertRuntimeChecks) {
+            // Two distinct read addresses gated true in one virtual
+            // cycle violate the one-read restriction.
+            std::vector<NodeId> group_gates;
+            for (const auto &[addr, occs] : unique_reads) {
+                std::vector<NodeId> gates;
+                for (const auto *occ : occs)
+                    gates.push_back(gateNow(occ->cond, occ->insideWhile));
+                group_gates.push_back(c.makeOrReduce(gates));
+            }
+            addConflicts(group_gates);
+        }
+        if (unique_reads.size() == 1) {
+            // Single read address: issue it unconditionally (no select
+            // needed, so its gates may even depend on read data).
+            next_addr = transNext(unique_reads[0].first);
+        } else {
+            next_addr = c.makeConst(0, decl.addrWidth);
+            for (auto it = unique_reads.rbegin();
+                 it != unique_reads.rend(); ++it) {
+                std::vector<NodeId> gates;
+                for (const auto *occ : it->second)
+                    gates.push_back(gateNext(occ->cond, occ->insideWhile));
+                next_addr = c.makeMux(c.makeOrReduce(gates),
+                                      transNext(it->first), next_addr);
+            }
+        }
+
+        // Issue the next address when this virtual cycle completes or the
+        // unit is idle (a token may be captured this cycle); hold during
+        // stalls so read data stays stable.
+        NodeId issue = c.makeBin(BinOp::LOr, vDone_,
+                                 c.makeNot(c.regOut(regV_)));
+        NodeId rd_addr = c.makeMux(issue, next_addr,
+                                   c.regOut(rdAddrHoldRegs_[b]));
+        c.setRegNext(rdAddrHoldRegs_[b],
+                     c.makeResize(rd_addr, decl.addrWidth));
+
+        const auto &wr = bramWrPorts_[b];
+        c.setBramPorts(bramIdx_[b], rd_addr, wr.en, wr.addr, wr.data);
+    }
+
+    // --- Input handshake registers ----------------------------------------
+    NodeId captured = c.makeMux(inValid_, inTok_,
+                                c.makeConst(0, program_.inputTokenWidth));
+    c.setRegNext(regI_, captured, inputReady_);
+    NodeId v_next = c.makeBin(
+        BinOp::LOr, inValid_,
+        c.makeAnd(c.makeNot(c.regOut(regF_)), inFin_));
+    c.setRegNext(regV_, v_next, inputReady_);
+    c.setRegNext(regF_, c.makeBin(BinOp::LOr, c.regOut(regF_), inFin_),
+                 inputReady_);
+
+    NodeId output_finished = c.makeAnd(c.makeNot(c.regOut(regV_)),
+                                       c.regOut(regF_));
+
+    // --- Module outputs ----------------------------------------------------
+    c.addOutput("input_ready", inputReady_);
+    c.addOutput("output_token", output_token);
+    c.addOutput("output_valid", outputValid_);
+    c.addOutput("output_finished", output_finished);
+
+    NodeId violation = kNoNode;
+    if (options_.insertRuntimeChecks) {
+        violation = c.makeAnd(c.regOut(regV_),
+                              c.makeOrReduce(conflictTerms_));
+        c.addOutput("violation", violation);
+    }
+
+    c.validate();
+
+    CompiledUnit unit{std::move(circuit_),
+                      0, 1, 2, 3,
+                      inputReady_, output_token, outputValid_,
+                      output_finished, violation,
+                      program_.inputTokenWidth, program_.outputTokenWidth};
+    return unit;
+}
+
+} // namespace
+
+CompiledUnit
+compileProgram(const Program &program, const CompileOptions &options)
+{
+    UnitCompiler compiler(program, options);
+    return compiler.compile();
+}
+
+} // namespace compile
+} // namespace fleet

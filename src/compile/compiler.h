@@ -1,0 +1,85 @@
+#ifndef FLEET_COMPILE_COMPILER_H
+#define FLEET_COMPILE_COMPILER_H
+
+/**
+ * @file
+ * The Fleet compiler: lowers a checked processing-unit program into an RTL
+ * circuit implementing the paper's two-stage virtual-cycle pipeline
+ * (Section 4 / Figures 4-5), with a guaranteed throughput of one virtual
+ * cycle per clock in the absence of input/output stalls:
+ *
+ *  - stage 1 issues each BRAM's (single) read address for the *next*
+ *    virtual cycle, computed from forwarded next-values of registers;
+ *  - stage 2 commits register/vector/BRAM writes and emits at most one
+ *    output token, all gated by `v_done` (virtual cycle completing);
+ *  - a (lastWrAddr, lastWrData) register pair per BRAM forwards a value
+ *    written by the previous virtual cycle into a same-address read;
+ *  - `while_done` gates statements outside loops and the input handshake;
+ *  - ready-valid IO with the exact port list of Section 4.
+ *
+ * Deviation from Figure 4 (documented in DESIGN.md): the figure substitutes
+ * `input_token` for the held-token register in next-read-address
+ * computation even when the next virtual cycle does not consume a new
+ * token; we use the correctly forwarded value. We also register the issued
+ * read address (`rd_addr_hold`) to keep read data stable across stalls
+ * instead of recomputing a "current" address.
+ */
+
+#include "lang/ast.h"
+#include "rtl/circuit.h"
+
+namespace fleet {
+namespace compile {
+
+struct CompileOptions
+{
+    /**
+     * Insert the paper's optional runtime restriction checks (Section 3:
+     * "or we could insert logic to perform runtime checks"): an extra
+     * `violation` output asserts during any virtual cycle in which two
+     * emits, two writes to one BRAM, two reads of one BRAM at different
+     * addresses, or two assignments to one register/vector element would
+     * fire. Programs that lang::analyzeProgram proves safe never need
+     * this logic.
+     */
+    bool insertRuntimeChecks = false;
+};
+
+/** A compiled processing unit: the circuit plus its IO port handles. */
+struct CompiledUnit
+{
+    rtl::Circuit circuit;
+
+    /// @name Input port indices (drive via rtl::Simulator::setInput).
+    /// @{
+    int inInputToken;
+    int inInputValid;
+    int inInputFinished;
+    int inOutputReady;
+    /// @}
+
+    /// @name Output nodes (observe via rtl::Simulator::value).
+    /// @{
+    rtl::NodeId outInputReady;
+    rtl::NodeId outOutputToken;
+    rtl::NodeId outOutputValid;
+    rtl::NodeId outOutputFinished;
+    /** Runtime-check output (kNoNode unless insertRuntimeChecks). */
+    rtl::NodeId outViolation = rtl::kNoNode;
+    /// @}
+
+    int inputTokenWidth;
+    int outputTokenWidth;
+};
+
+/**
+ * Compile a program to RTL. The program must satisfy the static
+ * restrictions (lang::checkProgram is re-run defensively).
+ */
+CompiledUnit compileProgram(const lang::Program &program,
+                            const CompileOptions &options = {});
+
+} // namespace compile
+} // namespace fleet
+
+#endif // FLEET_COMPILE_COMPILER_H

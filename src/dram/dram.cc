@@ -1,0 +1,173 @@
+#include "dram/dram.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace fleet {
+namespace dram {
+
+DramChannel::DramChannel(const DramParams &params, uint64_t mem_bytes)
+    : params_(params), mem_(mem_bytes, 0)
+{
+    if (params_.busWidthBits % 8 != 0 || params_.busWidthBits <= 0)
+        fatal("DramChannel: bus width must be a positive multiple of 8");
+}
+
+uint64_t
+DramChannel::skipRefresh(uint64_t cycle) const
+{
+    if (params_.refreshDuration == 0)
+        return cycle;
+    uint64_t pos = cycle % params_.refreshPeriod;
+    if (pos < params_.refreshDuration)
+        return cycle + (params_.refreshDuration - pos);
+    return cycle;
+}
+
+uint64_t
+DramChannel::scheduleBus(uint64_t earliest, int beats)
+{
+    uint64_t start = std::max(busNext_, earliest);
+    overheadAcc_ += params_.perRequestOverhead;
+    uint64_t extra = static_cast<uint64_t>(overheadAcc_);
+    overheadAcc_ -= static_cast<double>(extra);
+    start = skipRefresh(start + extra);
+
+    // Walk the beats across any refresh windows to account bus time.
+    uint64_t t = start;
+    int remaining = beats;
+    while (remaining > 0) {
+        uint64_t pos = t % params_.refreshPeriod;
+        uint64_t until_refresh = params_.refreshPeriod - pos;
+        uint64_t chunk = std::min<uint64_t>(remaining, until_refresh);
+        t += chunk;
+        remaining -= static_cast<int>(chunk);
+        if (remaining > 0)
+            t = skipRefresh(t);
+    }
+    busNext_ = t;
+    return start;
+}
+
+bool
+DramChannel::arReady() const
+{
+    return readQueue_.size() <
+           static_cast<size_t>(params_.maxOutstandingReads);
+}
+
+void
+DramChannel::arPush(uint64_t addr, int len_beats)
+{
+    if (!arReady())
+        panic("DramChannel: arPush without arReady");
+    if (len_beats <= 0)
+        panic("DramChannel: empty burst");
+    if (addr % busWidthBytes() != 0)
+        fatal("DramChannel: read address ", addr, " not beat-aligned");
+    if (addr + uint64_t(len_beats) * busWidthBytes() > mem_.size())
+        fatal("DramChannel: read burst past end of channel memory");
+    uint64_t first = scheduleBus(cycle_ + params_.readLatency, len_beats);
+    readQueue_.push_back(PendingRead{addr, len_beats, first});
+}
+
+bool
+DramChannel::rValid() const
+{
+    if (readQueue_.empty())
+        return false;
+    const PendingRead &head = readQueue_.front();
+    return cycle_ >= head.firstBeatCycle + headBeatsDelivered_;
+}
+
+const RBeat &
+DramChannel::rPeek() const
+{
+    if (!rValid())
+        panic("DramChannel: rPeek without rValid");
+    const PendingRead &head = readQueue_.front();
+    headBeat_.addr = head.addr +
+                     uint64_t(headBeatsDelivered_) * busWidthBytes();
+    headBeat_.last = headBeatsDelivered_ == head.lenBeats - 1;
+    headBeatValid_ = true;
+    return headBeat_;
+}
+
+void
+DramChannel::rPop()
+{
+    if (!rValid())
+        panic("DramChannel: rPop without rValid");
+    ++beatsDelivered_;
+    ++headBeatsDelivered_;
+    if (headBeatsDelivered_ == readQueue_.front().lenBeats) {
+        readQueue_.pop_front();
+        headBeatsDelivered_ = 0;
+    }
+}
+
+bool
+DramChannel::awReady() const
+{
+    return writeQueue_.size() <
+           static_cast<size_t>(params_.maxOutstandingWrites);
+}
+
+void
+DramChannel::awPush(uint64_t addr, int len_beats)
+{
+    if (!awReady())
+        panic("DramChannel: awPush without awReady");
+    if (addr % busWidthBytes() != 0)
+        fatal("DramChannel: write address ", addr, " not beat-aligned");
+    if (addr + uint64_t(len_beats) * busWidthBytes() > mem_.size())
+        fatal("DramChannel: write burst past end of channel memory");
+    writeQueue_.push_back(PendingWrite{addr, len_beats, 0});
+}
+
+bool
+DramChannel::wReady() const
+{
+    // Beats fill bursts in AW order; ready while any burst is incomplete.
+    for (const auto &write : writeQueue_)
+        if (write.beatsReceived < write.lenBeats)
+            return true;
+    return false;
+}
+
+void
+DramChannel::wPush(const uint8_t *beat_data)
+{
+    for (auto &write : writeQueue_) {
+        if (write.beatsReceived < write.lenBeats) {
+            uint64_t addr = write.addr +
+                            uint64_t(write.beatsReceived) * busWidthBytes();
+            std::memcpy(mem_.data() + addr, beat_data, busWidthBytes());
+            ++write.beatsReceived;
+            ++beatsWritten_;
+            if (write.beatsReceived == write.lenBeats) {
+                // Burst complete: claim bus time (contends with reads).
+                scheduleBus(cycle_, write.lenBeats);
+                // Completed bursts at the queue head retire.
+                while (!writeQueue_.empty() &&
+                       writeQueue_.front().beatsReceived ==
+                           writeQueue_.front().lenBeats) {
+                    writeQueue_.pop_front();
+                }
+            }
+            return;
+        }
+    }
+    panic("DramChannel: wPush without wReady");
+}
+
+void
+DramChannel::tick()
+{
+    ++cycle_;
+}
+
+} // namespace dram
+} // namespace fleet

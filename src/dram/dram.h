@@ -1,0 +1,143 @@
+#ifndef FLEET_DRAM_DRAM_H
+#define FLEET_DRAM_DRAM_H
+
+/**
+ * @file
+ * Cycle-level model of one AXI4 memory channel backed by DRAM, standing in
+ * for the Amazon F1's DDR3 channels (the paper uses four channels with
+ * 512-bit data buses at 125 MHz; Section 5). The model exposes the
+ * behaviours the Fleet memory controller's optimizations exploit:
+ *
+ *  - a long read latency from address acceptance to first data beat
+ *    (motivating asynchronous address supply, Figure 9);
+ *  - read data returned in address order, one 512-bit beat per cycle at
+ *    most (motivating burst registers to keep the bus saturated);
+ *  - a small amortized per-request overhead plus periodic refresh, so
+ *    larger bursts achieve higher efficiency (Section 5's burst-size
+ *    tradeoff; calibrated so a 64-beat-burst raw read sustains ~94% of
+ *    the theoretical peak, matching the paper's 30.1 of 32 GB/s).
+ *
+ * Reads and writes share the DRAM data bus, so echo-style workloads see
+ * roughly half the unidirectional bandwidth (Section 7.3's 11.38 GB/s).
+ *
+ * The channel owns its (simulated) memory contents; the host runtime
+ * fills input regions and reads back output regions between runs.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace fleet {
+namespace dram {
+
+struct DramParams
+{
+    /** AXI data bus width. One beat per cycle maximum. */
+    int busWidthBits = 512;
+    /** Cycles from AR acceptance to the first beat becoming available. */
+    uint64_t readLatency = 62;
+    /** Amortized extra bus cycles per request (command/bank overhead). */
+    double perRequestOverhead = 0.22;
+    /** Every refreshPeriod cycles the bus blocks for refreshDuration. */
+    uint64_t refreshPeriod = 975;
+    uint64_t refreshDuration = 55;
+    /** Maximum accepted-but-undelivered read requests. */
+    int maxOutstandingReads = 64;
+    /** Maximum buffered write bursts awaiting bus time. */
+    int maxOutstandingWrites = 16;
+};
+
+/** One 512-bit read-data beat (data is read via DramChannel::memory()). */
+struct RBeat
+{
+    uint64_t addr; ///< Byte address of this beat.
+    bool last;     ///< Final beat of its burst.
+};
+
+class DramChannel
+{
+  public:
+    DramChannel(const DramParams &params, uint64_t mem_bytes);
+
+    /// @name Host access to channel memory (zero simulated cost).
+    /// @{
+    std::vector<uint8_t> &memory() { return mem_; }
+    const std::vector<uint8_t> &memory() const { return mem_; }
+    /// @}
+
+    /// @name Read address channel.
+    /// @{
+    bool arReady() const;
+    void arPush(uint64_t addr, int len_beats);
+    /// @}
+
+    /// @name Read data channel (at most one beat popped per cycle).
+    /// @{
+    bool rValid() const;
+    const RBeat &rPeek() const;
+    void rPop();
+    /// @}
+
+    /// @name Write address/data channels. Beats follow AW order; a burst's
+    /// data commits to memory as its beats are pushed.
+    /// @{
+    bool awReady() const;
+    void awPush(uint64_t addr, int len_beats);
+    bool wReady() const;
+    void wPush(const uint8_t *beat_data);
+    /// @}
+
+    /** Advance one cycle. */
+    void tick();
+
+    uint64_t cycle() const { return cycle_; }
+    int busWidthBytes() const { return params_.busWidthBits / 8; }
+
+    /// @name Statistics.
+    /// @{
+    uint64_t beatsDelivered() const { return beatsDelivered_; }
+    uint64_t beatsWritten() const { return beatsWritten_; }
+    /// @}
+
+  private:
+    struct PendingRead
+    {
+        uint64_t addr;
+        int lenBeats;
+        uint64_t firstBeatCycle; ///< When the first beat becomes available.
+    };
+    struct PendingWrite
+    {
+        uint64_t addr;
+        int lenBeats;
+        int beatsReceived;
+    };
+
+    /** Advance a candidate cycle past any refresh window. */
+    uint64_t skipRefresh(uint64_t cycle) const;
+    /** Claim `beats` bus cycles starting no earlier than `earliest`. */
+    uint64_t scheduleBus(uint64_t earliest, int beats);
+
+    DramParams params_;
+    std::vector<uint8_t> mem_;
+    uint64_t cycle_ = 0;
+
+    uint64_t busNext_ = 0;      ///< First cycle the data bus is free.
+    double overheadAcc_ = 0.0;  ///< Fractional per-request overhead.
+
+    std::deque<PendingRead> readQueue_; ///< Accepted, undelivered reads.
+    int headBeatsDelivered_ = 0;
+    mutable RBeat headBeat_{0, false};
+    mutable bool headBeatValid_ = false;
+
+    std::deque<PendingWrite> writeQueue_;
+
+    uint64_t beatsDelivered_ = 0;
+    uint64_t beatsWritten_ = 0;
+};
+
+} // namespace dram
+} // namespace fleet
+
+#endif // FLEET_DRAM_DRAM_H

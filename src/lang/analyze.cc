@@ -1,0 +1,228 @@
+#include "lang/analyze.h"
+
+#include <sstream>
+
+#include "lang/flatten.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace lang {
+
+namespace {
+
+/** Structural position of an action: the chain of (if, arm) choices
+ * leading to it, plus which while loop (if any) contains it. */
+struct Path
+{
+    struct Step
+    {
+        const Stmt *ifStmt;
+        int arm; ///< Arm index; -1 for the else block.
+    };
+    std::vector<Step> steps;
+    int whileClass = 0; ///< 0 = outside all loops, else 1-based loop id.
+};
+
+/**
+ * Two actions provably cannot fire in the same virtual cycle if their
+ * paths diverge into different arms of a common `if`, or if exactly one
+ * of them is inside a while loop (loop bodies and post-loop statements
+ * are separated by while_done).
+ */
+bool
+provablyExclusive(const Path &a, const Path &b)
+{
+    size_t common = std::min(a.steps.size(), b.steps.size());
+    for (size_t i = 0; i < common; ++i) {
+        const auto &sa = a.steps[i];
+        const auto &sb = b.steps[i];
+        if (sa.ifStmt == sb.ifStmt && sa.arm == sb.arm)
+            continue;
+        if (sa.ifStmt == sb.ifStmt)
+            return true; // Different arms of the same if.
+        // Different statements at the same depth: no structural
+        // exclusivity from the if tree; fall through to the while rule.
+        break;
+    }
+    // The actions can co-fire unless the while/post-loop divide
+    // separates them (while_done gates everything outside all loops).
+    return (a.whileClass == 0) != (b.whileClass == 0);
+}
+
+struct Collected
+{
+    std::vector<Path> emits;
+    std::vector<std::vector<Path>> regAssigns;
+    std::vector<std::vector<Path>> bramWrites;
+    /** Per BRAM: (address expression, path) of each read occurrence. */
+    std::vector<std::vector<std::pair<Expr, Path>>> bramReads;
+};
+
+class Walker
+{
+  public:
+    Walker(const Program &program, Collected &out)
+        : program_(program), out_(out)
+    {
+        out_.regAssigns.resize(program.regs.size());
+        out_.bramWrites.resize(program.brams.size());
+        out_.bramReads.resize(program.brams.size());
+    }
+
+    void
+    walkBlock(const Block &block, Path path)
+    {
+        for (const auto &stmt : block)
+            walkStmt(*stmt, path);
+    }
+
+  private:
+    void
+    collectReads(const Expr &e, const Path &path)
+    {
+        if (!e || !containsBramRead(e))
+            return;
+        if (e->kind == ExprKind::BramRead)
+            out_.bramReads[e->stateId].emplace_back(e->a, path);
+        collectReads(e->a, path);
+        collectReads(e->b, path);
+        collectReads(e->c, path);
+    }
+
+    void
+    walkStmt(const Stmt &stmt, const Path &path)
+    {
+        if (const auto *assign = std::get_if<AssignStmt>(&stmt.node)) {
+            collectReads(assign->value, path);
+            if (assign->target.index)
+                collectReads(assign->target.index, path);
+            switch (assign->target.kind) {
+              case LValue::Kind::Reg:
+                out_.regAssigns[assign->target.stateId].push_back(path);
+                break;
+              case LValue::Kind::BramElem:
+                out_.bramWrites[assign->target.stateId].push_back(path);
+                break;
+              case LValue::Kind::VecElem:
+                // Vector elements allow concurrent distinct-index
+                // writes; index equality is data dependent, so vector
+                // registers stay under the dynamic check.
+                break;
+            }
+        } else if (const auto *emit = std::get_if<EmitStmt>(&stmt.node)) {
+            collectReads(emit->value, path);
+            out_.emits.push_back(path);
+        } else if (const auto *if_stmt = std::get_if<IfStmt>(&stmt.node)) {
+            for (size_t arm = 0; arm < if_stmt->arms.size(); ++arm) {
+                collectReads(if_stmt->arms[arm].first, path);
+                Path inner = path;
+                inner.steps.push_back({&stmt, static_cast<int>(arm)});
+                walkBlock(if_stmt->arms[arm].second, inner);
+            }
+            if (!if_stmt->elseBlock.empty()) {
+                Path inner = path;
+                inner.steps.push_back({&stmt, -1});
+                walkBlock(if_stmt->elseBlock, inner);
+            }
+        } else if (const auto *wh = std::get_if<WhileStmt>(&stmt.node)) {
+            collectReads(wh->cond, path);
+            Path inner = path;
+            inner.whileClass = ++whileCount_;
+            walkBlock(wh->body, inner);
+        } else {
+            panic("analyze: unknown statement kind");
+        }
+    }
+
+    const Program &program_;
+    Collected &out_;
+    int whileCount_ = 0;
+};
+
+bool
+pairwiseExclusive(const std::vector<Path> &paths)
+{
+    for (size_t i = 0; i < paths.size(); ++i)
+        for (size_t j = i + 1; j < paths.size(); ++j)
+            if (!provablyExclusive(paths[i], paths[j]))
+                return false;
+    return true;
+}
+
+} // namespace
+
+bool
+StaticAnalysis::allSafe() const
+{
+    if (!emitsExclusive)
+        return false;
+    for (bool safe : regAssignsExclusive)
+        if (!safe)
+            return false;
+    for (bool safe : bramWritesExclusive)
+        if (!safe)
+            return false;
+    for (bool safe : bramReadsExclusive)
+        if (!safe)
+            return false;
+    return true;
+}
+
+std::string
+StaticAnalysis::report(const Program &program) const
+{
+    std::ostringstream os;
+    if (!emitsExclusive)
+        os << "emits not provably exclusive\n";
+    for (size_t r = 0; r < regAssignsExclusive.size(); ++r) {
+        if (!regAssignsExclusive[r]) {
+            os << "register " << program.regs[r].name
+               << ": assignments not provably exclusive\n";
+        }
+    }
+    for (size_t b = 0; b < bramWritesExclusive.size(); ++b) {
+        if (!bramWritesExclusive[b]) {
+            os << "BRAM " << program.brams[b].name
+               << ": writes not provably exclusive\n";
+        }
+    }
+    for (size_t b = 0; b < bramReadsExclusive.size(); ++b) {
+        if (!bramReadsExclusive[b]) {
+            os << "BRAM " << program.brams[b].name
+               << ": distinct read addresses not provably exclusive\n";
+        }
+    }
+    std::string text = os.str();
+    return text.empty() ? "all restrictions statically guaranteed" : text;
+}
+
+StaticAnalysis
+analyzeProgram(const Program &program)
+{
+    Collected collected;
+    Walker walker(program, collected);
+    walker.walkBlock(program.body, Path{});
+
+    StaticAnalysis analysis;
+    analysis.emitsExclusive = pairwiseExclusive(collected.emits);
+    for (const auto &paths : collected.regAssigns)
+        analysis.regAssignsExclusive.push_back(pairwiseExclusive(paths));
+    for (const auto &paths : collected.bramWrites)
+        analysis.bramWritesExclusive.push_back(pairwiseExclusive(paths));
+    for (const auto &reads : collected.bramReads) {
+        bool safe = true;
+        for (size_t i = 0; i < reads.size() && safe; ++i) {
+            for (size_t j = i + 1; j < reads.size() && safe; ++j) {
+                if (exprEqual(reads[i].first, reads[j].first))
+                    continue; // Same address: a single read.
+                if (!provablyExclusive(reads[i].second, reads[j].second))
+                    safe = false;
+            }
+        }
+        analysis.bramReadsExclusive.push_back(safe);
+    }
+    return analysis;
+}
+
+} // namespace lang
+} // namespace fleet

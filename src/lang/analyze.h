@@ -1,0 +1,56 @@
+#ifndef FLEET_LANG_ANALYZE_H
+#define FLEET_LANG_ANALYZE_H
+
+/**
+ * @file
+ * Static multiplicity analyzer — the paper's suggested extension
+ * ("a static analyzer could also guarantee that certain well-structured
+ * programs do not violate the restrictions", Section 3). It proves, for
+ * well-structured programs, that at most one emit / BRAM write / BRAM
+ * read address / register assignment can fire per virtual cycle, by
+ * showing every conflicting pair of actions lies in different arms of a
+ * common `if` (or on opposite sides of the while/post-loop divide).
+ *
+ * When a restriction is proven, the dynamic checks in the functional
+ * simulator are guaranteed never to fire, and a user can skip the
+ * paper's runtime-check insertion (compile/compiler.h's
+ * insertRuntimeChecks) for that resource.
+ */
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace fleet {
+namespace lang {
+
+struct StaticAnalysis
+{
+    /** At most one emit per virtual cycle, provably. */
+    bool emitsExclusive = true;
+    /** Per register: at most one assignment per virtual cycle. */
+    std::vector<bool> regAssignsExclusive;
+    /** Per BRAM: at most one write per virtual cycle. */
+    std::vector<bool> bramWritesExclusive;
+    /**
+     * Per BRAM: at most one *distinct* read address per virtual cycle
+     * (structurally equal addresses are a single read and never
+     * conflict).
+     */
+    std::vector<bool> bramReadsExclusive;
+
+    /** Every restriction is statically guaranteed. */
+    bool allSafe() const;
+
+    /** Human-readable summary of anything not statically proven. */
+    std::string report(const Program &program) const;
+};
+
+/** Analyze a checked program. */
+StaticAnalysis analyzeProgram(const Program &program);
+
+} // namespace lang
+} // namespace fleet
+
+#endif // FLEET_LANG_ANALYZE_H

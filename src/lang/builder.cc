@@ -1,0 +1,248 @@
+#include "lang/builder.h"
+
+#include "lang/check.h"
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace lang {
+
+const LValue &
+Value::lvalue() const
+{
+    if (!lval_)
+        fatal("expression ", exprToString(expr_),
+              " is not assignable (not a register, vector element, or "
+              "BRAM word)");
+    return *lval_;
+}
+
+Value
+Value::resize(int width) const
+{
+    if (width == expr_->width)
+        return *this;
+    if (width < expr_->width)
+        return slice(width - 1, 0);
+    return Value(concatExpr(constExpr(0, width - expr_->width), expr_));
+}
+
+Value
+slt(const Value &a, const Value &b)
+{
+    return Value(binExpr(BinOp::Slt, a.expr(), b.expr()));
+}
+
+Value
+sle(const Value &a, const Value &b)
+{
+    return Value(binExpr(BinOp::Sle, a.expr(), b.expr()));
+}
+
+Value
+sgt(const Value &a, const Value &b)
+{
+    return Value(binExpr(BinOp::Sgt, a.expr(), b.expr()));
+}
+
+Value
+sge(const Value &a, const Value &b)
+{
+    return Value(binExpr(BinOp::Sge, a.expr(), b.expr()));
+}
+
+Value
+mux(const Value &cond, const Value &a, const Value &b)
+{
+    return Value(muxExpr(cond.expr(), a.expr(), b.expr()));
+}
+
+Value
+cat(const Value &hi, const Value &lo)
+{
+    return Value(concatExpr(hi.expr(), lo.expr()));
+}
+
+Value
+Bram::operator[](const Value &addr) const
+{
+    Expr addr_expr = addr.expr();
+    const BramDecl &decl = builder_->programForHandles().bram(id_);
+    LValue lv{LValue::Kind::BramElem, id_, addr_expr};
+    return Value(bramReadExpr(decl, addr_expr), std::move(lv));
+}
+
+Value
+VecReg::operator[](const Value &index) const
+{
+    Expr idx_expr = index.expr();
+    const VecRegDecl &decl = builder_->programForHandles().vreg(id_);
+    LValue lv{LValue::Kind::VecElem, id_, idx_expr};
+    return Value(vecRegReadExpr(decl, idx_expr), std::move(lv));
+}
+
+ProgramBuilder::ProgramBuilder(std::string name, int input_token_width,
+                               int output_token_width)
+{
+    if (input_token_width < 1 || input_token_width > kMaxValueWidth ||
+        output_token_width < 1 || output_token_width > kMaxValueWidth) {
+        fatal("token widths must be in [1, ", kMaxValueWidth, "]");
+    }
+    program_.name = std::move(name);
+    program_.inputTokenWidth = input_token_width;
+    program_.outputTokenWidth = output_token_width;
+    blockStack_.push_back(&program_.body);
+}
+
+Value
+ProgramBuilder::reg(const std::string &name, int width, uint64_t init)
+{
+    if (finished_)
+        fatal("ProgramBuilder used after finish()");
+    if (width < 1 || width > kMaxValueWidth)
+        fatal("register ", name, ": width ", width, " out of range");
+    if (truncTo(init, width) != init)
+        fatal("register ", name, ": init ", init, " does not fit in ",
+              width, " bits");
+    RegDecl decl{static_cast<int>(program_.regs.size()), name, width, init};
+    program_.regs.push_back(decl);
+    LValue lv{LValue::Kind::Reg, decl.id, nullptr};
+    return Value(regReadExpr(decl), std::move(lv));
+}
+
+VecReg
+ProgramBuilder::vreg(const std::string &name, int elements, int width,
+                     uint64_t init)
+{
+    if (finished_)
+        fatal("ProgramBuilder used after finish()");
+    if (elements < 1)
+        fatal("vector register ", name, ": needs at least one element");
+    if (width < 1 || width > kMaxValueWidth)
+        fatal("vector register ", name, ": width ", width, " out of range");
+    VecRegDecl decl{static_cast<int>(program_.vregs.size()), name, elements,
+                    width, truncTo(init, width),
+                    indexWidth(static_cast<uint64_t>(elements))};
+    program_.vregs.push_back(decl);
+    return VecReg(this, decl.id, elements, width);
+}
+
+Bram
+ProgramBuilder::bram(const std::string &name, int elements, int width)
+{
+    if (finished_)
+        fatal("ProgramBuilder used after finish()");
+    if (elements < 1)
+        fatal("BRAM ", name, ": needs at least one element");
+    if (width < 1 || width > kMaxValueWidth)
+        fatal("BRAM ", name, ": width ", width, " out of range");
+    BramDecl decl{static_cast<int>(program_.brams.size()), name, elements,
+                  width, indexWidth(static_cast<uint64_t>(elements))};
+    program_.brams.push_back(decl);
+    return Bram(this, decl.id, elements, width);
+}
+
+Value
+ProgramBuilder::input() const
+{
+    return Value(inputExpr(program_.inputTokenWidth));
+}
+
+Value
+ProgramBuilder::streamFinished() const
+{
+    return Value(streamFinishedExpr());
+}
+
+void
+ProgramBuilder::assign(const Value &target, const Value &value)
+{
+    Stmt stmt;
+    stmt.node = AssignStmt{target.lvalue(), value.expr()};
+    append(std::make_shared<Stmt>(std::move(stmt)));
+}
+
+void
+ProgramBuilder::emit(const Value &value)
+{
+    Stmt stmt;
+    stmt.node = EmitStmt{value.expr()};
+    append(std::make_shared<Stmt>(std::move(stmt)));
+}
+
+IfChain
+ProgramBuilder::if_(const Value &cond, const std::function<void()> &body)
+{
+    IfStmt if_stmt;
+    if_stmt.arms.emplace_back(cond.expr(), buildBlock(body));
+    Stmt stmt;
+    stmt.node = std::move(if_stmt);
+    auto ptr = std::make_shared<Stmt>(std::move(stmt));
+    Stmt *raw = ptr.get();
+    append(std::move(ptr));
+    return IfChain(this, raw);
+}
+
+void
+ProgramBuilder::while_(const Value &cond, const std::function<void()> &body)
+{
+    if (whileDepth_ > 0)
+        fatal("nested while loops are not supported (program ",
+              program_.name, ")");
+    ++whileDepth_;
+    Block block = buildBlock(body);
+    --whileDepth_;
+    Stmt stmt;
+    stmt.node = WhileStmt{cond.expr(), std::move(block)};
+    append(std::make_shared<Stmt>(std::move(stmt)));
+}
+
+IfChain &
+IfChain::elseIf(const Value &cond, const std::function<void()> &body)
+{
+    auto &if_stmt = std::get<IfStmt>(stmt_->node);
+    if (!if_stmt.elseBlock.empty())
+        fatal("elseIf after else_");
+    if_stmt.arms.emplace_back(cond.expr(), builder_->buildBlock(body));
+    return *this;
+}
+
+void
+IfChain::else_(const std::function<void()> &body)
+{
+    auto &if_stmt = std::get<IfStmt>(stmt_->node);
+    if (!if_stmt.elseBlock.empty())
+        fatal("multiple else_ arms");
+    if_stmt.elseBlock = builder_->buildBlock(body);
+}
+
+void
+ProgramBuilder::append(StmtPtr stmt)
+{
+    if (finished_)
+        fatal("ProgramBuilder used after finish()");
+    blockStack_.back()->push_back(std::move(stmt));
+}
+
+Block
+ProgramBuilder::buildBlock(const std::function<void()> &body)
+{
+    Block block;
+    blockStack_.push_back(&block);
+    body();
+    blockStack_.pop_back();
+    return block;
+}
+
+Program
+ProgramBuilder::finish()
+{
+    if (finished_)
+        fatal("ProgramBuilder::finish() called twice");
+    finished_ = true;
+    checkProgram(program_);
+    return std::move(program_);
+}
+
+} // namespace lang
+} // namespace fleet

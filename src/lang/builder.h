@@ -1,0 +1,237 @@
+#ifndef FLEET_LANG_BUILDER_H
+#define FLEET_LANG_BUILDER_H
+
+/**
+ * @file
+ * Embedded-DSL front end for the Fleet language. Mirrors the paper's
+ * Scala-embedded language as a C++-embedded one: operator-overloaded
+ * `Value` expressions, `if_`/`elseIf`/`else_` gating, `while_` loops, and
+ * `emit`. Host C++ code that calls builder methods in loops plays the role
+ * of Scala metaprogramming for parameterized units (e.g. the regex
+ * application generates its NFA circuit this way).
+ *
+ * Example (the paper's Figure 3 histogram unit):
+ * @code
+ *   ProgramBuilder b("BlockFrequencies", 8, 8);
+ *   Value itemCounter = b.reg("itemCounter", 7, 0);
+ *   Bram frequencies = b.bram("frequencies", 256, 8);
+ *   Value frequenciesIdx = b.reg("frequenciesIdx", 9, 0);
+ *   b.if_(itemCounter == 100, [&] {
+ *       b.while_(frequenciesIdx < 256, [&] {
+ *           b.emit(frequencies[frequenciesIdx]);
+ *           b.assign(frequencies[frequenciesIdx], 0);
+ *           b.assign(frequenciesIdx, frequenciesIdx + 1);
+ *       });
+ *       b.assign(frequenciesIdx, 0);
+ *   });
+ *   b.assign(frequencies[b.input()], frequencies[b.input()] + 1);
+ *   b.assign(itemCounter, mux(itemCounter == 100, 1, itemCounter + 1));
+ *   Program p = b.finish();
+ * @endcode
+ */
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace fleet {
+namespace lang {
+
+class ProgramBuilder;
+
+/**
+ * An expression handle with operator overloads. If the handle refers to a
+ * register, vector-register element, or BRAM word, it can also be used as
+ * an assignment target.
+ */
+class Value
+{
+  public:
+    /** Literal; width is the minimum needed to represent the value. */
+    Value(uint64_t v) : expr_(constExpr(v, bitsToRepresent(v))) {}
+    Value(int v) : Value(uint64_t(v)) {}
+    explicit Value(Expr e) : expr_(std::move(e)) {}
+
+    /** Literal with an explicit width. */
+    static Value lit(uint64_t v, int width) { return Value(constExpr(v, width)); }
+
+    const Expr &expr() const { return expr_; }
+    int width() const { return expr_->width; }
+    bool isLValue() const { return lval_.has_value(); }
+    const LValue &lvalue() const;
+
+    Value operator+(const Value &o) const { return bin(BinOp::Add, o); }
+    Value operator-(const Value &o) const { return bin(BinOp::Sub, o); }
+    Value operator*(const Value &o) const { return bin(BinOp::Mul, o); }
+    Value operator&(const Value &o) const { return bin(BinOp::And, o); }
+    Value operator|(const Value &o) const { return bin(BinOp::Or, o); }
+    Value operator^(const Value &o) const { return bin(BinOp::Xor, o); }
+    Value operator<<(const Value &o) const { return bin(BinOp::Shl, o); }
+    Value operator>>(const Value &o) const { return bin(BinOp::Shr, o); }
+    Value operator==(const Value &o) const { return bin(BinOp::Eq, o); }
+    Value operator!=(const Value &o) const { return bin(BinOp::Ne, o); }
+    Value operator<(const Value &o) const { return bin(BinOp::Ult, o); }
+    Value operator<=(const Value &o) const { return bin(BinOp::Ule, o); }
+    Value operator>(const Value &o) const { return bin(BinOp::Ugt, o); }
+    Value operator>=(const Value &o) const { return bin(BinOp::Uge, o); }
+    Value operator&&(const Value &o) const { return bin(BinOp::LAnd, o); }
+    Value operator||(const Value &o) const { return bin(BinOp::LOr, o); }
+    Value operator~() const { return Value(unExpr(UnOp::Not, expr_)); }
+    Value operator!() const { return Value(unExpr(UnOp::LNot, expr_)); }
+    Value operator-() const { return Value(unExpr(UnOp::Neg, expr_)); }
+
+    /** Bits [hi:lo], inclusive, as in Verilog. */
+    Value slice(int hi, int lo) const { return Value(sliceExpr(expr_, hi, lo)); }
+    /** Single bit [i]. */
+    Value bit(int i) const { return slice(i, i); }
+    /** Zero-extend or truncate to an exact width. */
+    Value resize(int width) const;
+
+  private:
+    friend class ProgramBuilder;
+    friend class Bram;
+    friend class VecReg;
+
+    Value(Expr e, LValue lv) : expr_(std::move(e)), lval_(std::move(lv)) {}
+    Value bin(BinOp op, const Value &o) const
+    {
+        return Value(binExpr(op, expr_, o.expr_));
+    }
+
+    Expr expr_;
+    std::optional<LValue> lval_;
+};
+
+/// @name Signed comparisons and other free helpers.
+/// @{
+Value slt(const Value &a, const Value &b);
+Value sle(const Value &a, const Value &b);
+Value sgt(const Value &a, const Value &b);
+Value sge(const Value &a, const Value &b);
+Value mux(const Value &cond, const Value &a, const Value &b);
+Value cat(const Value &hi, const Value &lo);
+/// @}
+
+/** Handle for a BRAM; index it to obtain a readable/assignable word. */
+class Bram
+{
+  public:
+    Value operator[](const Value &addr) const;
+    int id() const { return id_; }
+    int elements() const { return elements_; }
+    int width() const { return width_; }
+
+  private:
+    friend class ProgramBuilder;
+    Bram(ProgramBuilder *b, int id, int elements, int width)
+        : builder_(b), id_(id), elements_(elements), width_(width)
+    {
+    }
+
+    ProgramBuilder *builder_;
+    int id_;
+    int elements_;
+    int width_;
+};
+
+/** Handle for a vector register; index it like a BRAM (no access limits). */
+class VecReg
+{
+  public:
+    Value operator[](const Value &index) const;
+    int id() const { return id_; }
+    int elements() const { return elements_; }
+    int width() const { return width_; }
+
+  private:
+    friend class ProgramBuilder;
+    VecReg(ProgramBuilder *b, int id, int elements, int width)
+        : builder_(b), id_(id), elements_(elements), width_(width)
+    {
+    }
+
+    ProgramBuilder *builder_;
+    int id_;
+    int elements_;
+    int width_;
+};
+
+/** Returned by if_() so `elseIf`/`else_` arms can be chained. */
+class IfChain
+{
+  public:
+    IfChain &elseIf(const Value &cond, const std::function<void()> &body);
+    void else_(const std::function<void()> &body);
+
+  private:
+    friend class ProgramBuilder;
+    IfChain(ProgramBuilder *b, Stmt *stmt) : builder_(b), stmt_(stmt) {}
+
+    ProgramBuilder *builder_;
+    Stmt *stmt_;
+};
+
+class ProgramBuilder
+{
+  public:
+    ProgramBuilder(std::string name, int input_token_width,
+                   int output_token_width);
+
+    /// @name State element declarations.
+    /// @{
+    Value reg(const std::string &name, int width, uint64_t init = 0);
+    VecReg vreg(const std::string &name, int elements, int width,
+                uint64_t init = 0);
+    Bram bram(const std::string &name, int elements, int width);
+    /// @}
+
+    /** The current input token. */
+    Value input() const;
+    /** True during the post-stream cleanup virtual cycle. */
+    Value streamFinished() const;
+
+    /** Concurrent assignment to a register / vector element / BRAM word. */
+    void assign(const Value &target, const Value &value);
+
+    /** Emit an output token (at most one per virtual cycle). */
+    void emit(const Value &value);
+
+    /** Conditional block; returns a chain for elseIf/else_. */
+    IfChain if_(const Value &cond, const std::function<void()> &body);
+
+    /**
+     * While loop: the body executes for extra virtual cycles (without
+     * advancing the input token) until the condition is false; statements
+     * outside all loops then run in a final virtual cycle. Nested while
+     * loops are rejected, as in the paper.
+     */
+    void while_(const Value &cond, const std::function<void()> &body);
+
+    /**
+     * Validate and return the finished program. Runs the static
+     * restriction checks (see lang/check.h).
+     */
+    Program finish();
+
+    /** Internal: declaration lookups for Bram/VecReg handles. */
+    const Program &programForHandles() const { return program_; }
+
+  private:
+    friend class IfChain;
+
+    void append(StmtPtr stmt);
+    Block buildBlock(const std::function<void()> &body);
+
+    Program program_;
+    std::vector<Block *> blockStack_;
+    int whileDepth_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace lang
+} // namespace fleet
+
+#endif // FLEET_LANG_BUILDER_H

@@ -1,0 +1,108 @@
+#include "lang/check.h"
+
+#include "lang/flatten.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace lang {
+
+namespace {
+
+int
+lvalueWidth(const Program &program, const LValue &lv)
+{
+    switch (lv.kind) {
+      case LValue::Kind::Reg:
+        return program.reg(lv.stateId).width;
+      case LValue::Kind::VecElem:
+        return program.vreg(lv.stateId).width;
+      case LValue::Kind::BramElem:
+        return program.bram(lv.stateId).width;
+    }
+    panic("lvalueWidth: unknown lvalue kind");
+}
+
+std::string
+lvalueName(const Program &program, const LValue &lv)
+{
+    switch (lv.kind) {
+      case LValue::Kind::Reg:
+        return program.reg(lv.stateId).name;
+      case LValue::Kind::VecElem:
+        return program.vreg(lv.stateId).name;
+      case LValue::Kind::BramElem:
+        return program.bram(lv.stateId).name;
+    }
+    panic("lvalueName: unknown lvalue kind");
+}
+
+} // namespace
+
+void
+checkProgram(const Program &program)
+{
+    FlatProgram flat = flatten(program);
+
+    for (const auto &read : flat.bramReads) {
+        const auto &bram = program.bram(read.bramId);
+        if (containsBramRead(read.addr)) {
+            fatal(program.name, ": dependent BRAM read: address ",
+                  exprToString(read.addr), " of BRAM ", bram.name,
+                  " contains another BRAM read");
+        }
+    }
+
+    // A BRAM with more than one distinct read address needs its gating
+    // conditions to select the address one cycle ahead, so those
+    // conditions must themselves be BRAM-free. A single-address BRAM's
+    // read is issued unconditionally and its gates are unrestricted.
+    for (const auto &bram : program.brams) {
+        std::vector<const lang::BramReadOcc *> occs;
+        for (const auto &read : flat.bramReads)
+            if (read.bramId == bram.id)
+                occs.push_back(&read);
+        bool multi_addr = false;
+        for (size_t i = 1; i < occs.size() && !multi_addr; ++i)
+            multi_addr = !exprEqual(occs[i]->addr, occs[0]->addr);
+        if (!multi_addr)
+            continue;
+        for (const auto *read : occs) {
+            if (read->cond && containsBramRead(read->cond)) {
+                fatal(program.name, ": dependent BRAM read: BRAM ",
+                      bram.name, " is read at multiple addresses and the "
+                      "read gated by ", exprToString(read->cond),
+                      " depends on a BRAM read");
+            }
+        }
+        for (const auto &cond : flat.whileConds) {
+            if (containsBramRead(cond)) {
+                fatal(program.name, ": while condition ",
+                      exprToString(cond), " contains a BRAM read while "
+                      "BRAM ", bram.name, " is read at multiple addresses");
+            }
+        }
+    }
+
+    for (const auto &assign : flat.assigns) {
+        int target_width = lvalueWidth(program, assign.target);
+        if (assign.value->width > target_width) {
+            fatal(program.name, ": assignment to ",
+                  lvalueName(program, assign.target), " (", target_width,
+                  " bits) from wider value ", exprToString(assign.value),
+                  " (", assign.value->width,
+                  " bits); use Value::resize for explicit truncation");
+        }
+    }
+
+    for (const auto &emit : flat.emits) {
+        if (emit.value->width != program.outputTokenWidth) {
+            fatal(program.name, ": emit of ", exprToString(emit.value),
+                  " (", emit.value->width, " bits) does not match output "
+                  "token width ", program.outputTokenWidth,
+                  "; use Value::resize");
+        }
+    }
+}
+
+} // namespace lang
+} // namespace fleet

@@ -1,0 +1,38 @@
+#ifndef FLEET_LANG_CHECK_H
+#define FLEET_LANG_CHECK_H
+
+/**
+ * @file
+ * Static restriction checks for Fleet programs (Section 3 of the paper).
+ * These reject the program shapes the compiler cannot schedule into the
+ * two-stage virtual-cycle pipeline:
+ *
+ *  - dependent BRAM reads: a BRAM read address may not contain a BRAM
+ *    read; and when a BRAM is read at more than one distinct address,
+ *    neither the conditions gating its reads (if paths, mux selects) nor
+ *    any while condition may contain a BRAM read — otherwise the read
+ *    address for the next virtual cycle could not be supplied one cycle
+ *    ahead. A BRAM with a single read address is issued unconditionally,
+ *    so its gating conditions are unrestricted;
+ *  - assignment values must not be wider than their targets (use
+ *    Value::resize for explicit truncation); emits must match the output
+ *    token width exactly.
+ *
+ * Multiplicity restrictions (at most one BRAM read address, one BRAM
+ * write, one emit, one assignment per register or vector element per
+ * virtual cycle) are data dependent and are enforced dynamically by the
+ * functional simulator (sim/simulator.h), as in the paper.
+ */
+
+#include "lang/ast.h"
+
+namespace fleet {
+namespace lang {
+
+/** Validate a program; throws FatalError on any violation. */
+void checkProgram(const Program &program);
+
+} // namespace lang
+} // namespace fleet
+
+#endif // FLEET_LANG_CHECK_H

@@ -1,0 +1,77 @@
+#include "lang/stdlib.h"
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace lang {
+namespace lib {
+
+BitPacker::BitPacker(ProgramBuilder &b, const std::string &name,
+                     int token_bits, int accum_bits)
+    : b_(b), tokenBits_(token_bits), accumBits_(accum_bits),
+      accum_(b.reg(name + "_accum", accum_bits, 0)),
+      count_(b.reg(name + "_count",
+                   bitsToRepresent(uint64_t(accum_bits)), 0))
+{
+    if (token_bits < 1 || token_bits > accum_bits)
+        fatal("BitPacker ", name, ": token width out of range");
+}
+
+Value
+BitPacker::hasToken() const
+{
+    return count_ >= uint64_t(tokenBits_);
+}
+
+Value
+BitPacker::pending() const
+{
+    return count_ != 0;
+}
+
+void
+BitPacker::push(const Value &value, const Value &bits)
+{
+    b_.assign(accum_,
+              accum_ | (value.resize(accumBits_) << count_));
+    b_.assign(count_, (count_ + bits.resize(count_.width()))
+                          .resize(count_.width()));
+}
+
+void
+BitPacker::pushFixed(const Value &value, int bits)
+{
+    if (bits < 0 || bits > accumBits_)
+        fatal("BitPacker: pushFixed width out of range");
+    push(value.resize(bits), Value::lit(uint64_t(bits),
+                                        count_.width()));
+}
+
+void
+BitPacker::emitToken()
+{
+    b_.emit(accum_.slice(tokenBits_ - 1, 0));
+    b_.assign(accum_, accum_ >> Value::lit(uint64_t(tokenBits_),
+                                           bitsToRepresent(
+                                               uint64_t(tokenBits_))));
+    b_.assign(count_, count_ - uint64_t(tokenBits_));
+}
+
+void
+BitPacker::emitPadded()
+{
+    b_.emit(accum_.slice(tokenBits_ - 1, 0));
+    clear();
+}
+
+void
+BitPacker::clear()
+{
+    b_.assign(accum_, Value::lit(0, accumBits_));
+    b_.assign(count_, Value::lit(0, count_.width()));
+}
+
+} // namespace lib
+} // namespace lang
+} // namespace fleet

@@ -1,0 +1,80 @@
+#ifndef FLEET_LANG_STDLIB_H
+#define FLEET_LANG_STDLIB_H
+
+/**
+ * @file
+ * Library components for common Fleet patterns — the paper's stated
+ * follow-on work ("We hope to add library code to Fleet to simplify this
+ * and other common patterns", Section 7.2, about managing the division
+ * of output words into 8-bit chunks in the integer coder).
+ *
+ * BitPacker encapsulates the accumulator-register pattern for assembling
+ * a packed bitstream that is emitted in fixed-width output tokens:
+ * variable-width fields are pushed in one virtual cycle each, tokens are
+ * emitted whenever enough bits have accumulated, and the tail can be
+ * zero-padded to a token boundary. All methods generate statements into
+ * the current builder block, so they compose with if_/while_ control
+ * exactly like hand-written assignments.
+ */
+
+#include <string>
+
+#include "lang/builder.h"
+
+namespace fleet {
+namespace lang {
+namespace lib {
+
+class BitPacker
+{
+  public:
+    /**
+     * Declare the packer's state (an accumulator and a bit counter) in
+     * `b`. `token_bits` is the emission granularity (the program's
+     * output token width); `accum_bits` bounds pending bits and must
+     * leave room for a push: count stays below `token_bits` after every
+     * emit, so the largest pushable field is accum_bits - token_bits + 1.
+     */
+    BitPacker(ProgramBuilder &b, const std::string &name,
+              int token_bits = 8, int accum_bits = 64);
+
+    /// @name Condition expressions (no statements generated).
+    /// @{
+    /** A full output token is pending. */
+    Value hasToken() const;
+    /** Any bits are pending. */
+    Value pending() const;
+    /** Current pending bit count. */
+    Value count() const { return count_; }
+    /// @}
+
+    /// @name Statement generators (call inside gated blocks; each is one
+    /// virtual cycle's worth of work and writes accum/count once).
+    /// @{
+    /** Append the low `bits` bits of `value` (bits is an expression).
+     * Bits of `value` above `bits` must already be zero. */
+    void push(const Value &value, const Value &bits);
+    /** Append a fixed-width field. */
+    void pushFixed(const Value &value, int bits);
+    /** Emit one output token and shift it out. */
+    void emitToken();
+    /** Emit the final partial token zero-padded, clearing the packer.
+     * No-op (generates nothing) unless gated by pending(). */
+    void emitPadded();
+    /** Reset accumulator state (e.g. at a block boundary). */
+    void clear();
+    /// @}
+
+  private:
+    ProgramBuilder &b_;
+    int tokenBits_;
+    int accumBits_;
+    Value accum_;
+    Value count_;
+};
+
+} // namespace lib
+} // namespace lang
+} // namespace fleet
+
+#endif // FLEET_LANG_STDLIB_H

@@ -1,0 +1,210 @@
+#include "memctl/input_controller.h"
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace memctl {
+
+InputController::InputController(dram::DramChannel &channel,
+                                 const ControllerParams &params,
+                                 std::vector<StreamRegion> regions)
+    : channel_(channel), params_(params)
+{
+    int bus_bits = channel_.busWidthBytes() * 8;
+    if (params_.burstBits % bus_bits != 0 || params_.burstBits < bus_bits) {
+        fatal("InputController: burst size must be a positive multiple of "
+              "the bus width");
+    }
+    beatsPerBurst_ = params_.burstBits / (channel_.busWidthBytes() * 8);
+
+    for (auto &region : regions) {
+        PuState pu{region, BitFifo(uint64_t(params_.burstBits) *
+                            std::max(1, params_.bufferBursts))};
+        pu.totalBursts = ceilDiv(region.streamBits, params_.burstBits);
+        if (pu.totalBursts * (params_.burstBits / 8) > region.regionBytes)
+            fatal("InputController: stream exceeds its region");
+        pus_.push_back(std::move(pu));
+    }
+    slots_.resize(params_.numBurstRegs);
+    for (auto &slot : slots_)
+        slot.data.resize(params_.burstBits / 8);
+}
+
+bool
+InputController::streamExhausted(int pu) const
+{
+    return pus_[pu].bitsBuffered == pus_[pu].region.streamBits;
+}
+
+bool
+InputController::done() const
+{
+    for (const auto &pu : pus_) {
+        if (pu.burstsIssued != pu.totalBursts || pu.inflightBursts != 0)
+            return false;
+    }
+    return true;
+}
+
+uint64_t
+InputController::burstPayloadBits(const PuState &pu,
+                                  uint64_t burst_idx) const
+{
+    uint64_t start = burst_idx * params_.burstBits;
+    uint64_t end = std::min<uint64_t>(start + params_.burstBits,
+                                      pu.region.streamBits);
+    return end - start;
+}
+
+bool
+InputController::creditAvailable(const PuState &pu) const
+{
+    // Bits already committed to this PU (in flight or buffered) plus the
+    // next burst must fit its buffer. With bufferBursts == 1 this is the
+    // paper's scheme (one burst fetched once the buffer can take it);
+    // larger buffers overlap the fetch of burst n+1 with the
+    // consumption of burst n.
+    uint64_t committed = uint64_t(pu.inflightBursts) * params_.burstBits +
+                         pu.buffer.sizeBits();
+    uint64_t payload = burstPayloadBits(pu, pu.burstsIssued);
+    return committed + payload <= pu.buffer.capacityBits();
+}
+
+void
+InputController::drainSlots()
+{
+    for (auto &slot : slots_) {
+        if (!slot.active || slot.beatsReceived != slot.beatsTotal)
+            continue;
+        PuState &pu = pus_[slot.pu];
+        if (slot.seq != pu.burstsDrained)
+            continue; // Keep each PU's bursts in stream order.
+        uint64_t remaining = slot.payloadBits - slot.drainedBits;
+        int chunk = static_cast<int>(
+            std::min<uint64_t>(params_.portWidth, remaining));
+        if (pu.buffer.freeBits() < uint64_t(chunk))
+            continue; // Buffer full: stall this burst register.
+        // Read chunk bits starting at drainedBits within the burst.
+        uint64_t bit_off = slot.drainedBits;
+        uint64_t value = 0;
+        for (int got = 0; got < chunk;) {
+            uint64_t byte = (bit_off + got) / 8;
+            int shift = (bit_off + got) % 8;
+            int piece = std::min(chunk - got, 8 - shift);
+            value |= uint64_t((slot.data[byte] >> shift) & mask64(piece))
+                     << got;
+            got += piece;
+        }
+        pu.buffer.push(value, chunk);
+        slot.drainedBits += chunk;
+        pu.bitsBuffered += chunk;
+        bitsDelivered_ += chunk;
+        if (slot.drainedBits == slot.payloadBits) {
+            slot.active = false;
+            pu.inflightBursts--;
+            pu.burstsDrained++;
+        }
+    }
+}
+
+void
+InputController::acceptBeat()
+{
+    if (!channel_.rValid())
+        return;
+    if (fillingSlot_ < 0) {
+        // First beat of the next burst: allocate a free burst register.
+        for (size_t s = 0; s < slots_.size(); ++s) {
+            if (!slots_[s].active) {
+                fillingSlot_ = static_cast<int>(s);
+                break;
+            }
+        }
+        if (fillingSlot_ < 0)
+            return; // All burst registers busy: stall the R channel.
+        if (orderQueue_.empty())
+            panic("InputController: data beat with no outstanding request");
+        BurstSlot &slot = slots_[fillingSlot_];
+        slot.active = true;
+        slot.pu = orderQueue_.front();
+        orderQueue_.pop_front();
+        slot.beatsReceived = 0;
+        slot.beatsTotal = beatsPerBurst_;
+        PuState &pu = pus_[slot.pu];
+        // Bursts return in AR order per PU (the channel is in-order and
+        // the addressing unit issues sequential addresses).
+        slot.seq = pu.burstsReceived++;
+        slot.payloadBits = burstPayloadBits(pu, slot.seq);
+        slot.drainedBits = 0;
+    }
+    BurstSlot &slot = slots_[fillingSlot_];
+    const dram::RBeat &beat = channel_.rPeek();
+    const auto &mem = channel_.memory();
+    int bus_bytes = channel_.busWidthBytes();
+    std::copy(mem.begin() + beat.addr, mem.begin() + beat.addr + bus_bytes,
+              slot.data.begin() +
+                  static_cast<size_t>(slot.beatsReceived) * bus_bytes);
+    channel_.rPop();
+    slot.beatsReceived++;
+    if (slot.beatsReceived == slot.beatsTotal)
+        fillingSlot_ = -1;
+}
+
+void
+InputController::issueAddresses()
+{
+    if (pus_.empty())
+        return;
+    if (static_cast<int>(orderQueue_.size()) >= params_.maxAheadRequests)
+        return;
+    if (!params_.asyncAddressSupply) {
+        // Synchronous supply: the next address is issued only once the
+        // previous burst's data has fully returned (drain into the PU
+        // buffer may still overlap).
+        if (!orderQueue_.empty())
+            return;
+    }
+    if (!channel_.arReady())
+        return;
+
+    // Round-robin walk; one address per cycle.
+    int examined = 0;
+    int count = static_cast<int>(pus_.size());
+    while (examined < count) {
+        PuState &pu = pus_[rrPointer_];
+        if (pu.burstsIssued == pu.totalBursts) {
+            // Finished consuming input: always skipped.
+            rrPointer_ = (rrPointer_ + 1) % count;
+            ++examined;
+            continue;
+        }
+        if (!creditAvailable(pu)) {
+            if (params_.blockingAddressing)
+                return; // Wait here until this PU can accept.
+            rrPointer_ = (rrPointer_ + 1) % count;
+            ++examined;
+            continue;
+        }
+        uint64_t addr = pu.region.baseAddr +
+                        pu.burstsIssued * (params_.burstBits / 8);
+        channel_.arPush(addr, beatsPerBurst_);
+        orderQueue_.push_back(rrPointer_);
+        pu.burstsIssued++;
+        pu.inflightBursts++;
+        ++arIssued_;
+        rrPointer_ = (rrPointer_ + 1) % count;
+        return;
+    }
+}
+
+void
+InputController::tick()
+{
+    drainSlots();
+    acceptBeat();
+    issueAddresses();
+}
+
+} // namespace memctl
+} // namespace fleet

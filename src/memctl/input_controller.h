@@ -1,0 +1,102 @@
+#ifndef FLEET_MEMCTL_INPUT_CONTROLLER_H
+#define FLEET_MEMCTL_INPUT_CONTROLLER_H
+
+/**
+ * @file
+ * Round-robin input controller for one memory channel (Section 5). An
+ * addressing unit walks the channel's processing units issuing burst read
+ * addresses well ahead of the data transfer unit (asynchronous address
+ * supply); returning bursts land in one of r burst registers, which drain
+ * in parallel — w bits per cycle each — into the per-PU BRAM input
+ * buffers. Backpressure propagates naturally: a full buffer stalls its
+ * burst register's drain, busy burst registers stall the AXI R channel,
+ * and exhausted credits stall the addressing unit.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dram/dram.h"
+#include "memctl/bitfifo.h"
+#include "memctl/params.h"
+
+namespace fleet {
+namespace memctl {
+
+class InputController
+{
+  public:
+    InputController(dram::DramChannel &channel,
+                    const ControllerParams &params,
+                    std::vector<StreamRegion> regions);
+
+    /** Per-PU input buffer the processing unit consumes tokens from. */
+    BitFifo &buffer(int pu) { return pus_[pu].buffer; }
+
+    /** True once every payload bit of the PU's stream is in (or through)
+     * its buffer — drives the input_finished protocol signal together
+     * with buffer emptiness. */
+    bool streamExhausted(int pu) const;
+
+    /** All streams fully issued, received, and drained into buffers. */
+    bool done() const;
+
+    /** Advance one cycle (call before the channel's tick()). */
+    void tick();
+
+    /// @name Statistics.
+    /// @{
+    uint64_t bitsDelivered() const { return bitsDelivered_; }
+    uint64_t arIssued() const { return arIssued_; }
+    /// @}
+
+  private:
+    struct PuState
+    {
+        StreamRegion region;
+        BitFifo buffer;
+        uint64_t totalBursts = 0;
+        uint64_t burstsIssued = 0;
+        uint64_t burstsReceived = 0; ///< Arrived at a burst register.
+        uint64_t burstsDrained = 0;  ///< Fully pushed into the buffer.
+        uint64_t bitsBuffered = 0; ///< Payload bits pushed into buffer.
+        int inflightBursts = 0;    ///< Issued but not fully drained.
+    };
+
+    struct BurstSlot
+    {
+        bool active = false;
+        int pu = -1;
+        uint64_t seq = 0; ///< This PU's burst index (drain ordering).
+        int beatsReceived = 0;
+        int beatsTotal = 0;
+        uint64_t payloadBits = 0; ///< Stream bits in this burst (tail may
+                                  ///< be short; padding is discarded).
+        uint64_t drainedBits = 0;
+        std::vector<uint8_t> data;
+    };
+
+    void drainSlots();
+    void acceptBeat();
+    void issueAddresses();
+    bool creditAvailable(const PuState &pu) const;
+    uint64_t burstPayloadBits(const PuState &pu, uint64_t burst_idx) const;
+
+    dram::DramChannel &channel_;
+    ControllerParams params_;
+    std::vector<PuState> pus_;
+    std::vector<BurstSlot> slots_;
+    /** PUs of issued-but-not-fully-received bursts, in AR order. */
+    std::deque<int> orderQueue_;
+    int fillingSlot_ = -1; ///< Slot receiving the current burst's beats.
+    int rrPointer_ = 0;
+    int beatsPerBurst_;
+    uint64_t bitsDelivered_ = 0;
+    uint64_t arIssued_ = 0;
+};
+
+} // namespace memctl
+} // namespace fleet
+
+#endif // FLEET_MEMCTL_INPUT_CONTROLLER_H

@@ -1,0 +1,214 @@
+#include "memctl/output_controller.h"
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace memctl {
+
+OutputController::OutputController(dram::DramChannel &channel,
+                                   const ControllerParams &params,
+                                   std::vector<StreamRegion> regions)
+    : channel_(channel), params_(params)
+{
+    int bus_bits = channel_.busWidthBytes() * 8;
+    if (params_.burstBits % bus_bits != 0 || params_.burstBits < bus_bits) {
+        fatal("OutputController: burst size must be a positive multiple "
+              "of the bus width");
+    }
+    beatsPerBurst_ = params_.burstBits / bus_bits;
+
+    for (auto &region : regions)
+        pus_.push_back(PuState{
+            region, BitFifo(uint64_t(params_.burstBits) *
+                            std::max(1, params_.bufferBursts))});
+    slots_.resize(params_.numBurstRegs);
+    for (auto &slot : slots_)
+        slot.data.resize(params_.burstBits / 8);
+}
+
+void
+OutputController::setPuFinished(int pu)
+{
+    pus_[pu].finished = true;
+}
+
+bool
+OutputController::done() const
+{
+    if (!orderQueue_.empty())
+        return false;
+    for (const auto &pu : pus_) {
+        if (!pu.finished)
+            return false;
+        if (!pu.buffer.empty())
+            return false;
+    }
+    return true;
+}
+
+bool
+OutputController::burstReady(const PuState &pu) const
+{
+    // Bits already committed to an issued burst still sit in the buffer
+    // until its burst register pops them; only uncommitted bits count.
+    uint64_t available = pu.buffer.sizeBits() - pu.bitsPendingFill;
+    if (available >= uint64_t(params_.burstBits))
+        return true;
+    return pu.finished && available > 0 && !pu.flushIssued;
+}
+
+void
+OutputController::issueAddresses()
+{
+    if (pus_.empty())
+        return;
+    if (static_cast<int>(orderQueue_.size()) >= params_.maxAheadRequests)
+        return;
+    if (!params_.asyncAddressSupply) {
+        // Synchronous supply: one outstanding write burst at a time.
+        if (!orderQueue_.empty())
+            return;
+    }
+    if (!channel_.awReady())
+        return;
+
+    int examined = 0;
+    int count = static_cast<int>(pus_.size());
+    while (examined < count) {
+        PuState &pu = pus_[rrPointer_];
+        bool skip_forever = pu.finished &&
+                            pu.buffer.sizeBits() == pu.bitsPendingFill;
+        if (skip_forever) {
+            // Produced its last output: always skipped.
+            rrPointer_ = (rrPointer_ + 1) % count;
+            ++examined;
+            continue;
+        }
+        if (!burstReady(pu)) {
+            if (params_.blockingAddressing)
+                return; // Wait for this PU's next output burst.
+            rrPointer_ = (rrPointer_ + 1) % count;
+            ++examined;
+            continue;
+        }
+        uint64_t burst_bytes = params_.burstBits / 8;
+        uint64_t addr = pu.region.baseAddr + pu.burstsIssued * burst_bytes;
+        if ((pu.burstsIssued + 1) * burst_bytes > pu.region.regionBytes) {
+            fatal("OutputController: PU output exceeds its ",
+                  pu.region.regionBytes, "-byte region");
+        }
+        uint64_t payload = std::min<uint64_t>(
+            params_.burstBits, pu.buffer.sizeBits() - pu.bitsPendingFill);
+        if (payload < uint64_t(params_.burstBits))
+            pu.flushIssued = true; // Final partial burst.
+        channel_.awPush(addr, beatsPerBurst_);
+        orderQueue_.push_back(PendingBurst{rrPointer_, payload, -1, 0});
+        pu.burstsIssued++;
+        pu.bitsAccepted += payload;
+        pu.bitsPendingFill += payload;
+        ++awIssued_;
+        rrPointer_ = (rrPointer_ + 1) % count;
+        return;
+    }
+}
+
+void
+OutputController::assignSlots()
+{
+    for (auto &pending : orderQueue_) {
+        if (pending.slot >= 0)
+            continue;
+        int free_slot = -1;
+        for (size_t s = 0; s < slots_.size(); ++s) {
+            if (!slots_[s].active) {
+                free_slot = static_cast<int>(s);
+                break;
+            }
+        }
+        if (free_slot < 0)
+            return;
+        pending.slot = free_slot;
+        BurstSlot &slot = slots_[free_slot];
+        slot.active = true;
+        slot.filledBits = 0;
+        slot.payloadBits = pending.payloadBits;
+        std::fill(slot.data.begin(), slot.data.end(), 0);
+    }
+}
+
+void
+OutputController::fillSlots()
+{
+    // A PU's bursts must pop its buffer in issue order; while an earlier
+    // burst for the same PU is still filling, later ones wait.
+    std::vector<bool> pu_filling(pus_.size(), false);
+    for (auto &pending : orderQueue_) {
+        bool earlier_incomplete = pu_filling[pending.pu];
+        bool this_incomplete =
+            pending.slot < 0 ||
+            slots_[pending.slot].filledBits <
+                slots_[pending.slot].payloadBits;
+        if (this_incomplete)
+            pu_filling[pending.pu] = true;
+        if (pending.slot < 0 || earlier_incomplete)
+            continue;
+        BurstSlot &slot = slots_[pending.slot];
+        if (slot.filledBits >= slot.payloadBits)
+            continue;
+        PuState &pu = pus_[pending.pu];
+        uint64_t remaining = slot.payloadBits - slot.filledBits;
+        int chunk = static_cast<int>(
+            std::min<uint64_t>(params_.portWidth, remaining));
+        if (pu.buffer.sizeBits() < uint64_t(chunk))
+            continue; // Shouldn't starve: payload was buffered at issue.
+        uint64_t value = pu.buffer.pop(chunk);
+        pu.bitsPendingFill -= chunk;
+        uint64_t bit_off = slot.filledBits;
+        for (int put = 0; put < chunk;) {
+            uint64_t byte = (bit_off + put) / 8;
+            int shift = (bit_off + put) % 8;
+            int piece = std::min(chunk - put, 8 - shift);
+            slot.data[byte] |= uint8_t(((value >> put) & mask64(piece))
+                                       << shift);
+            put += piece;
+        }
+        slot.filledBits += chunk;
+        bitsCollected_ += chunk;
+    }
+}
+
+void
+OutputController::transmit()
+{
+    if (orderQueue_.empty())
+        return;
+    PendingBurst &head = orderQueue_.front();
+    if (head.slot < 0)
+        return;
+    BurstSlot &slot = slots_[head.slot];
+    if (slot.filledBits < slot.payloadBits)
+        return; // Head-of-line: wait until the oldest burst is complete.
+    if (!channel_.wReady())
+        return;
+    int bus_bytes = channel_.busWidthBytes();
+    channel_.wPush(slot.data.data() +
+                   static_cast<size_t>(head.beatsSent) * bus_bytes);
+    head.beatsSent++;
+    if (head.beatsSent == beatsPerBurst_) {
+        slot.active = false;
+        orderQueue_.pop_front();
+    }
+}
+
+void
+OutputController::tick()
+{
+    issueAddresses();
+    assignSlots();
+    fillSlots();
+    transmit();
+}
+
+} // namespace memctl
+} // namespace fleet

@@ -1,0 +1,106 @@
+#ifndef FLEET_MEMCTL_OUTPUT_CONTROLLER_H
+#define FLEET_MEMCTL_OUTPUT_CONTROLLER_H
+
+/**
+ * @file
+ * Round-robin output controller for one memory channel — symmetric to the
+ * input controller (Section 5). The addressing unit issues a write
+ * address once a processing unit has a full burst buffered (or a final
+ * partial burst after output_finished); burst registers fill from the
+ * per-PU output buffers in parallel at w bits per cycle; completed bursts
+ * are transmitted to the AXI W channel in address order. The addressing
+ * unit is non-blocking by default, since filter-style units produce
+ * output at dramatically different rates (paper, Section 5).
+ */
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dram/dram.h"
+#include "memctl/bitfifo.h"
+#include "memctl/params.h"
+
+namespace fleet {
+namespace memctl {
+
+class OutputController
+{
+  public:
+    OutputController(dram::DramChannel &channel,
+                     const ControllerParams &params,
+                     std::vector<StreamRegion> regions);
+
+    /** Per-PU output buffer the processing unit emits tokens into. */
+    BitFifo &buffer(int pu) { return pus_[pu].buffer; }
+
+    /** Inform the controller the PU asserted output_finished. */
+    void setPuFinished(int pu);
+
+    /** All output flushed to channel memory for every finished PU. */
+    bool done() const;
+
+    /** Total payload bits written for one PU (for host readback). */
+    uint64_t payloadBits(int pu) const { return pus_[pu].bitsAccepted; }
+
+    /** Advance one cycle (call before the channel's tick()). */
+    void tick();
+
+    /// @name Statistics.
+    /// @{
+    uint64_t bitsCollected() const { return bitsCollected_; }
+    uint64_t awIssued() const { return awIssued_; }
+    /// @}
+
+  private:
+    struct PuState
+    {
+        StreamRegion region;
+        BitFifo buffer;
+        uint64_t burstsIssued = 0;
+        uint64_t bitsAccepted = 0; ///< Payload bits committed to bursts.
+        uint64_t bitsPendingFill = 0; ///< Committed but not yet popped.
+        bool finished = false;
+        bool flushIssued = false; ///< Final partial burst issued.
+    };
+
+    struct PendingBurst
+    {
+        int pu;
+        uint64_t payloadBits; ///< Real bits (rest of the burst is padding).
+        int slot = -1;        ///< Burst register, -1 until assigned.
+        int beatsSent = 0;
+    };
+
+    struct BurstSlot
+    {
+        bool active = false;
+        uint64_t filledBits = 0;
+        uint64_t payloadBits = 0;
+        int owner = -1; ///< Index into orderQueue_ at assignment time is
+                        ///< not stable; slots are referenced from
+                        ///< PendingBurst::slot instead.
+        std::vector<uint8_t> data;
+    };
+
+    void assignSlots();
+    void fillSlots();
+    void transmit();
+    void issueAddresses();
+    bool burstReady(const PuState &pu) const;
+
+    dram::DramChannel &channel_;
+    ControllerParams params_;
+    std::vector<PuState> pus_;
+    std::vector<BurstSlot> slots_;
+    std::deque<PendingBurst> orderQueue_;
+    int rrPointer_ = 0;
+    int beatsPerBurst_;
+    uint64_t bitsCollected_ = 0;
+    uint64_t awIssued_ = 0;
+};
+
+} // namespace memctl
+} // namespace fleet
+
+#endif // FLEET_MEMCTL_OUTPUT_CONTROLLER_H

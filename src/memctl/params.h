@@ -1,0 +1,60 @@
+#ifndef FLEET_MEMCTL_PARAMS_H
+#define FLEET_MEMCTL_PARAMS_H
+
+/**
+ * @file
+ * Shared configuration for the Fleet input and output memory controllers
+ * (Section 5 of the paper). Defaults match the paper's F1 configuration:
+ * 1024-bit bursts (two 512-bit beats), w = 32-bit buffer ports, r = 16
+ * burst registers per controller, blocking input addressing and
+ * non-blocking output addressing.
+ */
+
+#include <cstdint>
+
+namespace fleet {
+namespace memctl {
+
+struct ControllerParams
+{
+    /** DRAM burst size in bits; also the per-PU buffer capacity. */
+    int burstBits = 1024;
+    /** Buffer data-port width w (bits moved per cycle per burst register). */
+    int portWidth = 32;
+    /** Number of burst registers r (parallel buffer drains/fills). */
+    int numBurstRegs = 16;
+    /**
+     * Asynchronous address supply (Figure 9 ablation): when false, the
+     * addressing unit issues a request only once the previous one has
+     * fully returned, exposing the full DRAM latency on every burst.
+     */
+    bool asyncAddressSupply = true;
+    /**
+     * Blocking addressing waits at a processing unit until it can accept
+     * (input) or produce (output) its next burst; non-blocking skips it.
+     * Paper defaults: input blocking, output non-blocking.
+     */
+    bool blockingAddressing = true;
+    /** Addressing-unit lead over the data-transfer unit (order queue). */
+    int maxAheadRequests = 32;
+    /**
+     * Per-PU buffer capacity in bursts. The paper uses 1 ("capacity
+     * equal to the burst size"); 2 enables double buffering — the next
+     * burst is fetched while the previous drains — at the cost of an
+     * extra BRAM-sized buffer per unit (see bench/ablation_memctl).
+     */
+    int bufferBursts = 1;
+};
+
+/** Placement of one processing unit's stream within channel memory. */
+struct StreamRegion
+{
+    uint64_t baseAddr = 0;   ///< Byte address, burst aligned.
+    uint64_t regionBytes = 0; ///< Allocated bytes (burst multiple).
+    uint64_t streamBits = 0; ///< Logical payload (input: exact token bits).
+};
+
+} // namespace memctl
+} // namespace fleet
+
+#endif // FLEET_MEMCTL_PARAMS_H

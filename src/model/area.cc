@@ -1,0 +1,178 @@
+#include "model/area.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+
+namespace fleet {
+namespace model {
+
+namespace {
+
+/** BRAM36 blocks needed for an elements x width memory: pick the best of
+ * the standard aspect ratios (512x72 down to 32Kx1). */
+uint64_t
+bram36Blocks(uint64_t elements, uint64_t width)
+{
+    struct Aspect
+    {
+        uint64_t depth, width;
+    };
+    static const Aspect kAspects[] = {{512, 72},   {1024, 36}, {2048, 18},
+                                      {4096, 9},   {8192, 4},  {16384, 2},
+                                      {32768, 1}};
+    uint64_t best = ~0ull;
+    for (const auto &aspect : kAspects) {
+        uint64_t blocks = ceilDiv(elements, aspect.depth) *
+                          ceilDiv(width, aspect.width);
+        best = std::min(best, blocks);
+    }
+    return best;
+}
+
+/** Per-node LUT estimate: the standard rough costs used by hand
+ * estimation (carry chains cost ~1 LUT/bit, comparators ~bit/2, dynamic
+ * shifts a log-depth mux tree, wiring-only ops are free). */
+uint64_t
+estimateNode(const rtl::Circuit &c, const rtl::Node &n)
+{
+    auto width = [&](rtl::NodeId id) {
+        return uint64_t(c.nodes()[id].width);
+    };
+    switch (n.kind) {
+      case rtl::NodeKind::Bin:
+        switch (n.binOp) {
+          case BinOp::Add:
+          case BinOp::Sub:
+            return uint64_t(n.width);
+          case BinOp::Mul:
+            // Constant-coefficient multipliers synthesize to shift-add
+            // LUT networks (~1 LUT/output bit after truncation trimming);
+            // variable x variable maps to DSPs (counted separately).
+            if (c.nodes()[n.a].kind == rtl::NodeKind::Const ||
+                c.nodes()[n.b].kind == rtl::NodeKind::Const) {
+                return uint64_t(n.width);
+            }
+            return uint64_t(0);
+          case BinOp::And:
+          case BinOp::Or:
+          case BinOp::Xor:
+            return uint64_t(n.width) / 2 + 1;
+          case BinOp::Shl:
+          case BinOp::Shr: {
+            // Barrel shifter: width x log2(width) mux levels; constant
+            // shift amounts are wiring only.
+            if (c.nodes()[n.b].kind == rtl::NodeKind::Const)
+                return uint64_t(0);
+            uint64_t levels = bitsToRepresent(width(n.a) - 1);
+            return uint64_t(n.width) * levels / 2;
+          }
+          case BinOp::Eq:
+          case BinOp::Ne:
+          case BinOp::Ult:
+          case BinOp::Ule:
+          case BinOp::Ugt:
+          case BinOp::Uge:
+          case BinOp::Slt:
+          case BinOp::Sle:
+          case BinOp::Sgt:
+          case BinOp::Sge:
+            return std::max(width(n.a), width(n.b)) / 2 + 1;
+          case BinOp::LAnd:
+          case BinOp::LOr:
+            return uint64_t(1);
+        }
+        return uint64_t(1);
+      case rtl::NodeKind::Un:
+        return n.unOp == UnOp::Neg ? uint64_t(n.width)
+                                   : uint64_t(n.width) / 4 + 1;
+      case rtl::NodeKind::Mux:
+        return uint64_t(n.width) / 2 + 1;
+      default:
+        return uint64_t(0); // Const/Input/RegOut/rd-data/Slice/Concat.
+    }
+}
+
+} // namespace
+
+Resources
+estimatePuResources(const rtl::Circuit &circuit,
+                    const memctl::ControllerParams &ctrl)
+{
+    Resources res;
+    for (const auto &node : circuit.nodes()) {
+        res.luts += estimateNode(circuit, node);
+        if (node.kind == rtl::NodeKind::Bin && node.binOp == BinOp::Mul &&
+            circuit.nodes()[node.a].kind != rtl::NodeKind::Const &&
+            circuit.nodes()[node.b].kind != rtl::NodeKind::Const) {
+            uint64_t wa = circuit.nodes()[node.a].width;
+            uint64_t wb = circuit.nodes()[node.b].width;
+            res.dsps += ceilDiv(wa, 18) * ceilDiv(wb, 25);
+        }
+    }
+    for (const auto &reg : circuit.regs()) {
+        res.ffs += reg.width;
+        // Clock-enable + next-value steering.
+        res.luts += uint64_t(reg.width) / 2;
+    }
+    for (const auto &bram : circuit.brams())
+        res.bram36 += bram36Blocks(bram.elements, bram.width);
+
+    // Stream buffers: one input and one output FIFO of one burst each,
+    // with w-bit ports (Section 5), plus their pointer/handshake logic.
+    res.bram36 += 2 * bram36Blocks(ctrl.burstBits / ctrl.portWidth,
+                                   ctrl.portWidth);
+    res.luts += 160;
+    res.ffs += 120;
+    return res;
+}
+
+Resources
+estimateControllerResources(const memctl::ControllerParams &ctrl,
+                            int bus_width_bits)
+{
+    Resources res;
+    // Burst registers dominate: r registers of burstBits for each of the
+    // input and output controllers, plus distribution muxes from the bus.
+    uint64_t burst_reg_ffs = uint64_t(ctrl.numBurstRegs) * ctrl.burstBits;
+    res.ffs += 2 * burst_reg_ffs;
+    res.luts += 2 * (burst_reg_ffs / 2 + uint64_t(bus_width_bits) * 8);
+    // Addressing units, order queues, credit tracking.
+    res.ffs += 4096;
+    res.luts += 6144;
+    return res;
+}
+
+int
+maxProcessingUnits(const Device &device, const Resources &per_pu,
+                   const memctl::ControllerParams &ctrl)
+{
+    Resources ctrl_res = estimateControllerResources(ctrl);
+    auto available = [&](uint64_t total, uint64_t ctrl_use) {
+        uint64_t shell = uint64_t(total * device.shellFraction);
+        uint64_t ctrl_total = ctrl_use * device.memoryChannels;
+        return total > shell + ctrl_total ? total - shell - ctrl_total : 0;
+    };
+
+    uint64_t by_lut = per_pu.luts
+                          ? available(device.luts, ctrl_res.luts) /
+                                per_pu.luts
+                          : ~0ull;
+    uint64_t by_ff = per_pu.ffs
+                         ? available(device.ffs, ctrl_res.ffs) / per_pu.ffs
+                         : ~0ull;
+    uint64_t by_bram = per_pu.bram36 ? available(device.bram36, 0) /
+                                           per_pu.bram36
+                                     : ~0ull;
+    uint64_t by_dsp = per_pu.dsps ? available(device.dsps, 0) / per_pu.dsps
+                                  : ~0ull;
+
+    uint64_t fit = std::min(std::min(by_lut, by_ff),
+                            std::min(by_bram, by_dsp));
+    // Divided evenly among channels.
+    fit = fit / device.memoryChannels * device.memoryChannels;
+    return static_cast<int>(std::min<uint64_t>(fit, 4096));
+}
+
+} // namespace model
+} // namespace fleet

@@ -1,0 +1,39 @@
+#ifndef FLEET_MODEL_AREA_H
+#define FLEET_MODEL_AREA_H
+
+/**
+ * @file
+ * Area model: estimates FPGA resources for a compiled processing unit and
+ * computes how many copies fit on a device next to the Fleet memory
+ * controllers — the "# PUs" column of the paper's Figure 7. Synthesis is
+ * unavailable in this reproduction, so LUT counts use standard per-node
+ * heuristics (documented on estimateNode in area.cc) and are calibrated
+ * only in aggregate; the per-application *relative* capacities are what
+ * the model is expected to preserve.
+ */
+
+#include "memctl/params.h"
+#include "model/device.h"
+#include "rtl/circuit.h"
+
+namespace fleet {
+namespace model {
+
+/** Estimated resources of one compiled processing unit, including its
+ * input/output stream buffers. */
+Resources estimatePuResources(const rtl::Circuit &circuit,
+                              const memctl::ControllerParams &ctrl);
+
+/** Estimated resources of one channel's input+output controllers. */
+Resources estimateControllerResources(const memctl::ControllerParams &ctrl,
+                                      int bus_width_bits = 512);
+
+/** Maximum processing units that fit on the device (rounded down to a
+ * multiple of the channel count, as units are divided among channels). */
+int maxProcessingUnits(const Device &device, const Resources &per_pu,
+                       const memctl::ControllerParams &ctrl);
+
+} // namespace model
+} // namespace fleet
+
+#endif // FLEET_MODEL_AREA_H

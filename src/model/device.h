@@ -1,0 +1,56 @@
+#ifndef FLEET_MODEL_DEVICE_H
+#define FLEET_MODEL_DEVICE_H
+
+/**
+ * @file
+ * FPGA device description for the area model. Defaults describe a
+ * vu9p-class card as deployed in the Amazon F1 (paper, Section 7),
+ * including the fraction of the fabric consumed by the cloud shell and
+ * the per-channel Fleet memory controllers (Section 5 reports the input
+ * and output controllers together take about a tenth of the F1's logic
+ * at burst size 1024).
+ */
+
+#include <cstdint>
+
+namespace fleet {
+namespace model {
+
+struct Device
+{
+    const char *name = "vu9p (Amazon F1)";
+    uint64_t luts = 1182240;
+    uint64_t ffs = 2364480;
+    uint64_t bram36 = 2160;
+    uint64_t dsps = 6840;
+
+    /** Fraction of each resource reserved by the F1 shell. */
+    double shellFraction = 0.18;
+
+    int memoryChannels = 4;
+    double clockMHz = 125.0;
+};
+
+/** Resource bundle used by the area model. */
+struct Resources
+{
+    uint64_t luts = 0;
+    uint64_t ffs = 0;
+    uint64_t bram36 = 0;
+    uint64_t dsps = 0;
+
+    Resources &
+    operator+=(const Resources &other)
+    {
+        luts += other.luts;
+        ffs += other.ffs;
+        bram36 += other.bram36;
+        dsps += other.dsps;
+        return *this;
+    }
+};
+
+} // namespace model
+} // namespace fleet
+
+#endif // FLEET_MODEL_DEVICE_H

@@ -1,0 +1,20 @@
+#include "model/power.h"
+
+namespace fleet {
+namespace model {
+
+double
+fpgaPackagePower(const PowerParams &params, const Resources &per_pu,
+                 int pus, const Resources &controllers)
+{
+    auto dynamic = [&](const Resources &res) {
+        return params.activity *
+               (res.luts * params.wPerLut + res.ffs * params.wPerFf +
+                res.bram36 * params.wPerBram36 + res.dsps * params.wPerDsp);
+    };
+    return params.fpgaStaticW + dynamic(controllers) +
+           pus * dynamic(per_pu);
+}
+
+} // namespace model
+} // namespace fleet

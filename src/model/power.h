@@ -1,0 +1,49 @@
+#ifndef FLEET_MODEL_POWER_H
+#define FLEET_MODEL_POWER_H
+
+/**
+ * @file
+ * Power model for the performance-per-watt columns of Figure 7. The paper
+ * itself models DRAM power as a constant 12.5 W on every platform (its
+ * F1 tools reported only package power); this reproduction extends the
+ * same style to the packages:
+ *
+ *  - FPGA package = static power + per-PU dynamic power proportional to
+ *    estimated resources, calibrated so that full-chip designs land in
+ *    the paper's observed 15-21 W range;
+ *  - CPU and GPU package powers are fixed platform constants derived
+ *    from the paper's own reported perf and perf/W (about 200 W and
+ *    180 W respectively).
+ */
+
+#include "model/device.h"
+
+namespace fleet {
+namespace model {
+
+struct PowerParams
+{
+    double fpgaStaticW = 7.0;
+    /** Dynamic power per resource at 125 MHz (W per unit), calibrated so
+     * full-chip designs land in the paper's observed 15-21 W package
+     * range. */
+    double wPerLut = 2.0e-5;
+    double wPerFf = 5.0e-6;
+    double wPerBram36 = 2.5e-3;
+    double wPerDsp = 1.5e-3;
+    /** Average toggle/activity factor for streaming designs. */
+    double activity = 0.35;
+
+    double dramW = 12.5; ///< The paper's constant.
+    double cpuPackageW = 200.0;
+    double gpuPackageW = 180.0;
+};
+
+/** FPGA package power for a design with `pus` copies of a PU. */
+double fpgaPackagePower(const PowerParams &params, const Resources &per_pu,
+                        int pus, const Resources &controllers);
+
+} // namespace model
+} // namespace fleet
+
+#endif // FLEET_MODEL_POWER_H

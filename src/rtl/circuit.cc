@@ -1,0 +1,369 @@
+#include "rtl/circuit.h"
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace rtl {
+
+namespace {
+
+bool
+sameNode(const Node &a, const Node &b)
+{
+    return a.kind == b.kind && a.width == b.width && a.value == b.value &&
+           a.index == b.index && a.binOp == b.binOp && a.unOp == b.unOp &&
+           a.a == b.a && a.b == b.b && a.c == b.c;
+}
+
+uint64_t
+hashNode(const Node &n)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    mix(uint64_t(n.kind));
+    mix(uint64_t(n.width));
+    mix(n.value);
+    mix(uint64_t(int64_t(n.index)));
+    mix(uint64_t(n.binOp));
+    mix(uint64_t(n.unOp));
+    mix(uint64_t(int64_t(n.a)));
+    mix(uint64_t(int64_t(n.b)));
+    mix(uint64_t(int64_t(n.c)));
+    return h;
+}
+
+} // namespace
+
+NodeId
+Circuit::addNode(Node node)
+{
+    if (node.width < 1 || node.width > kMaxValueWidth)
+        panic("rtl: node width ", node.width, " out of range");
+    // Structural hashing (CSE). Input/RegOut/BramRdData nodes are also
+    // keyed purely by their index, so sharing them is sound; ports and
+    // state elements must therefore create their node *before* any
+    // lookup could alias (they do: each addInput/addReg/addBram call
+    // creates a node with a fresh index).
+    uint64_t h = hashNode(node);
+    auto it = hashTable_.find(h);
+    if (it != hashTable_.end()) {
+        for (NodeId candidate : it->second)
+            if (sameNode(nodes_[candidate], node))
+                return candidate;
+    }
+    nodes_.push_back(node);
+    NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+    hashTable_[h].push_back(id);
+    return id;
+}
+
+void
+Circuit::checkOperand(NodeId id) const
+{
+    if (id < 0 || id >= static_cast<NodeId>(nodes_.size()))
+        panic("rtl: operand node ", id, " does not exist yet (circuit "
+              "construction must be bottom-up)");
+}
+
+NodeId
+Circuit::addInput(const std::string &name, int width)
+{
+    Node n;
+    n.kind = NodeKind::Input;
+    n.width = width;
+    n.index = static_cast<int>(inputs_.size());
+    NodeId id = addNode(std::move(n));
+    inputs_.push_back(PortInfo{name, width, id});
+    return id;
+}
+
+int
+Circuit::addReg(const std::string &name, int width, uint64_t init)
+{
+    int index = static_cast<int>(regs_.size());
+    Node n;
+    n.kind = NodeKind::RegOut;
+    n.width = width;
+    n.index = index;
+    NodeId out = addNode(std::move(n));
+    regs_.push_back(RegInfo{name, width, truncTo(init, width), kNoNode,
+                            kNoNode, out});
+    return index;
+}
+
+NodeId
+Circuit::regOut(int reg_index) const
+{
+    return regs_.at(reg_index).out;
+}
+
+void
+Circuit::setRegNext(int reg_index, NodeId next, NodeId enable)
+{
+    checkOperand(next);
+    if (enable != kNoNode)
+        checkOperand(enable);
+    RegInfo &reg = regs_.at(reg_index);
+    if (reg.next != kNoNode)
+        panic("rtl: register ", reg.name, " wired twice");
+    if (nodes_[next].width != reg.width)
+        panic("rtl: register ", reg.name, " next-value width mismatch");
+    reg.next = next;
+    reg.enable = enable;
+}
+
+int
+Circuit::addBram(const std::string &name, int elements, int width)
+{
+    int index = static_cast<int>(brams_.size());
+    Node n;
+    n.kind = NodeKind::BramRdData;
+    n.width = width;
+    n.index = index;
+    NodeId rd_data = addNode(std::move(n));
+    BramInfo bram;
+    bram.name = name;
+    bram.elements = elements;
+    bram.width = width;
+    bram.addrWidth = indexWidth(static_cast<uint64_t>(elements));
+    bram.rdData = rd_data;
+    brams_.push_back(std::move(bram));
+    return index;
+}
+
+NodeId
+Circuit::bramRdData(int bram_index) const
+{
+    return brams_.at(bram_index).rdData;
+}
+
+void
+Circuit::setBramPorts(int bram_index, NodeId rd_addr, NodeId wr_en,
+                      NodeId wr_addr, NodeId wr_data)
+{
+    checkOperand(rd_addr);
+    checkOperand(wr_en);
+    checkOperand(wr_addr);
+    checkOperand(wr_data);
+    BramInfo &bram = brams_.at(bram_index);
+    if (bram.rdAddr != kNoNode)
+        panic("rtl: BRAM ", bram.name, " wired twice");
+    if (nodes_[wr_data].width != bram.width)
+        panic("rtl: BRAM ", bram.name, " write-data width mismatch");
+    bram.rdAddr = rd_addr;
+    bram.wrEn = wr_en;
+    bram.wrAddr = wr_addr;
+    bram.wrData = wr_data;
+}
+
+void
+Circuit::addOutput(const std::string &name, NodeId node)
+{
+    checkOperand(node);
+    outputs_.push_back(OutputInfo{name, node});
+}
+
+NodeId
+Circuit::makeConst(uint64_t value, int width)
+{
+    Node n;
+    n.kind = NodeKind::Const;
+    n.width = width;
+    n.value = truncTo(value, width);
+    return addNode(std::move(n));
+}
+
+NodeId
+Circuit::makeBin(BinOp op, NodeId a, NodeId b)
+{
+    checkOperand(a);
+    checkOperand(b);
+    // Constant folding: real synthesis removes these, so the area model
+    // and interpreter should not pay for them either.
+    if (nodes_[a].kind == NodeKind::Const &&
+        nodes_[b].kind == NodeKind::Const) {
+        return makeConst(evalBinOp(op, nodes_[a].value, nodes_[a].width,
+                                   nodes_[b].value, nodes_[b].width),
+                         binOpWidth(op, nodes_[a].width, nodes_[b].width));
+    }
+    // Logical identities with a constant side (gating conditions are
+    // frequently conjoined with constant true).
+    if (op == BinOp::LAnd || op == BinOp::LOr) {
+        for (int swap = 0; swap < 2; ++swap) {
+            NodeId k = swap ? b : a;
+            NodeId other = swap ? a : b;
+            if (nodes_[k].kind != NodeKind::Const)
+                continue;
+            bool truthy = nodes_[k].value != 0;
+            if (op == BinOp::LAnd && !truthy)
+                return makeConst(0, 1);
+            if (op == BinOp::LOr && truthy)
+                return makeConst(1, 1);
+            if (nodes_[other].width == 1)
+                return other;
+            return makeBin(BinOp::Ne, other,
+                           makeConst(0, nodes_[other].width));
+        }
+    }
+    Node n;
+    n.kind = NodeKind::Bin;
+    n.width = binOpWidth(op, nodes_[a].width, nodes_[b].width);
+    n.binOp = op;
+    n.a = a;
+    n.b = b;
+    return addNode(std::move(n));
+}
+
+NodeId
+Circuit::makeUn(UnOp op, NodeId a)
+{
+    checkOperand(a);
+    if (nodes_[a].kind == NodeKind::Const) {
+        return makeConst(evalUnOp(op, nodes_[a].value, nodes_[a].width),
+                         unOpWidth(op, nodes_[a].width));
+    }
+    Node n;
+    n.kind = NodeKind::Un;
+    n.width = unOpWidth(op, nodes_[a].width);
+    n.unOp = op;
+    n.a = a;
+    return addNode(std::move(n));
+}
+
+NodeId
+Circuit::makeMux(NodeId cond, NodeId a, NodeId b)
+{
+    checkOperand(cond);
+    checkOperand(a);
+    checkOperand(b);
+    if (nodes_[a].width != nodes_[b].width) {
+        int w = std::max(nodes_[a].width, nodes_[b].width);
+        a = makeResize(a, w);
+        b = makeResize(b, w);
+    }
+    if (nodes_[cond].kind == NodeKind::Const)
+        return nodes_[cond].value != 0 ? a : b;
+    Node n;
+    n.kind = NodeKind::Mux;
+    n.width = nodes_[a].width;
+    n.a = a;
+    n.b = b;
+    n.c = cond;
+    return addNode(std::move(n));
+}
+
+NodeId
+Circuit::makeSlice(NodeId a, int hi, int lo)
+{
+    checkOperand(a);
+    if (lo < 0 || hi < lo || hi >= nodes_[a].width)
+        panic("rtl: slice [", hi, ":", lo, "] out of range for width ",
+              nodes_[a].width);
+    if (nodes_[a].kind == NodeKind::Const)
+        return makeConst(bitsOf(nodes_[a].value, lo, hi - lo + 1),
+                         hi - lo + 1);
+    Node n;
+    n.kind = NodeKind::Slice;
+    n.width = hi - lo + 1;
+    n.index = lo;
+    n.a = a;
+    return addNode(std::move(n));
+}
+
+NodeId
+Circuit::makeConcat(NodeId hi, NodeId lo)
+{
+    checkOperand(hi);
+    checkOperand(lo);
+    if (nodes_[hi].width + nodes_[lo].width > kMaxValueWidth)
+        panic("rtl: concat width exceeds ", kMaxValueWidth);
+    Node n;
+    n.kind = NodeKind::Concat;
+    n.width = nodes_[hi].width + nodes_[lo].width;
+    n.a = hi;
+    n.b = lo;
+    return addNode(std::move(n));
+}
+
+NodeId
+Circuit::makeResize(NodeId a, int width)
+{
+    checkOperand(a);
+    int wa = nodes_[a].width;
+    if (width == wa)
+        return a;
+    if (width < wa)
+        return makeSlice(a, width - 1, 0);
+    return makeConcat(makeConst(0, width - wa), a);
+}
+
+NodeId
+Circuit::makeOrReduce(const std::vector<NodeId> &nodes)
+{
+    if (nodes.empty())
+        return makeConst(0, 1);
+    NodeId acc = nodes[0];
+    for (size_t i = 1; i < nodes.size(); ++i)
+        acc = makeBin(BinOp::LOr, acc, nodes[i]);
+    return acc;
+}
+
+NodeId
+Circuit::makeAnd(NodeId a, NodeId b)
+{
+    return makeBin(BinOp::LAnd, a, b);
+}
+
+NodeId
+Circuit::makeNot(NodeId a)
+{
+    return makeUn(UnOp::LNot, a);
+}
+
+void
+Circuit::validate() const
+{
+    for (const auto &reg : regs_) {
+        if (reg.next == kNoNode)
+            panic("rtl: register ", reg.name, " has no next value");
+    }
+    for (const auto &bram : brams_) {
+        if (bram.rdAddr == kNoNode)
+            panic("rtl: BRAM ", bram.name, " is not wired");
+    }
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const Node &node = nodes_[i];
+        for (NodeId child : {node.a, node.b, node.c}) {
+            if (child != kNoNode && child >= static_cast<NodeId>(i)) {
+                // Bottom-up construction guarantees children precede
+                // parents; a violation indicates a framework bug.
+                panic("rtl: circuit ", name_, " is not topologically "
+                      "ordered");
+            }
+        }
+    }
+}
+
+int
+Circuit::inputIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < inputs_.size(); ++i)
+        if (inputs_[i].name == name)
+            return static_cast<int>(i);
+    panic("rtl: no input port named ", name);
+}
+
+NodeId
+Circuit::outputNode(const std::string &name) const
+{
+    for (const auto &out : outputs_)
+        if (out.name == name)
+            return out.node;
+    panic("rtl: no output named ", name);
+}
+
+} // namespace rtl
+} // namespace fleet

@@ -1,0 +1,168 @@
+#ifndef FLEET_RTL_CIRCUIT_H
+#define FLEET_RTL_CIRCUIT_H
+
+/**
+ * @file
+ * Register-transfer-level intermediate representation. The Fleet compiler
+ * lowers a processing-unit program into a Circuit: a DAG of combinational
+ * nodes plus registers (with optional clock enables) and BRAMs (one read
+ * port with one-cycle latency, one write port — the primitive the paper's
+ * generated RTL targets).
+ *
+ * Nodes are created bottom-up, so the node vector is always in topological
+ * order and the interpreter (rtl/sim.h) can evaluate it in a single
+ * forward pass per clock cycle. The circuit can also be pretty-printed as
+ * synthesizable Verilog (rtl/verilog.h), mirroring the paper's Figure 4.
+ */
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ops.h"
+
+namespace fleet {
+namespace rtl {
+
+/** Index of a combinational node within a circuit. -1 means "none". */
+using NodeId = int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+enum class NodeKind
+{
+    Const,      ///< Literal.
+    Input,      ///< Module input port.
+    RegOut,     ///< Current value of a register.
+    BramRdData, ///< Read data latched by a BRAM (one-cycle latency).
+    Bin,
+    Un,
+    Mux,        ///< c ? a : b (select is a non-zero test).
+    Slice,
+    Concat,
+};
+
+struct Node
+{
+    NodeKind kind;
+    int width;
+    uint64_t value = 0; ///< Const payload.
+    int index = -1;     ///< Port/reg/BRAM index, or slice low bit.
+    BinOp binOp = BinOp::Add;
+    UnOp unOp = UnOp::Not;
+    NodeId a = kNoNode, b = kNoNode, c = kNoNode;
+};
+
+struct RegInfo
+{
+    std::string name;
+    int width;
+    uint64_t init;
+    NodeId next = kNoNode;   ///< Next value (required before simulation).
+    NodeId enable = kNoNode; ///< Clock enable; kNoNode = always enabled.
+    NodeId out = kNoNode;    ///< The RegOut node reading this register.
+};
+
+struct BramInfo
+{
+    std::string name;
+    int elements;
+    int width;
+    int addrWidth;
+    NodeId rdAddr = kNoNode;
+    NodeId wrEn = kNoNode;
+    NodeId wrAddr = kNoNode;
+    NodeId wrData = kNoNode;
+    NodeId rdData = kNoNode; ///< The BramRdData node.
+};
+
+struct PortInfo
+{
+    std::string name;
+    int width;
+    NodeId node;
+};
+
+struct OutputInfo
+{
+    std::string name;
+    NodeId node;
+};
+
+/**
+ * A synthesizable circuit. Build with the add/make methods; finalize
+ * with validate() before handing to the interpreter or Verilog emitter.
+ */
+class Circuit
+{
+  public:
+    explicit Circuit(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /// @name Structural elements.
+    /// @{
+    NodeId addInput(const std::string &name, int width);
+    int addReg(const std::string &name, int width, uint64_t init);
+    NodeId regOut(int reg_index) const;
+    void setRegNext(int reg_index, NodeId next, NodeId enable = kNoNode);
+    int addBram(const std::string &name, int elements, int width);
+    NodeId bramRdData(int bram_index) const;
+    void setBramPorts(int bram_index, NodeId rd_addr, NodeId wr_en,
+                      NodeId wr_addr, NodeId wr_data);
+    void addOutput(const std::string &name, NodeId node);
+    /// @}
+
+    /// @name Combinational node constructors.
+    /// @{
+    NodeId makeConst(uint64_t value, int width);
+    NodeId makeBin(BinOp op, NodeId a, NodeId b);
+    NodeId makeUn(UnOp op, NodeId a);
+    NodeId makeMux(NodeId cond, NodeId a, NodeId b);
+    NodeId makeSlice(NodeId a, int hi, int lo);
+    NodeId makeConcat(NodeId hi, NodeId lo);
+    /** Zero-extend or truncate to an exact width. */
+    NodeId makeResize(NodeId a, int width);
+    /** OR of a list of 1-bit nodes; constant 0 if empty. */
+    NodeId makeOrReduce(const std::vector<NodeId> &nodes);
+    NodeId makeAnd(NodeId a, NodeId b);
+    NodeId makeNot(NodeId a);
+    /// @}
+
+    /** Check that every register/BRAM is fully wired. Throws on error. */
+    void validate() const;
+
+    const std::vector<Node> &nodes() const { return nodes_; }
+    const std::vector<RegInfo> &regs() const { return regs_; }
+    const std::vector<BramInfo> &brams() const { return brams_; }
+    const std::vector<PortInfo> &inputs() const { return inputs_; }
+    const std::vector<OutputInfo> &outputs() const { return outputs_; }
+
+    int width(NodeId id) const { return nodes_.at(id).width; }
+
+    /** Find an input port index by name; throws if absent. */
+    int inputIndex(const std::string &name) const;
+    /** Find an output by name; throws if absent. */
+    NodeId outputNode(const std::string &name) const;
+
+  private:
+    NodeId addNode(Node node);
+    void checkOperand(NodeId id) const;
+
+    std::string name_;
+    std::vector<Node> nodes_;
+    /** Structural-hashing (CSE) table: all node kinds are pure functions
+     * of their operands/indices, so identical nodes are shared — as
+     * synthesis would, keeping the interpreter and the area model honest
+     * about replicated subexpressions. */
+    std::unordered_map<uint64_t, std::vector<NodeId>> hashTable_;
+    std::vector<RegInfo> regs_;
+    std::vector<BramInfo> brams_;
+    std::vector<PortInfo> inputs_;
+    std::vector<OutputInfo> outputs_;
+};
+
+} // namespace rtl
+} // namespace fleet
+
+#endif // FLEET_RTL_CIRCUIT_H

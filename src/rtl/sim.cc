@@ -1,0 +1,116 @@
+#include "rtl/sim.h"
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace rtl {
+
+Simulator::Simulator(const Circuit &circuit) : circuit_(circuit)
+{
+    circuit_.validate();
+    values_.resize(circuit_.nodes().size(), 0);
+    inputs_.resize(circuit_.inputs().size(), 0);
+    reset();
+}
+
+void
+Simulator::reset()
+{
+    regValues_.clear();
+    for (const auto &reg : circuit_.regs())
+        regValues_.push_back(reg.init);
+    bramMems_.clear();
+    for (const auto &bram : circuit_.brams())
+        bramMems_.emplace_back(bram.elements, 0);
+    bramRdLatch_.assign(circuit_.brams().size(), 0);
+    cycles_ = 0;
+}
+
+void
+Simulator::setInput(int port_index, uint64_t value)
+{
+    const auto &port = circuit_.inputs().at(port_index);
+    inputs_[port_index] = truncTo(value, port.width);
+}
+
+void
+Simulator::evalComb()
+{
+    const auto &nodes = circuit_.nodes();
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const Node &n = nodes[i];
+        uint64_t v = 0;
+        switch (n.kind) {
+          case NodeKind::Const:
+            v = n.value;
+            break;
+          case NodeKind::Input:
+            v = inputs_[n.index];
+            break;
+          case NodeKind::RegOut:
+            v = regValues_[n.index];
+            break;
+          case NodeKind::BramRdData:
+            v = bramRdLatch_[n.index];
+            break;
+          case NodeKind::Bin:
+            v = evalBinOp(n.binOp, values_[n.a], nodes[n.a].width,
+                          values_[n.b], nodes[n.b].width);
+            break;
+          case NodeKind::Un:
+            v = evalUnOp(n.unOp, values_[n.a], nodes[n.a].width);
+            break;
+          case NodeKind::Mux:
+            v = values_[n.c] != 0 ? values_[n.a] : values_[n.b];
+            break;
+          case NodeKind::Slice:
+            v = bitsOf(values_[n.a], n.index, n.width);
+            break;
+          case NodeKind::Concat:
+            v = (values_[n.a] << nodes[n.b].width) | values_[n.b];
+            break;
+        }
+        values_[i] = v;
+    }
+}
+
+void
+Simulator::step()
+{
+    // BRAM reads latch before writes land (read-first semantics).
+    const auto &brams = circuit_.brams();
+    for (size_t i = 0; i < brams.size(); ++i) {
+        const BramInfo &bram = brams[i];
+        uint64_t rd_addr = values_[bram.rdAddr];
+        bramRdLatch_[i] = rd_addr < bramMems_[i].size()
+                              ? bramMems_[i][rd_addr]
+                              : 0;
+        if (values_[bram.wrEn] != 0) {
+            uint64_t wr_addr = values_[bram.wrAddr];
+            if (wr_addr < bramMems_[i].size())
+                bramMems_[i][wr_addr] = values_[bram.wrData];
+        }
+    }
+
+    const auto &regs = circuit_.regs();
+    for (size_t i = 0; i < regs.size(); ++i) {
+        const RegInfo &reg = regs[i];
+        if (reg.enable == kNoNode || values_[reg.enable] != 0)
+            regValues_[i] = values_[reg.next];
+    }
+
+    ++cycles_;
+}
+
+uint64_t
+Simulator::bramWord(int bram_index, int addr) const
+{
+    const auto &mem = bramMems_.at(bram_index);
+    if (addr < 0 || addr >= static_cast<int>(mem.size()))
+        panic("rtl: bramWord address out of range");
+    return mem[addr];
+}
+
+} // namespace rtl
+} // namespace fleet

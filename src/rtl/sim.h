@@ -1,0 +1,69 @@
+#ifndef FLEET_RTL_SIM_H
+#define FLEET_RTL_SIM_H
+
+/**
+ * @file
+ * Cycle-accurate interpreter for rtl::Circuit. Each simulated clock cycle
+ * is: drive input ports, evalComb() (single forward pass over the
+ * topologically ordered node list), observe outputs, then step() to commit
+ * registers and BRAM ports at the clock edge.
+ *
+ * BRAM timing matches FPGA block RAM in read-first mode: the read data
+ * latched at an edge reflects the memory contents *before* any write
+ * committed at the same edge, and becomes visible on the rd_data node
+ * during the following cycle (one cycle of read latency). Out-of-range
+ * addresses read as zero and writes to them are dropped — don't-care
+ * behaviour the compiler never exercises for checked programs.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/circuit.h"
+
+namespace fleet {
+namespace rtl {
+
+class Simulator
+{
+  public:
+    explicit Simulator(const Circuit &circuit);
+
+    /** Reset registers to their init values and clear BRAM contents. */
+    void reset();
+
+    /** Drive an input port for the current cycle. */
+    void setInput(int port_index, uint64_t value);
+
+    /** Evaluate all combinational nodes for the current cycle. */
+    void evalComb();
+
+    /** Value of a node as of the last evalComb(). */
+    uint64_t value(NodeId id) const { return values_[id]; }
+
+    /** Clock edge: commit registers and BRAM reads/writes. */
+    void step();
+
+    /// @name State introspection (tests, debugging).
+    /// @{
+    uint64_t regValue(int reg_index) const { return regValues_[reg_index]; }
+    uint64_t bramWord(int bram_index, int addr) const;
+    /// @}
+
+    uint64_t cycles() const { return cycles_; }
+    const Circuit &circuit() const { return circuit_; }
+
+  private:
+    const Circuit &circuit_;
+    std::vector<uint64_t> values_;     ///< Per-node comb values.
+    std::vector<uint64_t> inputs_;     ///< Per-port driven values.
+    std::vector<uint64_t> regValues_;
+    std::vector<std::vector<uint64_t>> bramMems_;
+    std::vector<uint64_t> bramRdLatch_;
+    uint64_t cycles_ = 0;
+};
+
+} // namespace rtl
+} // namespace fleet
+
+#endif // FLEET_RTL_SIM_H

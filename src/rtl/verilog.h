@@ -1,0 +1,26 @@
+#ifndef FLEET_RTL_VERILOG_H
+#define FLEET_RTL_VERILOG_H
+
+/**
+ * @file
+ * Verilog-2001 emitter for rtl::Circuit, the analogue of the paper's
+ * generated RTL (Figure 4). The emitted module has `clock` and `reset`
+ * ports followed by the circuit's IO; BRAMs use the standard inferred
+ * block-RAM pattern (registered read address, read-first) that FPGA
+ * vendor tools map onto technology BRAMs, as described in Section 4.
+ */
+
+#include <string>
+
+#include "rtl/circuit.h"
+
+namespace fleet {
+namespace rtl {
+
+/** Render a circuit as a synthesizable Verilog module. */
+std::string emitVerilog(const Circuit &circuit);
+
+} // namespace rtl
+} // namespace fleet
+
+#endif // FLEET_RTL_VERILOG_H

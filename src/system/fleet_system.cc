@@ -1,0 +1,251 @@
+#include "system/fleet_system.h"
+
+#include <optional>
+
+#include "compile/compiler.h"
+#include "system/pu_fast.h"
+#include "system/pu_rtl.h"
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace system {
+
+FleetSystem::FleetSystem(const lang::Program &program,
+                         const SystemConfig &config,
+                         std::vector<BitBuffer> streams)
+    : program_(program), config_(config), streams_(std::move(streams))
+{
+    if (streams_.empty())
+        fatal("FleetSystem: needs at least one stream");
+    if (config_.numChannels < 1)
+        fatal("FleetSystem: needs at least one channel");
+
+    const uint64_t burst_bytes = config_.inputCtrl.burstBits / 8;
+    const int channels = config_.numChannels;
+
+    // Lay out each channel's memory: all of its PUs' input regions,
+    // then their output regions.
+    struct Layout
+    {
+        std::vector<memctl::StreamRegion> inputs;
+        std::vector<memctl::StreamRegion> outputs;
+        std::vector<int> globalPu;
+        uint64_t bytes = 0;
+    };
+    std::vector<Layout> layouts(channels);
+
+    outputRegions_.resize(streams_.size());
+    for (size_t p = 0; p < streams_.size(); ++p) {
+        const BitBuffer &stream = streams_[p];
+        if (stream.sizeBits() % program_.inputTokenWidth != 0)
+            fatal("FleetSystem: stream ", p,
+                  " is not a whole number of tokens");
+        int ch = static_cast<int>(p) % channels;
+        Layout &layout = layouts[ch];
+
+        memctl::StreamRegion in;
+        in.baseAddr = layout.bytes;
+        in.streamBits = stream.sizeBits();
+        in.regionBytes = roundUp(ceilDiv(stream.sizeBits(), 8),
+                                 burst_bytes);
+        layout.bytes += in.regionBytes;
+
+        memctl::StreamRegion out;
+        uint64_t out_bytes = config_.outputRegionBytes != 0
+                                 ? config_.outputRegionBytes
+                                 : 2 * in.regionBytes + 8192;
+        out.baseAddr = 0; // Assigned after all input regions.
+        out.regionBytes = roundUp(out_bytes, burst_bytes);
+        out.streamBits = 0;
+
+        layout.inputs.push_back(in);
+        layout.outputs.push_back(out);
+        layout.globalPu.push_back(static_cast<int>(p));
+    }
+    for (auto &layout : layouts) {
+        for (auto &out : layout.outputs) {
+            out.baseAddr = layout.bytes;
+            layout.bytes += out.regionBytes;
+        }
+    }
+
+    // Instantiate channels and controllers; copy streams into memory.
+    for (int ch = 0; ch < channels; ++ch) {
+        Layout &layout = layouts[ch];
+        auto channel = std::make_unique<dram::DramChannel>(
+            config_.dram, std::max<uint64_t>(layout.bytes, burst_bytes));
+        for (size_t l = 0; l < layout.inputs.size(); ++l) {
+            const BitBuffer &stream = streams_[layout.globalPu[l]];
+            auto bytes = stream.toBytes();
+            std::copy(bytes.begin(), bytes.end(),
+                      channel->memory().begin() +
+                          layout.inputs[l].baseAddr);
+            outputRegions_[layout.globalPu[l]] = layout.outputs[l];
+        }
+        inputCtrls_.push_back(std::make_unique<memctl::InputController>(
+            *channel, config_.inputCtrl, layout.inputs));
+        outputCtrls_.push_back(std::make_unique<memctl::OutputController>(
+            *channel, config_.outputCtrl, layout.outputs));
+        channels_.push_back(std::move(channel));
+    }
+
+    // Instantiate the processing units.
+    std::optional<compile::CompiledUnit> compiled;
+    if (config_.backend == PuBackend::Rtl)
+        compiled.emplace(compile::compileProgram(program_));
+    std::vector<int> local_count(channels, 0);
+    for (size_t p = 0; p < streams_.size(); ++p) {
+        PuSlot slot;
+        slot.channel = static_cast<int>(p) % channels;
+        slot.localIndex = local_count[slot.channel]++;
+        if (config_.backend == PuBackend::Rtl)
+            slot.pu = std::make_unique<RtlPu>(*compiled);
+        else
+            slot.pu = std::make_unique<FastPu>(program_, streams_[p]);
+        pus_.push_back(std::move(slot));
+    }
+}
+
+FleetSystem::~FleetSystem() = default;
+
+void
+FleetSystem::run()
+{
+    const int in_width = program_.inputTokenWidth;
+    const int out_width = program_.outputTokenWidth;
+
+    // Forward-progress watchdog: a configuration can genuinely deadlock
+    // (e.g. blocking output addressing with divergent filter rates, the
+    // pathology Section 5's non-blocking default avoids); detect it
+    // rather than spinning to maxCycles.
+    uint64_t last_activity_cycle = 0;
+    uint64_t last_beats = 0;
+
+    for (cycles_ = 0; cycles_ < config_.maxCycles; ++cycles_) {
+        bool activity = false;
+        bool all_finished = true;
+        for (auto &slot : pus_) {
+            auto &in_ctrl = *inputCtrls_[slot.channel];
+            auto &out_ctrl = *outputCtrls_[slot.channel];
+            auto &in_buf = in_ctrl.buffer(slot.localIndex);
+            auto &out_buf = out_ctrl.buffer(slot.localIndex);
+
+            PuInputs in;
+            in.inputValid = in_buf.sizeBits() >= uint64_t(in_width);
+            in.inputToken = in.inputValid ? in_buf.peek(in_width) : 0;
+            in.inputFinished =
+                in_ctrl.streamExhausted(slot.localIndex) && in_buf.empty();
+            in.outputReady = out_buf.freeBits() >= uint64_t(out_width);
+
+            PuOutputs out = slot.pu->eval(in);
+
+            if (out.outputValid && in.outputReady) {
+                out_buf.push(out.outputToken, out_width);
+                slot.emittedBits += out_width;
+                activity = true;
+            }
+            if (out.inputReady && in.inputValid) {
+                in_buf.pop(in_width);
+                activity = true;
+            }
+            if (out.outputFinished && !slot.finishedSeen) {
+                out_ctrl.setPuFinished(slot.localIndex);
+                slot.finishedSeen = true;
+                slot.stats.finishedAtCycle = cycles_;
+                activity = true;
+            }
+            if (!slot.finishedSeen) {
+                if (out.inputReady && !in.inputValid && !in.inputFinished)
+                    ++slot.stats.inputStarvedCycles;
+                if (out.outputValid && !in.outputReady)
+                    ++slot.stats.outputBlockedCycles;
+            }
+            all_finished = all_finished && slot.finishedSeen;
+        }
+
+        for (int ch = 0; ch < config_.numChannels; ++ch) {
+            inputCtrls_[ch]->tick();
+            outputCtrls_[ch]->tick();
+            channels_[ch]->tick();
+        }
+        for (auto &slot : pus_)
+            slot.pu->step();
+
+        uint64_t beats = 0;
+        for (int ch = 0; ch < config_.numChannels; ++ch) {
+            beats += channels_[ch]->beatsDelivered() +
+                     channels_[ch]->beatsWritten();
+        }
+        if (activity || beats != last_beats) {
+            last_activity_cycle = cycles_;
+            last_beats = beats;
+        } else if (cycles_ - last_activity_cycle > 200000) {
+            fatal("FleetSystem: no forward progress for 200000 cycles "
+                  "(deadlocked configuration?)");
+        }
+
+        if (all_finished) {
+            bool drained = true;
+            for (int ch = 0; ch < config_.numChannels; ++ch)
+                drained = drained && outputCtrls_[ch]->done();
+            if (drained) {
+                ++cycles_;
+                ran_ = true;
+                return;
+            }
+        }
+    }
+    fatal("FleetSystem: did not finish within ", config_.maxCycles,
+          " cycles");
+}
+
+BitBuffer
+FleetSystem::output(int pu) const
+{
+    if (!ran_)
+        fatal("FleetSystem: output() before run()");
+    const PuSlot &slot = pus_[pu];
+    const auto &out_ctrl = *outputCtrls_[slot.channel];
+    uint64_t bits = out_ctrl.payloadBits(slot.localIndex);
+    if (bits != slot.emittedBits)
+        panic("FleetSystem: controller flushed ", bits,
+              " bits but the unit emitted ", slot.emittedBits);
+    const auto &mem = channels_[slot.channel]->memory();
+    const auto &region = outputRegions_[pu];
+    BitBuffer out;
+    for (uint64_t offset = 0; offset < bits;) {
+        int chunk = static_cast<int>(std::min<uint64_t>(64, bits - offset));
+        uint64_t byte = region.baseAddr + offset / 8;
+        // Offsets are multiples of the token width; assemble from bytes.
+        uint64_t value = 0;
+        int got = 0;
+        int shift = offset % 8;
+        while (got < chunk) {
+            int piece = std::min(chunk - got, 8 - shift);
+            value |= (uint64_t(mem[byte]) >> shift & mask64(piece)) << got;
+            got += piece;
+            shift = 0;
+            ++byte;
+        }
+        out.appendBits(value, chunk);
+        offset += chunk;
+    }
+    return out;
+}
+
+SystemStats
+FleetSystem::stats() const
+{
+    SystemStats stats;
+    stats.cycles = cycles_;
+    stats.clockMHz = config_.clockMHz;
+    for (const auto &stream : streams_)
+        stats.inputBytes += ceilDiv(stream.sizeBits(), 8);
+    for (const auto &slot : pus_)
+        stats.outputBytes += ceilDiv(slot.emittedBits, 8);
+    return stats;
+}
+
+} // namespace system
+} // namespace fleet

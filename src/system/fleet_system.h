@@ -1,0 +1,128 @@
+#ifndef FLEET_SYSTEM_FLEET_SYSTEM_H
+#define FLEET_SYSTEM_FLEET_SYSTEM_H
+
+/**
+ * @file
+ * Full-system simulator and host runtime: N copies of a compiled
+ * processing unit, divided among the memory channels, each channel with
+ * its own input and output controller (Section 5: "the processing units
+ * are simply divided among the channels ... no further coordination is
+ * needed"). Mirrors the paper's software runtime (Section 2): the user
+ * supplies one stream per processing unit, the runtime places them in
+ * (simulated) FPGA DRAM, kicks off the units, and reads back each unit's
+ * output region when all units have finished.
+ *
+ * Timing is cycle-accurate end to end; throughput in GB/s is
+ * bytes / (cycles / clockMHz), the same accounting the paper uses at
+ * 125 MHz.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "dram/dram.h"
+#include "lang/ast.h"
+#include "memctl/input_controller.h"
+#include "memctl/output_controller.h"
+#include "system/pu.h"
+#include "util/bitbuf.h"
+
+namespace fleet {
+namespace system {
+
+enum class PuBackend
+{
+    Fast, ///< Functional-trace replay (cross-checked against Rtl).
+    Rtl,  ///< Interpreted compiled RTL.
+};
+
+struct SystemConfig
+{
+    int numChannels = 4;
+    memctl::ControllerParams inputCtrl;  ///< Blocking by default.
+    memctl::ControllerParams outputCtrl; ///< Made non-blocking in ctor
+                                         ///< unless explicitly configured.
+    dram::DramParams dram;
+    PuBackend backend = PuBackend::Fast;
+    double clockMHz = 125.0;
+    /** Per-PU output region; 0 = auto (2x input + 8 KiB). */
+    uint64_t outputRegionBytes = 0;
+    uint64_t maxCycles = 1ULL << 40;
+
+    SystemConfig() { outputCtrl.blockingAddressing = false; }
+};
+
+struct SystemStats
+{
+    uint64_t cycles = 0;
+    uint64_t inputBytes = 0;
+    uint64_t outputBytes = 0;
+    double clockMHz = 125.0;
+
+    double seconds() const { return cycles / (clockMHz * 1e6); }
+    /** Input-side processing throughput (the paper's headline metric). */
+    double inputGBps() const
+    {
+        return inputBytes / seconds() / 1e9;
+    }
+    double outputGBps() const { return outputBytes / seconds() / 1e9; }
+};
+
+class FleetSystem
+{
+  public:
+    /**
+     * Build a system with one processing unit per input stream. Each
+     * stream must be a whole number of input tokens.
+     */
+    FleetSystem(const lang::Program &program, const SystemConfig &config,
+                std::vector<BitBuffer> streams);
+    ~FleetSystem();
+
+    /** Run to completion (all units finished, all output flushed). */
+    void run();
+
+    /** Output stream of one processing unit (valid after run()). */
+    BitBuffer output(int pu) const;
+
+    SystemStats stats() const;
+
+    /** Per-PU stall breakdown (valid after run()). */
+    struct PuStats
+    {
+        uint64_t inputStarvedCycles = 0; ///< Wanted a token, buffer empty.
+        uint64_t outputBlockedCycles = 0; ///< Emitting, buffer full.
+        uint64_t finishedAtCycle = 0;
+    };
+    const PuStats &puStats(int pu) const { return pus_[pu].stats; }
+
+    int numPus() const { return static_cast<int>(streams_.size()); }
+    const dram::DramChannel &channel(int c) const { return *channels_[c]; }
+
+  private:
+    struct PuSlot
+    {
+        std::unique_ptr<ProcessingUnit> pu;
+        int channel;
+        int localIndex;
+        uint64_t emittedBits = 0;
+        bool finishedSeen = false;
+        PuStats stats;
+    };
+
+    lang::Program program_;
+    SystemConfig config_;
+    std::vector<BitBuffer> streams_;
+    std::vector<std::unique_ptr<dram::DramChannel>> channels_;
+    std::vector<std::unique_ptr<memctl::InputController>> inputCtrls_;
+    std::vector<std::unique_ptr<memctl::OutputController>> outputCtrls_;
+    std::vector<PuSlot> pus_;
+    std::vector<memctl::StreamRegion> outputRegions_; ///< Global PU index.
+    uint64_t cycles_ = 0;
+    bool ran_ = false;
+};
+
+} // namespace system
+} // namespace fleet
+
+#endif // FLEET_SYSTEM_FLEET_SYSTEM_H

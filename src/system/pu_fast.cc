@@ -1,0 +1,84 @@
+#include "system/pu_fast.h"
+
+#include "util/logging.h"
+
+namespace fleet {
+namespace system {
+
+FastPu::FastPu(const lang::Program &program, const BitBuffer &stream)
+    : inputTokenWidth_(program.inputTokenWidth),
+      outputTokenWidth_(program.outputTokenWidth)
+{
+    sim::SimOptions options;
+    options.recordTrace = true;
+    sim::FunctionalSimulator simulator(program, options);
+    result_ = simulator.run(stream);
+    streamTokens_ = result_.tokens;
+    reset();
+}
+
+void
+FastPu::reset()
+{
+    v_ = false;
+    f_ = false;
+    traceIdx_ = 0;
+    outBitPos_ = 0;
+    tokensConsumed_ = 0;
+}
+
+PuOutputs
+FastPu::eval(const PuInputs &inputs)
+{
+    bool emitting = false;
+    bool consuming = false;
+    if (v_) {
+        if (traceIdx_ >= result_.trace.size())
+            panic("FastPu: trace exhausted while active (environment fed "
+                  "more tokens than the unit's stream?)");
+        uint8_t flags = result_.trace[traceIdx_];
+        emitting = flags & sim::kVcycleEmits;
+        consuming = flags & sim::kVcycleConsumesToken;
+    }
+
+    PuOutputs out;
+    out.outputValid = v_ && emitting;
+    out.outputToken =
+        out.outputValid ? result_.output.readBits(outBitPos_,
+                                                  outputTokenWidth_)
+                        : 0;
+    bool output_ok = !out.outputValid || inputs.outputReady;
+    bool v_done = v_ && output_ok;
+    out.inputReady = !v_ || (consuming && output_ok);
+    out.outputFinished = !v_ && f_;
+
+    lastInputs_ = inputs;
+    lastVdone_ = v_done;
+    lastEmitting_ = emitting;
+    lastInputReady_ = out.inputReady;
+    return out;
+}
+
+void
+FastPu::step()
+{
+    if (lastVdone_) {
+        if (lastEmitting_)
+            outBitPos_ += outputTokenWidth_;
+        ++traceIdx_;
+    }
+    if (lastInputReady_) {
+        if (lastInputs_.inputValid) {
+            if (tokensConsumed_ >= streamTokens_)
+                panic("FastPu: environment supplied a token beyond the "
+                      "unit's stream");
+            ++tokensConsumed_;
+        }
+        v_ = lastInputs_.inputValid ||
+             (!f_ && lastInputs_.inputFinished);
+        f_ = f_ || lastInputs_.inputFinished;
+    }
+}
+
+} // namespace system
+} // namespace fleet

@@ -1,0 +1,44 @@
+#ifndef FLEET_SYSTEM_PU_RTL_H
+#define FLEET_SYSTEM_PU_RTL_H
+
+/**
+ * @file
+ * Processing-unit backend that interprets the compiled RTL circuit
+ * cycle-accurately. This is the reference timing model: the fast model
+ * (pu_fast.h) must match it cycle-for-cycle.
+ */
+
+#include <memory>
+
+#include "compile/compiler.h"
+#include "rtl/sim.h"
+#include "system/pu.h"
+
+namespace fleet {
+namespace system {
+
+class RtlPu : public ProcessingUnit
+{
+  public:
+    /** Compile and wrap a program. */
+    explicit RtlPu(const lang::Program &program);
+    /** Wrap an already-compiled unit. */
+    explicit RtlPu(compile::CompiledUnit unit);
+
+    void reset() override;
+    PuOutputs eval(const PuInputs &inputs) override;
+    void step() override;
+    int inputTokenWidth() const override { return unit_.inputTokenWidth; }
+    int outputTokenWidth() const override { return unit_.outputTokenWidth; }
+
+    const compile::CompiledUnit &unit() const { return unit_; }
+
+  private:
+    compile::CompiledUnit unit_;
+    std::unique_ptr<rtl::Simulator> sim_;
+};
+
+} // namespace system
+} // namespace fleet
+
+#endif // FLEET_SYSTEM_PU_RTL_H

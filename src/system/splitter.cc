@@ -1,0 +1,76 @@
+#include "system/splitter.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fleet {
+namespace system {
+
+namespace {
+
+BitBuffer
+withPrologue(const std::vector<uint8_t> &prologue)
+{
+    BitBuffer stream;
+    for (uint8_t byte : prologue)
+        stream.appendBits(byte, 8);
+    return stream;
+}
+
+} // namespace
+
+std::vector<BitBuffer>
+splitAtDelimiter(const std::string &text, int parts, char delimiter,
+                 const std::vector<uint8_t> &prologue)
+{
+    if (parts < 1)
+        fatal("splitAtDelimiter: parts must be positive");
+    std::vector<BitBuffer> streams;
+    size_t target = text.size() / parts + 1;
+    size_t start = 0;
+    for (int p = 0; p < parts && start < text.size(); ++p) {
+        size_t end;
+        if (p == parts - 1) {
+            end = text.size();
+        } else {
+            end = std::min(text.size(), start + target);
+            // Advance to just past the next delimiter.
+            while (end < text.size() && text[end - 1] != delimiter)
+                ++end;
+        }
+        BitBuffer stream = withPrologue(prologue);
+        stream.appendBuffer(
+            BitBuffer::fromString(text.substr(start, end - start)));
+        streams.push_back(std::move(stream));
+        start = end;
+    }
+    return streams;
+}
+
+std::vector<BitBuffer>
+splitFixed(const BitBuffer &data, int parts, int token_bits,
+           const std::vector<uint8_t> &prologue)
+{
+    if (parts < 1)
+        fatal("splitFixed: parts must be positive");
+    if (token_bits < 1 || data.sizeBits() % token_bits != 0)
+        fatal("splitFixed: data is not a whole number of tokens");
+    uint64_t tokens = data.sizeBits() / token_bits;
+    uint64_t base = tokens / parts;
+    uint64_t extra = tokens % parts;
+    std::vector<BitBuffer> streams;
+    uint64_t next = 0;
+    for (int p = 0; p < parts; ++p) {
+        uint64_t count = base + (uint64_t(p) < extra ? 1 : 0);
+        BitBuffer stream = withPrologue(prologue);
+        for (uint64_t t = 0; t < count; ++t, ++next)
+            stream.appendBits(data.readBits(next * token_bits, token_bits),
+                              token_bits);
+        streams.push_back(std::move(stream));
+    }
+    return streams;
+}
+
+} // namespace system
+} // namespace fleet

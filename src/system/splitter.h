@@ -1,0 +1,46 @@
+#ifndef FLEET_SYSTEM_SPLITTER_H
+#define FLEET_SYSTEM_SPLITTER_H
+
+/**
+ * @file
+ * Host-side input splitting (Section 2 of the paper): "users must have a
+ * way to split up a large input into many smaller streams that can be
+ * processed in parallel", e.g. a fast newline finder for JSON records,
+ * or arbitrary-point splits for string search. These helpers implement
+ * both, with an optional per-stream configuration prologue (the JSON
+ * unit's field trie, for instance) prepended to every split.
+ */
+
+#include <string>
+#include <vector>
+
+#include "util/bitbuf.h"
+
+namespace fleet {
+namespace system {
+
+/**
+ * Split text into up to `parts` streams of roughly equal size, cutting
+ * only immediately after `delimiter` so no record straddles streams.
+ * Trailing text after the last delimiter goes to the final stream. Fewer
+ * than `parts` streams are returned if the text has too few records;
+ * callers should treat stream count as data-dependent.
+ */
+std::vector<BitBuffer>
+splitAtDelimiter(const std::string &text, int parts, char delimiter,
+                 const std::vector<uint8_t> &prologue = {});
+
+/**
+ * Split a token stream at arbitrary token boundaries into exactly
+ * `parts` streams of near-equal length (string-search style: a small
+ * host post-pass handles matches at boundaries). Streams may be empty
+ * when there are fewer tokens than parts.
+ */
+std::vector<BitBuffer>
+splitFixed(const BitBuffer &data, int parts, int token_bits,
+           const std::vector<uint8_t> &prologue = {});
+
+} // namespace system
+} // namespace fleet
+
+#endif // FLEET_SYSTEM_SPLITTER_H

@@ -1,0 +1,87 @@
+#ifndef FLEET_UTIL_BITS_H
+#define FLEET_UTIL_BITS_H
+
+/**
+ * @file
+ * Bit-manipulation helpers shared by the language, simulator, and RTL
+ * interpreter. Fleet values are plain uint64_t payloads paired with an
+ * explicit bit width (the language caps state-element and token widths at
+ * 64 bits; see lang/types.h). Every producer is responsible for keeping
+ * values masked to their width; these helpers make that cheap and uniform.
+ */
+
+#include <cstdint>
+
+namespace fleet {
+
+/** Maximum width, in bits, of any Fleet value (token, register, BRAM word). */
+inline constexpr int kMaxValueWidth = 64;
+
+/**
+ * All-ones mask for a width in [0, 64]. mask64(0) == 0, mask64(64) == ~0.
+ */
+constexpr uint64_t
+mask64(int width)
+{
+    return width >= 64 ? ~uint64_t(0)
+                       : ((uint64_t(1) << (width < 0 ? 0 : width)) - 1);
+}
+
+/** Truncate a value to the given width. */
+constexpr uint64_t
+truncTo(uint64_t value, int width)
+{
+    return value & mask64(width);
+}
+
+/** Extract bits [lo, lo+width) of a value. */
+constexpr uint64_t
+bitsOf(uint64_t value, int lo, int width)
+{
+    return (value >> lo) & mask64(width);
+}
+
+/** Sign-extend the low `width` bits of a value to 64 bits. */
+constexpr int64_t
+signExtend64(uint64_t value, int width)
+{
+    if (width <= 0 || width >= 64)
+        return static_cast<int64_t>(value);
+    uint64_t sign = uint64_t(1) << (width - 1);
+    return static_cast<int64_t>((value ^ sign) - sign);
+}
+
+/** Number of bits needed to represent `value` (ceil(log2(value+1)), min 1). */
+constexpr int
+bitsToRepresent(uint64_t value)
+{
+    int bits = 1;
+    while (value >> bits && bits < 64)
+        ++bits;
+    return bits;
+}
+
+/** Number of bits needed to index `count` distinct elements (min 1). */
+constexpr int
+indexWidth(uint64_t count)
+{
+    return count <= 1 ? 1 : bitsToRepresent(count - 1);
+}
+
+/** Integer ceiling division. */
+constexpr uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round `a` up to the next multiple of `b`. */
+constexpr uint64_t
+roundUp(uint64_t a, uint64_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+} // namespace fleet
+
+#endif // FLEET_UTIL_BITS_H

@@ -1,0 +1,168 @@
+#include "util/loc.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace fleet {
+
+int
+countCodeLines(const std::string &source)
+{
+    int count = 0;
+    bool in_block_comment = false;
+    bool line_has_code = false;
+    size_t i = 0;
+    size_t n = source.size();
+
+    auto end_line = [&]() {
+        if (line_has_code)
+            ++count;
+        line_has_code = false;
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '\n') {
+            end_line();
+            ++i;
+            continue;
+        }
+        if (in_block_comment) {
+            if (c == '*' && i + 1 < n && source[i + 1] == '/') {
+                in_block_comment = false;
+                i += 2;
+            } else {
+                ++i;
+            }
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            // Skip to end of line.
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            in_block_comment = true;
+            i += 2;
+            continue;
+        }
+        if (c == '"') {
+            // String literal: consume so comment markers inside it are
+            // not misinterpreted.
+            line_has_code = true;
+            ++i;
+            while (i < n && source[i] != '"' && source[i] != '\n') {
+                if (source[i] == '\\' && i + 1 < n)
+                    ++i;
+                ++i;
+            }
+            if (i < n && source[i] == '"')
+                ++i;
+            continue;
+        }
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            line_has_code = true;
+        ++i;
+    }
+    end_line();
+    return count;
+}
+
+int
+countCodeLinesInFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("countCodeLinesInFile: cannot open ", path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return countCodeLines(ss.str());
+}
+
+int
+countCodeLinesInFiles(const std::vector<std::string> &paths)
+{
+    int total = 0;
+    for (const auto &path : paths)
+        total += countCodeLinesInFile(path);
+    return total;
+}
+
+int
+countRegionLines(const std::string &path, const std::string &marker)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("countRegionLines: cannot open ", path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string source = ss.str();
+
+    size_t at = source.find(marker);
+    if (at == std::string::npos)
+        fatal("countRegionLines: marker '", marker, "' not found in ",
+              path);
+    size_t open = source.find('{', at);
+    if (open == std::string::npos)
+        fatal("countRegionLines: no '{' after marker in ", path);
+
+    // Walk to the matching close brace, skipping strings, chars, and
+    // comments.
+    int depth = 0;
+    size_t i = open;
+    size_t end = std::string::npos;
+    bool in_line_comment = false, in_block_comment = false;
+    char in_quote = 0;
+    for (; i < source.size(); ++i) {
+        char c = source[i];
+        if (in_line_comment) {
+            if (c == '\n')
+                in_line_comment = false;
+            continue;
+        }
+        if (in_block_comment) {
+            if (c == '*' && i + 1 < source.size() && source[i + 1] == '/') {
+                in_block_comment = false;
+                ++i;
+            }
+            continue;
+        }
+        if (in_quote) {
+            if (c == '\\')
+                ++i;
+            else if (c == in_quote)
+                in_quote = 0;
+            continue;
+        }
+        if (c == '/' && i + 1 < source.size()) {
+            if (source[i + 1] == '/') {
+                in_line_comment = true;
+                continue;
+            }
+            if (source[i + 1] == '*') {
+                in_block_comment = true;
+                continue;
+            }
+        }
+        if (c == '"' || c == '\'') {
+            in_quote = c;
+            continue;
+        }
+        if (c == '{')
+            ++depth;
+        if (c == '}') {
+            if (--depth == 0) {
+                end = i;
+                break;
+            }
+        }
+    }
+    if (end == std::string::npos)
+        fatal("countRegionLines: unbalanced braces after marker in ", path);
+    return countCodeLines(source.substr(open, end - open + 1));
+}
+
+} // namespace fleet

@@ -1,0 +1,36 @@
+#ifndef FLEET_UTIL_LOC_H
+#define FLEET_UTIL_LOC_H
+
+/**
+ * @file
+ * Lines-of-code counter used to regenerate the paper's Figure 8 (developer
+ * productivity comparison). Counts non-blank lines, excluding // and block
+ * comments, in C/C++-family sources.
+ */
+
+#include <string>
+#include <vector>
+
+namespace fleet {
+
+/** Count non-blank, non-comment lines in C/C++-style source text. */
+int countCodeLines(const std::string &source);
+
+/** Count non-blank, non-comment lines in a source file. Throws on IO error. */
+int countCodeLinesInFile(const std::string &path);
+
+/** Sum of countCodeLinesInFile over several files. */
+int countCodeLinesInFiles(const std::vector<std::string> &paths);
+
+/**
+ * Count the code lines of one brace-delimited region: the region starts
+ * at the first '{' at or after the first occurrence of `marker` and ends
+ * where braces re-balance. Used to compare the size of each application's
+ * Fleet program against its CPU-baseline kernel (Figure 8). Throws if the
+ * marker is missing or braces never balance.
+ */
+int countRegionLines(const std::string &path, const std::string &marker);
+
+} // namespace fleet
+
+#endif // FLEET_UTIL_LOC_H

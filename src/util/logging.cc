@@ -1,0 +1,15 @@
+#include "util/logging.h"
+
+#include <iostream>
+
+namespace fleet {
+namespace detail {
+
+void
+logMessage(const char *level, const std::string &msg)
+{
+    std::cerr << level << ": " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace fleet

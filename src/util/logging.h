@@ -1,0 +1,94 @@
+#ifndef FLEET_UTIL_LOGGING_H
+#define FLEET_UTIL_LOGGING_H
+
+/**
+ * @file
+ * Error-reporting helpers in the gem5 style. `panic` is for internal
+ * invariant violations (framework bugs); `fatal` is for user errors such
+ * as a Fleet program that violates the language restrictions; `warn` and
+ * `inform` print status without stopping.
+ */
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fleet {
+
+/** Thrown by fatal(): a user-level error (bad program or configuration). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Thrown by panic(): an internal framework invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+void logMessage(const char *level, const std::string &msg);
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatAll(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an unrecoverable user error (bad program/config). Throws. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(detail::formatAll(args...));
+}
+
+/** Report an internal invariant violation (framework bug). Throws. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError(detail::formatAll(args...));
+}
+
+/** Print a warning to stderr and continue. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    detail::logMessage("warn", detail::formatAll(args...));
+}
+
+/** Print a status message to stderr and continue. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    detail::logMessage("info", detail::formatAll(args...));
+}
+
+} // namespace fleet
+
+#endif // FLEET_UTIL_LOGGING_H

@@ -1,0 +1,44 @@
+#include "util/ops.h"
+
+namespace fleet {
+
+const char *
+binOpName(BinOp op)
+{
+    switch (op) {
+      case BinOp::Add: return "+";
+      case BinOp::Sub: return "-";
+      case BinOp::Mul: return "*";
+      case BinOp::And: return "&";
+      case BinOp::Or:  return "|";
+      case BinOp::Xor: return "^";
+      case BinOp::Shl: return "<<";
+      case BinOp::Shr: return ">>";
+      case BinOp::Eq:  return "==";
+      case BinOp::Ne:  return "!=";
+      case BinOp::Ult: return "<";
+      case BinOp::Ule: return "<=";
+      case BinOp::Ugt: return ">";
+      case BinOp::Uge: return ">=";
+      case BinOp::Slt: return "<s";
+      case BinOp::Sle: return "<=s";
+      case BinOp::Sgt: return ">s";
+      case BinOp::Sge: return ">=s";
+      case BinOp::LAnd: return "&&";
+      case BinOp::LOr:  return "||";
+    }
+    return "?";
+}
+
+const char *
+unOpName(UnOp op)
+{
+    switch (op) {
+      case UnOp::Not:  return "~";
+      case UnOp::LNot: return "!";
+      case UnOp::Neg:  return "-";
+    }
+    return "?";
+}
+
+} // namespace fleet

@@ -1,0 +1,120 @@
+#ifndef FLEET_UTIL_OPS_H
+#define FLEET_UTIL_OPS_H
+
+/**
+ * @file
+ * Operator kinds and their width/value semantics, shared by the Fleet
+ * language AST, the functional simulator, and the RTL interpreter so all
+ * three layers agree bit-for-bit.
+ *
+ * Width rules (documented in the language reference in README.md):
+ *   - Add/Sub/And/Or/Xor: result width = max(wa, wb), modular.
+ *   - Mul: result width = min(64, wa + wb).
+ *   - Shl/Shr: result width = wa; shift amount is the unsigned value of b.
+ *   - Comparisons and logical ops: result width = 1. Unsigned comparisons
+ *     zero-extend; signed comparisons sign-extend each operand at its own
+ *     width.
+ */
+
+#include <cstdint>
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace fleet {
+
+enum class BinOp
+{
+    Add, Sub, Mul,
+    And, Or, Xor,
+    Shl, Shr,
+    Eq, Ne,
+    Ult, Ule, Ugt, Uge,
+    Slt, Sle, Sgt, Sge,
+    LAnd, LOr,
+};
+
+enum class UnOp
+{
+    Not,  ///< Bitwise complement; width preserved.
+    LNot, ///< Logical not (== 0); width 1.
+    Neg,  ///< Two's-complement negation; width preserved.
+};
+
+/** Result width of a binary operator applied to widths wa and wb. */
+constexpr int
+binOpWidth(BinOp op, int wa, int wb)
+{
+    switch (op) {
+      case BinOp::Add:
+      case BinOp::Sub:
+      case BinOp::And:
+      case BinOp::Or:
+      case BinOp::Xor:
+        return wa > wb ? wa : wb;
+      case BinOp::Mul:
+        return wa + wb > kMaxValueWidth ? kMaxValueWidth : wa + wb;
+      case BinOp::Shl:
+      case BinOp::Shr:
+        return wa;
+      default:
+        return 1;
+    }
+}
+
+/** Result width of a unary operator applied to width wa. */
+constexpr int
+unOpWidth(UnOp op, int wa)
+{
+    return op == UnOp::LNot ? 1 : wa;
+}
+
+/** Evaluate a binary operator. Operands must already be masked. */
+inline uint64_t
+evalBinOp(BinOp op, uint64_t a, int wa, uint64_t b, int wb)
+{
+    int w = binOpWidth(op, wa, wb);
+    switch (op) {
+      case BinOp::Add: return truncTo(a + b, w);
+      case BinOp::Sub: return truncTo(a - b, w);
+      case BinOp::Mul: return truncTo(a * b, w);
+      case BinOp::And: return a & b;
+      case BinOp::Or:  return a | b;
+      case BinOp::Xor: return a ^ b;
+      case BinOp::Shl: return b >= uint64_t(w) ? 0 : truncTo(a << b, w);
+      case BinOp::Shr: return b >= 64 ? 0 : truncTo(a >> b, w);
+      case BinOp::Eq:  return a == b;
+      case BinOp::Ne:  return a != b;
+      case BinOp::Ult: return a < b;
+      case BinOp::Ule: return a <= b;
+      case BinOp::Ugt: return a > b;
+      case BinOp::Uge: return a >= b;
+      case BinOp::Slt: return signExtend64(a, wa) < signExtend64(b, wb);
+      case BinOp::Sle: return signExtend64(a, wa) <= signExtend64(b, wb);
+      case BinOp::Sgt: return signExtend64(a, wa) > signExtend64(b, wb);
+      case BinOp::Sge: return signExtend64(a, wa) >= signExtend64(b, wb);
+      case BinOp::LAnd: return (a != 0) && (b != 0);
+      case BinOp::LOr:  return (a != 0) || (b != 0);
+    }
+    panic("evalBinOp: unknown op");
+}
+
+/** Evaluate a unary operator. Operand must already be masked. */
+inline uint64_t
+evalUnOp(UnOp op, uint64_t a, int wa)
+{
+    switch (op) {
+      case UnOp::Not:  return truncTo(~a, wa);
+      case UnOp::LNot: return a == 0;
+      case UnOp::Neg:  return truncTo(~a + 1, wa);
+    }
+    panic("evalUnOp: unknown op");
+}
+
+/** Human-readable operator spelling (for dumps and the Verilog emitter). */
+const char *binOpName(BinOp op);
+const char *unOpName(UnOp op);
+
+} // namespace fleet
+
+#endif // FLEET_UTIL_OPS_H

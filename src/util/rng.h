@@ -1,0 +1,65 @@
+#ifndef FLEET_UTIL_RNG_H
+#define FLEET_UTIL_RNG_H
+
+/**
+ * @file
+ * Deterministic pseudo-random number generator (SplitMix64) used by the
+ * workload generators, the random-program property tests, and the DRAM
+ * model. Deterministic across platforms so tests and benchmarks are
+ * reproducible, unlike std::mt19937 distributions.
+ */
+
+#include <cstdint>
+
+namespace fleet {
+
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+    /** Next 64 uniformly random bits. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    uint64_t
+    nextBelow(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t
+    nextInRange(uint64_t lo, uint64_t hi)
+    {
+        return lo + nextBelow(hi - lo + 1);
+    }
+
+    /** Bernoulli trial with probability num/den. */
+    bool
+    nextChance(uint64_t num, uint64_t den)
+    {
+        return nextBelow(den) < num;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return (next() >> 11) * (1.0 / (uint64_t(1) << 53));
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace fleet
+
+#endif // FLEET_UTIL_RNG_H

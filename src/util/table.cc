@@ -1,0 +1,97 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace fleet {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    if (rows_.empty())
+        panic("Table::cell called before row()");
+    if (rows_.back().size() >= headers_.size())
+        panic("Table row has more cells than headers");
+    rows_.back().push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(const char *value)
+{
+    return cell(std::string(value));
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return cell(os.str());
+}
+
+Table &
+Table::cell(uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(int value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            std::string value = c < cells.size() ? cells[c] : "";
+            os << " " << value << std::string(widths[c] - value.size(), ' ')
+               << " |";
+        }
+        os << "\n";
+    };
+
+    print_row(headers_);
+    os << "|";
+    for (size_t c = 0; c < headers_.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+Table::str() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace fleet

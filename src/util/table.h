@@ -1,0 +1,48 @@
+#ifndef FLEET_UTIL_TABLE_H
+#define FLEET_UTIL_TABLE_H
+
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to reproduce the
+ * paper's tables (Figures 7, 8, and 9 and the Section 7.3/7.4 numbers) in a
+ * uniform format.
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fleet {
+
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls fill it left to right. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &value);
+    Table &cell(const char *value);
+
+    /** Append a numeric cell with fixed precision. */
+    Table &cell(double value, int precision = 2);
+    Table &cell(uint64_t value);
+    Table &cell(int value);
+
+    /** Render to a stream with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fleet
+
+#endif // FLEET_UTIL_TABLE_H

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "apps/registry.h"
+#include "baseline/cpu.h"
+#include "baseline/hls.h"
+#include "baseline/simt.h"
+#include "baseline/timing.h"
+#include "compile/compiler.h"
+#include "model/area.h"
+#include "model/power.h"
+#include "test_programs.h"
+#include "util/rng.h"
+
+namespace fleet {
+namespace baseline {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CPU kernels must be bit-identical to the golden references.
+// ---------------------------------------------------------------------------
+
+class CpuKernels : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CpuKernels, MatchesGolden)
+{
+    auto apps = apps::allApplications();
+    auto &app = *apps[GetParam()];
+    auto kernel = makeCpuKernel(app.name());
+    for (uint64_t seed : {21u, 42u}) {
+        Rng rng(seed);
+        BitBuffer stream = app.generateStream(rng, 8000);
+        auto expected = app.golden(stream).toBytes();
+        auto got = kernel->run(stream.toBytes());
+        ASSERT_EQ(got, expected) << app.name() << " seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, CpuKernels, ::testing::Range(0, 6),
+                         [](const auto &info) {
+                             auto apps = apps::allApplications();
+                             return apps[info.param]->name();
+                         });
+
+TEST(CpuKernels, BloomScalarAndVectorizedAgree)
+{
+    auto app = apps::makeApplication("BloomFilter");
+    Rng rng(5);
+    auto stream = app->generateStream(rng, 16384).toBytes();
+    auto scalar = makeCpuKernel("BloomFilter", false)->run(stream);
+    auto vectorized = makeCpuKernel("BloomFilter", true)->run(stream);
+    EXPECT_EQ(scalar, vectorized);
+}
+
+TEST(CpuKernels, MeasureProducesSaneThroughput)
+{
+    auto app = apps::makeApplication("Regex");
+    auto kernel = makeCpuKernel("Regex");
+    Rng rng(6);
+    std::vector<std::vector<uint8_t>> streams;
+    for (int i = 0; i < 4; ++i)
+        streams.push_back(app->generateStream(rng, 1 << 16).toBytes());
+    MeasureOptions options;
+    options.threads = 2;
+    options.repeats = 2;
+    auto result = measureCpu(*kernel, streams, options);
+    EXPECT_GT(result.seconds, 0.0);
+    EXPECT_EQ(result.inputBytes, uint64_t(4) << 16);
+    EXPECT_GT(result.gbps(), 0.001);
+    EXPECT_LT(result.gbps(), 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// SIMT divergence model.
+// ---------------------------------------------------------------------------
+
+TEST(Simt, IdenticalLanesDoNotDiverge)
+{
+    auto app = apps::makeApplication("JsonParsing");
+    Rng rng(7);
+    BitBuffer one = app->generateStream(rng, 2000);
+    std::vector<BitBuffer> identical(32, one);
+    SimtResult result = simulateWarps(app->program(), identical);
+    EXPECT_NEAR(result.divergenceFactor(), 1.0, 1e-9);
+}
+
+TEST(Simt, DistinctStreamsDiverge)
+{
+    auto app = apps::makeApplication("JsonParsing");
+    Rng rng(8);
+    std::vector<BitBuffer> streams;
+    for (int l = 0; l < 32; ++l)
+        streams.push_back(app->generateStream(rng, 2000));
+    SimtResult result = simulateWarps(app->program(), streams);
+    // The paper measured a 2.33x improvement for identical JSON streams;
+    // the model should show substantial divergence, in that ballpark.
+    EXPECT_GT(result.divergenceFactor(), 1.5);
+    EXPECT_LT(result.divergenceFactor(), 8.0);
+}
+
+TEST(Simt, RegularAppsDivergeLess)
+{
+    // Smith-Waterman executes the same row update for every character:
+    // its divergence should be far below JSON parsing's.
+    Rng rng(9);
+    auto json = apps::makeApplication("JsonParsing");
+    auto sw = apps::makeApplication("SmithWaterman");
+    std::vector<BitBuffer> json_streams, sw_streams;
+    for (int l = 0; l < 32; ++l) {
+        json_streams.push_back(json->generateStream(rng, 1500));
+        sw_streams.push_back(sw->generateStream(rng, 1500));
+    }
+    double json_div =
+        simulateWarps(json->program(), json_streams).divergenceFactor();
+    double sw_div =
+        simulateWarps(sw->program(), sw_streams).divergenceFactor();
+    EXPECT_GT(json_div, sw_div);
+    EXPECT_LT(sw_div, 1.6);
+}
+
+TEST(Simt, ThroughputModelIsFinite)
+{
+    auto app = apps::makeApplication("BloomFilter");
+    Rng rng(10);
+    std::vector<BitBuffer> streams;
+    for (int l = 0; l < 32; ++l)
+        streams.push_back(app->generateStream(rng, 8192));
+    SimtParams params;
+    SimtResult result = simulateWarps(app->program(), streams, params);
+    EXPECT_GT(result.gbps(params), 0.1);
+    EXPECT_LT(result.gbps(params), 2000.0);
+}
+
+// ---------------------------------------------------------------------------
+// HLS models.
+// ---------------------------------------------------------------------------
+
+TEST(Hls, MemoryModelMatchesPaperScale)
+{
+    HlsMemoryParams params;
+    double pipelined = hlsMemoryMBps(params, false);
+    double unrolled = hlsMemoryMBps(params, true);
+    // Paper: 524.84 and 675.06 MB/s on one channel.
+    EXPECT_NEAR(pipelined, 525.0, 15.0);
+    EXPECT_NEAR(unrolled, 675.0, 15.0);
+    EXPECT_NEAR(hlsMemoryCeilingMBps(), 1000.0, 1.0);
+}
+
+TEST(Hls, FleetProgramsScheduleAtIntervalOne)
+{
+    // Fleet's guarantee: one virtual cycle per clock. The conservative
+    // HLS schedule only matches it for trivially conflict-free units.
+    EXPECT_EQ(hlsInitiationInterval(testprogs::identity()), 1);
+    EXPECT_EQ(hlsInitiationInterval(testprogs::streamSum()), 1);
+}
+
+TEST(Hls, ApplicationsScheduleFarAboveOne)
+{
+    for (auto &app : apps::allApplications()) {
+        int ii = hlsInitiationInterval(app->program());
+        // Regex is pure registers + one emit and genuinely schedules at
+        // 1; every array-using application conflicts.
+        int floor = app->name() == "Regex" ? 1 : 2;
+        EXPECT_GE(ii, floor) << app->name();
+        EXPECT_LE(ii, 200) << app->name();
+    }
+    // The two applications the paper highlights (II 15 and 18 for their
+    // CUDA-derived OpenCL ports; our leaner DSL units conflict less but
+    // still schedule far above Fleet's guaranteed 1).
+    int json_ii =
+        hlsInitiationInterval(apps::makeApplication("JsonParsing")
+                                  ->program());
+    int intcode_ii =
+        hlsInitiationInterval(apps::makeApplication("IntegerCoding")
+                                  ->program());
+    EXPECT_GE(json_ii, 3);
+    EXPECT_GE(intcode_ii, 4);
+}
+
+TEST(Hls, AreaPessimismIsSubstantial)
+{
+    auto app = apps::makeApplication("JsonParsing");
+    auto compiled = compile::compileProgram(app->program());
+    memctl::ControllerParams ctrl;
+    auto fleet_area = model::estimatePuResources(compiled.circuit, ctrl);
+    auto hls_area = hlsAreaEstimate(compiled.circuit, app->program(), ctrl);
+    // Paper: 4.6x more logic cells for JSON parsing.
+    double factor = double(hls_area.luts) / double(fleet_area.luts);
+    EXPECT_GT(factor, 1.5);
+    EXPECT_LT(factor, 12.0);
+}
+
+// ---------------------------------------------------------------------------
+// Area and power models.
+// ---------------------------------------------------------------------------
+
+TEST(AreaModel, HundredsOfPusFit)
+{
+    model::Device device;
+    memctl::ControllerParams ctrl;
+    for (auto &app : apps::allApplications()) {
+        auto compiled = compile::compileProgram(app->program());
+        auto per_pu = model::estimatePuResources(compiled.circuit, ctrl);
+        int pus = model::maxProcessingUnits(device, per_pu, ctrl);
+        EXPECT_GE(pus, 64) << app->name();
+        EXPECT_LE(pus, 4096) << app->name();
+        EXPECT_EQ(pus % device.memoryChannels, 0) << app->name();
+    }
+}
+
+TEST(AreaModel, BramAspectSelection)
+{
+    model::Device device;
+    memctl::ControllerParams ctrl;
+    // A unit with a large BRAM must fit fewer copies than one without.
+    lang::ProgramBuilder big("big", 8, 8);
+    lang::Bram m = big.bram("m", 32768, 32);
+    big.assign(m[big.input().resize(15)], big.input().resize(32));
+    auto big_unit = compile::compileProgram(big.finish());
+    auto big_res = model::estimatePuResources(big_unit.circuit, ctrl);
+
+    auto small_unit = compile::compileProgram(testprogs::identity());
+    auto small_res = model::estimatePuResources(small_unit.circuit, ctrl);
+
+    EXPECT_GT(big_res.bram36, small_res.bram36 + 20);
+    EXPECT_LT(model::maxProcessingUnits(device, big_res, ctrl),
+              model::maxProcessingUnits(device, small_res, ctrl));
+}
+
+TEST(PowerModel, ScalesWithPus)
+{
+    model::PowerParams params;
+    model::Resources per_pu{2000, 1500, 4, 0};
+    model::Resources controllers{100000, 140000, 0, 0};
+    double p128 = model::fpgaPackagePower(params, per_pu, 128, controllers);
+    double p512 = model::fpgaPackagePower(params, per_pu, 512, controllers);
+    EXPECT_GT(p512, p128);
+    EXPECT_GT(p128, params.fpgaStaticW);
+    // Full-chip designs should land in the paper's observed range.
+    EXPECT_GT(p512, 10.0);
+    EXPECT_LT(p512, 40.0);
+}
+
+} // namespace
+} // namespace baseline
+} // namespace fleet

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "compile/compiler.h"
+#include "lang/builder.h"
+#include "rtl/sim.h"
+#include "test_programs.h"
+
+namespace fleet {
+namespace compile {
+namespace {
+
+using lang::Bram;
+using lang::ProgramBuilder;
+using lang::Value;
+
+/** Drive a compiled unit over a byte stream and return the cycles (if
+ * any) in which the violation output asserted. */
+std::vector<uint64_t>
+violationCycles(const CompiledUnit &unit,
+                const std::vector<uint64_t> &tokens)
+{
+    rtl::Simulator sim(unit.circuit);
+    rtl::NodeId violation = unit.circuit.outputNode("violation");
+    std::vector<uint64_t> fired;
+    size_t next = 0;
+    for (uint64_t cycle = 0; cycle < tokens.size() + 50; ++cycle) {
+        bool have = next < tokens.size();
+        sim.setInput(unit.inInputToken, have ? tokens[next] : 0);
+        sim.setInput(unit.inInputValid, have ? 1 : 0);
+        sim.setInput(unit.inInputFinished, have ? 0 : 1);
+        sim.setInput(unit.inOutputReady, 1);
+        sim.evalComb();
+        if (sim.value(violation) != 0)
+            fired.push_back(cycle);
+        if (sim.value(unit.outOutputFinished) != 0)
+            break;
+        if (sim.value(unit.outInputReady) != 0 && have)
+            ++next;
+        sim.step();
+    }
+    return fired;
+}
+
+TEST(RuntimeChecks, DoubleEmitDetected)
+{
+    ProgramBuilder b("bad", 8, 8);
+    // Both emits fire whenever input >= 128 (overlapping conditions).
+    b.if_(b.input() >= 128, [&] { b.emit(b.input()); });
+    b.if_(b.input() >= 64, [&] { b.emit(b.input()); });
+    CompileOptions options;
+    options.insertRuntimeChecks = true;
+    auto unit = compileProgram(b.finish(), options);
+    ASSERT_NE(unit.outViolation, rtl::kNoNode);
+
+    EXPECT_TRUE(violationCycles(unit, {10, 70, 10}).empty());
+    EXPECT_FALSE(violationCycles(unit, {10, 200, 10}).empty());
+}
+
+TEST(RuntimeChecks, DoubleRegisterAssignDetected)
+{
+    ProgramBuilder b("bad", 8, 8);
+    Value r = b.reg("r", 8);
+    b.if_(b.input() >= 100, [&] { b.assign(r, 1); });
+    b.if_(b.input() >= 50, [&] { b.assign(r, 2); });
+    CompileOptions options;
+    options.insertRuntimeChecks = true;
+    auto unit = compileProgram(b.finish(), options);
+    EXPECT_TRUE(violationCycles(unit, {49, 75}).empty());
+    EXPECT_FALSE(violationCycles(unit, {49, 150}).empty());
+}
+
+TEST(RuntimeChecks, DoubleBramWriteDetected)
+{
+    ProgramBuilder b("bad", 8, 8);
+    Bram m = b.bram("m", 16, 8);
+    b.if_(b.input().bit(0) == 1, [&] {
+        b.assign(m[Value::lit(0, 4)], 1);
+    });
+    b.if_(b.input().bit(1) == 1, [&] {
+        b.assign(m[Value::lit(1, 4)], 2);
+    });
+    CompileOptions options;
+    options.insertRuntimeChecks = true;
+    auto unit = compileProgram(b.finish(), options);
+    EXPECT_TRUE(violationCycles(unit, {1, 2}).empty());
+    EXPECT_FALSE(violationCycles(unit, {3}).empty());
+}
+
+TEST(RuntimeChecks, TwoReadAddressesDetected)
+{
+    ProgramBuilder b("bad", 8, 8);
+    Bram m = b.bram("m", 16, 8);
+    Value x = b.reg("x", 8);
+    Value y = b.reg("y", 8);
+    b.if_(b.input().bit(0) == 1, [&] {
+        b.assign(x, m[Value::lit(0, 4)]);
+    });
+    b.if_(b.input().bit(1) == 1, [&] {
+        b.assign(y, m[Value::lit(1, 4)]);
+    });
+    CompileOptions options;
+    options.insertRuntimeChecks = true;
+    auto unit = compileProgram(b.finish(), options);
+    EXPECT_TRUE(violationCycles(unit, {1, 2, 0}).empty());
+    EXPECT_FALSE(violationCycles(unit, {3}).empty());
+}
+
+TEST(RuntimeChecks, CleanProgramsNeverFire)
+{
+    CompileOptions options;
+    options.insertRuntimeChecks = true;
+    auto unit = compileProgram(testprogs::blockFrequencies(16), options);
+    std::vector<uint64_t> tokens;
+    for (int i = 0; i < 64; ++i)
+        tokens.push_back(i % 7);
+    EXPECT_TRUE(violationCycles(unit, tokens).empty());
+}
+
+TEST(RuntimeChecks, OffByDefault)
+{
+    auto unit = compileProgram(testprogs::identity());
+    EXPECT_EQ(unit.outViolation, rtl::kNoNode);
+    EXPECT_THROW(unit.circuit.outputNode("violation"), PanicError);
+}
+
+} // namespace
+} // namespace compile
+} // namespace fleet

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "dram/dram.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace dram {
+namespace {
+
+DramParams
+quietParams()
+{
+    DramParams params;
+    params.readLatency = 10;
+    params.perRequestOverhead = 0.0;
+    params.refreshDuration = 0;
+    return params;
+}
+
+TEST(Dram, ReadLatencyRespected)
+{
+    DramChannel ch(quietParams(), 4096);
+    ch.memory()[128] = 0xab;
+    ch.arPush(128, 1);
+    for (int c = 0; c < 10; ++c) {
+        EXPECT_FALSE(ch.rValid()) << "cycle " << c;
+        ch.tick();
+    }
+    ASSERT_TRUE(ch.rValid());
+    EXPECT_EQ(ch.rPeek().addr, 128u);
+    EXPECT_TRUE(ch.rPeek().last);
+    ch.rPop();
+    EXPECT_FALSE(ch.rValid());
+}
+
+TEST(Dram, BeatsReturnInOrderOnePerCycle)
+{
+    DramChannel ch(quietParams(), 4096);
+    ch.arPush(0, 2);
+    ch.arPush(1024, 2);
+    std::vector<uint64_t> addrs;
+    for (int c = 0; c < 40 && addrs.size() < 4; ++c) {
+        if (ch.rValid()) {
+            addrs.push_back(ch.rPeek().addr);
+            ch.rPop();
+        }
+        ch.tick();
+    }
+    ASSERT_EQ(addrs.size(), 4u);
+    EXPECT_EQ(addrs[0], 0u);
+    EXPECT_EQ(addrs[1], 64u);
+    EXPECT_EQ(addrs[2], 1024u);
+    EXPECT_EQ(addrs[3], 1088u);
+}
+
+TEST(Dram, PipelinedRequestsSaturateBus)
+{
+    // With zero overhead and requests issued every cycle, the bus should
+    // deliver one beat per cycle after the initial latency.
+    DramParams params = quietParams();
+    DramChannel ch(params, 1 << 20);
+    uint64_t addr = 0;
+    uint64_t delivered = 0;
+    const int cycles = 2000;
+    for (int c = 0; c < cycles; ++c) {
+        if (ch.arReady() && addr + 128 <= (1 << 20)) {
+            ch.arPush(addr, 2);
+            addr += 128;
+        }
+        if (ch.rValid()) {
+            ch.rPop();
+            ++delivered;
+        }
+        ch.tick();
+    }
+    // Expect ~ (cycles - latency) beats.
+    EXPECT_GE(delivered, uint64_t(cycles) - 20);
+}
+
+TEST(Dram, PerRequestOverheadReducesBandwidth)
+{
+    DramParams params = quietParams();
+    params.perRequestOverhead = 1.0; // one lost cycle per 2-beat burst
+    DramChannel ch(params, 1 << 20);
+    uint64_t addr = 0;
+    uint64_t delivered = 0;
+    const int cycles = 3000;
+    for (int c = 0; c < cycles; ++c) {
+        if (ch.arReady() && addr + 128 <= (1 << 20)) {
+            ch.arPush(addr, 2);
+            addr += 128;
+        }
+        if (ch.rValid()) {
+            ch.rPop();
+            ++delivered;
+        }
+        ch.tick();
+    }
+    double efficiency = double(delivered) / cycles;
+    EXPECT_LT(efficiency, 0.72); // 2 of 3 cycles carry data
+    EXPECT_GT(efficiency, 0.60);
+}
+
+TEST(Dram, RefreshBlocksBus)
+{
+    DramParams params = quietParams();
+    params.refreshPeriod = 100;
+    params.refreshDuration = 50; // half the time refreshing
+    DramChannel ch(params, 1 << 20);
+    uint64_t addr = 0;
+    uint64_t delivered = 0;
+    const int cycles = 5000;
+    for (int c = 0; c < cycles; ++c) {
+        if (ch.arReady() && addr + 128 <= (1 << 20)) {
+            ch.arPush(addr, 2);
+            addr += 128;
+        }
+        if (ch.rValid()) {
+            ch.rPop();
+            ++delivered;
+        }
+        ch.tick();
+    }
+    double efficiency = double(delivered) / cycles;
+    EXPECT_LT(efficiency, 0.60);
+    EXPECT_GT(efficiency, 0.40);
+}
+
+TEST(Dram, LargerBurstsMoreEfficient)
+{
+    auto measure = [](int burst_beats) {
+        DramParams params;
+        params.readLatency = 60;
+        params.perRequestOverhead = 0.25;
+        params.refreshPeriod = 975;
+        params.refreshDuration = 55;
+        DramChannel ch(params, 16 << 20);
+        uint64_t addr = 0;
+        uint64_t delivered = 0;
+        const int cycles = 20000;
+        uint64_t burst_bytes = uint64_t(burst_beats) * 64;
+        for (int c = 0; c < cycles; ++c) {
+            if (ch.arReady() && addr + burst_bytes <= (16u << 20)) {
+                ch.arPush(addr, burst_beats);
+                addr += burst_bytes;
+            }
+            if (ch.rValid()) {
+                ch.rPop();
+                ++delivered;
+            }
+            ch.tick();
+        }
+        return double(delivered) / cycles;
+    };
+    double eff2 = measure(2);
+    double eff64 = measure(64);
+    EXPECT_GT(eff64, eff2);
+    // Calibration targets (paper Section 7.3): 64-beat bursts sustain
+    // ~94% of theoretical peak; 2-beat bursts land in the mid-80s%.
+    EXPECT_NEAR(eff64, 0.94, 0.02);
+    EXPECT_NEAR(eff2, 0.86, 0.03);
+}
+
+TEST(Dram, WritesCommitToMemory)
+{
+    DramChannel ch(quietParams(), 4096);
+    std::vector<uint8_t> beat(64);
+    for (int i = 0; i < 64; ++i)
+        beat[i] = uint8_t(i);
+    ch.awPush(256, 2);
+    ASSERT_TRUE(ch.wReady());
+    ch.wPush(beat.data());
+    ch.tick();
+    ASSERT_TRUE(ch.wReady());
+    ch.wPush(beat.data());
+    ch.tick();
+    EXPECT_FALSE(ch.wReady()); // burst complete, no AW outstanding
+    EXPECT_EQ(ch.memory()[256 + 5], 5);
+    EXPECT_EQ(ch.memory()[256 + 64 + 7], 7);
+    EXPECT_EQ(ch.beatsWritten(), 2u);
+}
+
+TEST(Dram, WritesContendWithReads)
+{
+    auto measure = [](bool with_writes) {
+        DramParams params;
+        params.readLatency = 60;
+        params.perRequestOverhead = 0.25;
+        params.refreshDuration = 55;
+        DramChannel ch(params, 16 << 20);
+        std::vector<uint8_t> beat(64, 0xff);
+        uint64_t raddr = 0, waddr = 8 << 20;
+        uint64_t delivered = 0;
+        for (int c = 0; c < 20000; ++c) {
+            if (ch.arReady() && raddr + 128 <= (8u << 20)) {
+                ch.arPush(raddr, 2);
+                raddr += 128;
+            }
+            if (with_writes) {
+                if (ch.awReady() && !ch.wReady() &&
+                    waddr + 128 <= (16u << 20)) {
+                    ch.awPush(waddr, 2);
+                    waddr += 128;
+                }
+                if (ch.wReady())
+                    ch.wPush(beat.data());
+            }
+            if (ch.rValid()) {
+                ch.rPop();
+                ++delivered;
+            }
+            ch.tick();
+        }
+        return double(delivered) / 20000;
+    };
+    double read_only = measure(false);
+    double read_write = measure(true);
+    EXPECT_LT(read_write, 0.75 * read_only);
+}
+
+TEST(Dram, BackpressureBoundsOutstanding)
+{
+    DramParams params = quietParams();
+    params.maxOutstandingReads = 4;
+    DramChannel ch(params, 1 << 20);
+    int accepted = 0;
+    for (int i = 0; i < 10; ++i) {
+        if (ch.arReady()) {
+            ch.arPush(uint64_t(i) * 128, 2);
+            ++accepted;
+        }
+    }
+    EXPECT_EQ(accepted, 4);
+}
+
+TEST(Dram, MisalignedAddressRejected)
+{
+    DramChannel ch(quietParams(), 4096);
+    EXPECT_THROW(ch.arPush(13, 1), FatalError);
+    EXPECT_THROW(ch.awPush(13, 1), FatalError);
+    EXPECT_THROW(ch.arPush(4096, 1), FatalError); // past end
+}
+
+} // namespace
+} // namespace dram
+} // namespace fleet

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "lang/builder.h"
+#include "test_programs.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace lang {
+namespace {
+
+TEST(Builder, IdentityProgramShape)
+{
+    Program p = testprogs::identity();
+    EXPECT_EQ(p.name, "Identity");
+    EXPECT_EQ(p.inputTokenWidth, 8);
+    EXPECT_EQ(p.outputTokenWidth, 8);
+    EXPECT_TRUE(p.regs.empty());
+    EXPECT_TRUE(p.brams.empty());
+    ASSERT_EQ(p.body.size(), 1u);
+    EXPECT_TRUE(std::holds_alternative<IfStmt>(p.body[0]->node));
+}
+
+TEST(Builder, HistogramProgramShape)
+{
+    Program p = testprogs::blockFrequencies();
+    ASSERT_EQ(p.regs.size(), 2u);
+    EXPECT_EQ(p.regs[0].name, "itemCounter");
+    EXPECT_EQ(p.regs[0].width, 7);
+    EXPECT_EQ(p.regs[1].name, "frequenciesIdx");
+    EXPECT_EQ(p.regs[1].width, 9);
+    ASSERT_EQ(p.brams.size(), 1u);
+    EXPECT_EQ(p.brams[0].elements, 256);
+    EXPECT_EQ(p.brams[0].width, 8);
+    EXPECT_EQ(p.brams[0].addrWidth, 8);
+    EXPECT_EQ(p.body.size(), 3u);
+}
+
+TEST(Builder, LiteralWidths)
+{
+    EXPECT_EQ(Value(0).width(), 1);
+    EXPECT_EQ(Value(1).width(), 1);
+    EXPECT_EQ(Value(255).width(), 8);
+    EXPECT_EQ(Value(256).width(), 9);
+    EXPECT_EQ(Value::lit(5, 16).width(), 16);
+}
+
+TEST(Builder, LiteralTooWideThrows)
+{
+    EXPECT_THROW(Value::lit(256, 8), FatalError);
+}
+
+TEST(Builder, OperatorWidths)
+{
+    ProgramBuilder b("t", 8, 8);
+    Value r = b.reg("r", 8);
+    EXPECT_EQ((r + 1).width(), 8);
+    EXPECT_EQ((r * r).width(), 16);
+    EXPECT_EQ((r == 3).width(), 1);
+    EXPECT_EQ((r && r).width(), 1);
+    EXPECT_EQ((!r).width(), 1);
+    EXPECT_EQ((~r).width(), 8);
+    EXPECT_EQ(r.slice(3, 0).width(), 4);
+    EXPECT_EQ(r.bit(7).width(), 1);
+    EXPECT_EQ(cat(r, r).width(), 16);
+    EXPECT_EQ(r.resize(12).width(), 12);
+    EXPECT_EQ(r.resize(4).width(), 4);
+}
+
+TEST(Builder, MuxEqualizesLegWidths)
+{
+    ProgramBuilder b("t", 8, 8);
+    Value r = b.reg("r", 8);
+    Value m = mux(r == 0, 1, r);
+    EXPECT_EQ(m.width(), 8);
+}
+
+TEST(Builder, SliceOutOfRangeThrows)
+{
+    ProgramBuilder b("t", 8, 8);
+    Value r = b.reg("r", 8);
+    EXPECT_THROW(r.slice(8, 0), FatalError);
+    EXPECT_THROW(r.slice(2, 3), FatalError);
+}
+
+TEST(Builder, NonLValueAssignThrows)
+{
+    ProgramBuilder b("t", 8, 8);
+    Value r = b.reg("r", 8);
+    EXPECT_THROW(b.assign(r + 1, r), FatalError);
+    EXPECT_THROW(b.assign(b.input(), r), FatalError);
+}
+
+TEST(Builder, NestedWhileThrows)
+{
+    ProgramBuilder b("t", 8, 8);
+    Value r = b.reg("r", 8);
+    EXPECT_THROW(b.while_(r != 0, [&] {
+        b.while_(r != 1, [&] { b.assign(r, r + 1); });
+    }),
+                 FatalError);
+}
+
+TEST(Builder, ElseIfChain)
+{
+    ProgramBuilder b("t", 8, 8);
+    Value r = b.reg("r", 8);
+    b.if_(r == 0, [&] { b.assign(r, 1); })
+        .elseIf(r == 1, [&] { b.assign(r, 2); })
+        .else_([&] { b.assign(r, 0); });
+    Program p = b.finish();
+    ASSERT_EQ(p.body.size(), 1u);
+    const auto &if_stmt = std::get<IfStmt>(p.body[0]->node);
+    EXPECT_EQ(if_stmt.arms.size(), 2u);
+    EXPECT_EQ(if_stmt.elseBlock.size(), 1u);
+}
+
+TEST(Builder, DoubleElseThrows)
+{
+    ProgramBuilder b("t", 8, 8);
+    Value r = b.reg("r", 8);
+    auto chain = b.if_(r == 0, [&] {});
+    chain.else_([&] { b.assign(r, 1); });
+    EXPECT_THROW(chain.else_([&] {}), FatalError);
+}
+
+TEST(Builder, UseAfterFinishThrows)
+{
+    ProgramBuilder b("t", 8, 8);
+    Value r = b.reg("r", 8);
+    b.assign(r, 1);
+    b.finish();
+    EXPECT_THROW(b.assign(r, 2), FatalError);
+    EXPECT_THROW(b.finish(), FatalError);
+}
+
+TEST(Builder, BadWidthsThrow)
+{
+    EXPECT_THROW(ProgramBuilder("t", 0, 8), FatalError);
+    EXPECT_THROW(ProgramBuilder("t", 8, 65), FatalError);
+    ProgramBuilder b("t", 8, 8);
+    EXPECT_THROW(b.reg("r", 0), FatalError);
+    EXPECT_THROW(b.reg("r", 65), FatalError);
+    EXPECT_THROW(b.reg("r", 4, 16), FatalError); // init does not fit
+    EXPECT_THROW(b.bram("m", 0, 8), FatalError);
+    EXPECT_THROW(b.vreg("v", 4, 0), FatalError);
+}
+
+TEST(Builder, ExprToStringSmoke)
+{
+    ProgramBuilder b("t", 8, 8);
+    Value r = b.reg("r", 8);
+    Bram m = b.bram("m", 16, 8);
+    std::string s = exprToString((m[r] + 1).expr());
+    EXPECT_NE(s.find("m0["), std::string::npos);
+    EXPECT_NE(s.find("+"), std::string::npos);
+}
+
+TEST(Builder, ExprEquality)
+{
+    ProgramBuilder b("t", 8, 8);
+    Value r = b.reg("r", 8);
+    Bram m = b.bram("m", 16, 8);
+    EXPECT_TRUE(exprEqual(m[r].expr(), m[r].expr()));
+    EXPECT_FALSE(exprEqual(m[r].expr(), m[r + 1].expr()));
+    EXPECT_TRUE(exprEqual((r + 1).expr(), (r + 1).expr()));
+    EXPECT_FALSE(exprEqual((r + 1).expr(), (r - 1).expr()));
+}
+
+TEST(Builder, ContainsBramRead)
+{
+    ProgramBuilder b("t", 8, 8);
+    Value r = b.reg("r", 8);
+    Bram m = b.bram("m", 16, 8);
+    EXPECT_TRUE(containsBramRead((m[r] + 1).expr()));
+    EXPECT_TRUE(containsBramRead(mux(r == 0, m[r], Value::lit(0, 8)).expr()));
+    EXPECT_FALSE(containsBramRead((r + 1).expr()));
+}
+
+} // namespace
+} // namespace lang
+} // namespace fleet

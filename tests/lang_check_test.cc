@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "lang/builder.h"
+#include "lang/check.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace lang {
+namespace {
+
+TEST(Check, DependentReadInAddressRejected)
+{
+    ProgramBuilder b("t", 8, 8);
+    Bram a = b.bram("a", 16, 4);
+    Bram c = b.bram("c", 16, 8);
+    Value s = b.reg("s", 8);
+    // a[c[0]] is the paper's canonical dependent-read example.
+    b.assign(s, a[c[Value::lit(0, 4)]].resize(8));
+    EXPECT_THROW(b.finish(), FatalError);
+}
+
+TEST(Check, DependentReadViaConditionRejected)
+{
+    ProgramBuilder b("t", 8, 8);
+    Bram a = b.bram("a", 16, 8);
+    Bram c = b.bram("c", 16, 1);
+    Value x = b.reg("x", 8);
+    // if (c[0]) x = a[0] else x = a[1] -- the paper's second example.
+    b.if_(c[Value::lit(0, 4)], [&] {
+        b.assign(x, a[Value::lit(0, 4)]);
+    }).else_([&] {
+        b.assign(x, a[Value::lit(1, 4)]);
+    });
+    EXPECT_THROW(b.finish(), FatalError);
+}
+
+TEST(Check, DependentReadViaMuxRejected)
+{
+    ProgramBuilder b("t", 8, 8);
+    Bram a = b.bram("a", 16, 8);
+    Bram c = b.bram("c", 16, 1);
+    Value x = b.reg("x", 8);
+    b.assign(x, mux(c[Value::lit(0, 4)], a[Value::lit(0, 4)],
+                    a[Value::lit(1, 4)]));
+    EXPECT_THROW(b.finish(), FatalError);
+}
+
+TEST(Check, ReadGatingNonReadActionsAllowed)
+{
+    // A BRAM read in a condition is fine when the gated statements do not
+    // themselves read BRAMs (register assignment, emit of a register).
+    ProgramBuilder b("t", 8, 8);
+    Bram table = b.bram("table", 256, 8);
+    Value state = b.reg("state", 8);
+    b.if_(table[state] == b.input(), [&] {
+        b.assign(state, state + 1);
+        b.emit(state);
+    });
+    EXPECT_NO_THROW(b.finish());
+}
+
+TEST(Check, BramReadInWhileCondAllowedForSingleAddressBram)
+{
+    // A single-address BRAM's read is issued unconditionally, so its data
+    // may even drive the while condition.
+    ProgramBuilder b("t", 8, 8);
+    Bram m = b.bram("m", 16, 8);
+    Value i = b.reg("i", 4, 0);
+    b.while_(m[i] != 0, [&] { b.assign(i, i + 1); });
+    EXPECT_NO_THROW(b.finish());
+}
+
+TEST(Check, BramReadInWhileCondRejectedForMultiAddressBram)
+{
+    ProgramBuilder b("t", 8, 8);
+    Bram m = b.bram("m", 16, 8);
+    Value i = b.reg("i", 4, 0);
+    Value x = b.reg("x", 8, 0);
+    b.while_(m[i] != 0, [&] { b.assign(i, i + 1); });
+    // A second distinct read address makes the while condition illegal.
+    b.assign(x, m[Value::lit(3, 4)]);
+    EXPECT_THROW(b.finish(), FatalError);
+}
+
+TEST(Check, WideAssignmentRejected)
+{
+    ProgramBuilder b("t", 8, 8);
+    Value r = b.reg("r", 8);
+    EXPECT_THROW(
+        {
+            b.assign(r, r * r); // 16-bit value into 8-bit register
+            b.finish();
+        },
+        FatalError);
+}
+
+TEST(Check, NarrowAssignmentZeroExtends)
+{
+    ProgramBuilder b("t", 8, 8);
+    Value r = b.reg("r", 8);
+    b.assign(r, Value::lit(1, 1));
+    EXPECT_NO_THROW(b.finish());
+}
+
+TEST(Check, EmitWidthMismatchRejected)
+{
+    ProgramBuilder b("t", 8, 16);
+    b.emit(b.input()); // 8-bit emit into 16-bit output
+    EXPECT_THROW(b.finish(), FatalError);
+}
+
+TEST(Check, EmitResizedAccepted)
+{
+    ProgramBuilder b("t", 8, 16);
+    b.emit(b.input().resize(16));
+    EXPECT_NO_THROW(b.finish());
+}
+
+TEST(Check, ReadInsideWhileBodyAllowed)
+{
+    ProgramBuilder b("t", 8, 8);
+    Bram m = b.bram("m", 256, 8);
+    Value i = b.reg("i", 9, 0);
+    b.while_(i < 256, [&] {
+        b.emit(m[i.slice(7, 0)]);
+        b.assign(i, i + 1);
+    });
+    EXPECT_NO_THROW(b.finish());
+}
+
+TEST(Check, SameAddressReadAndWriteAllowed)
+{
+    // The histogram pattern: read and write frequencies[input] in one
+    // virtual cycle.
+    ProgramBuilder b("t", 8, 8);
+    Bram m = b.bram("m", 256, 8);
+    b.assign(m[b.input()], m[b.input()] + 1);
+    EXPECT_NO_THROW(b.finish());
+}
+
+TEST(Check, WriteAddressMayDependOnReadData)
+{
+    // Write addresses are stage-2 signals: a write address computed from
+    // BRAM read data is legal (only read addresses are restricted).
+    ProgramBuilder b("t", 8, 8);
+    Bram idx = b.bram("idx", 16, 4);
+    Bram data = b.bram("data", 16, 8);
+    Value r = b.reg("r", 4, 0);
+    b.assign(data[idx[r]], b.input());
+    b.assign(r, r + 1);
+    EXPECT_NO_THROW(b.finish());
+}
+
+} // namespace
+} // namespace lang
+} // namespace fleet

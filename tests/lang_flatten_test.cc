@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "lang/builder.h"
+#include "lang/flatten.h"
+#include "test_programs.h"
+
+namespace fleet {
+namespace lang {
+namespace {
+
+TEST(Flatten, Identity)
+{
+    Program p = testprogs::identity();
+    FlatProgram flat = flatten(p);
+    EXPECT_TRUE(flat.whileConds.empty());
+    EXPECT_TRUE(flat.assigns.empty());
+    ASSERT_EQ(flat.emits.size(), 1u);
+    EXPECT_FALSE(flat.emits[0].insideWhile);
+    ASSERT_TRUE(flat.emits[0].cond != nullptr);
+}
+
+TEST(Flatten, HistogramStructure)
+{
+    Program p = testprogs::blockFrequencies();
+    FlatProgram flat = flatten(p);
+    // One while loop, whose effective condition includes the enclosing if.
+    ASSERT_EQ(flat.whileConds.size(), 1u);
+    std::string cond = exprToString(flat.whileConds[0]);
+    EXPECT_NE(cond.find("=="), std::string::npos); // itemCounter == block
+    EXPECT_NE(cond.find("<"), std::string::npos);  // idx < 256
+
+    // Assignments: 2 inside the loop, 3 outside (idx reset, bram update,
+    // counter update).
+    int inside = 0, outside = 0;
+    for (const auto &assign : flat.assigns)
+        (assign.insideWhile ? inside : outside)++;
+    EXPECT_EQ(inside, 2);
+    EXPECT_EQ(outside, 3);
+
+    ASSERT_EQ(flat.emits.size(), 1u);
+    EXPECT_TRUE(flat.emits[0].insideWhile);
+
+    // BRAM reads: the loop-body emit read, plus the two frequencies[input]
+    // reads (value and write-address collection also records the read
+    // inside the assignment's value).
+    int loop_reads = 0, main_reads = 0;
+    for (const auto &read : flat.bramReads)
+        (read.insideWhile ? loop_reads : main_reads)++;
+    EXPECT_EQ(loop_reads, 1);
+    EXPECT_GE(main_reads, 1);
+}
+
+TEST(Flatten, ElseArmsGetNegatedConditions)
+{
+    ProgramBuilder b("t", 8, 8);
+    Value r = b.reg("r", 8);
+    Value s = b.reg("s", 8);
+    b.if_(r == 0, [&] { b.assign(s, 1); })
+        .elseIf(r == 1, [&] { b.assign(s, 2); })
+        .else_([&] { b.assign(s, 3); });
+    FlatProgram flat = flatten(b.finish());
+    ASSERT_EQ(flat.assigns.size(), 3u);
+    // First arm: plain condition.
+    EXPECT_EQ(exprToString(flat.assigns[0].cond), "(r0 == 0'1)");
+    // Second arm: negation of first, conjoined with its own.
+    std::string second = exprToString(flat.assigns[1].cond);
+    EXPECT_NE(second.find("!"), std::string::npos);
+    EXPECT_NE(second.find("== 1'1"), std::string::npos);
+    // Else arm: both negations, no positive condition.
+    std::string third = exprToString(flat.assigns[2].cond);
+    EXPECT_NE(third.find("!"), std::string::npos);
+}
+
+TEST(Flatten, NestedIfConditionsConjoined)
+{
+    ProgramBuilder b("t", 8, 8);
+    Value r = b.reg("r", 8);
+    Value s = b.reg("s", 8);
+    b.if_(r == 0, [&] {
+        b.if_(s == 0, [&] { b.assign(s, 1); });
+    });
+    FlatProgram flat = flatten(b.finish());
+    ASSERT_EQ(flat.assigns.size(), 1u);
+    std::string cond = exprToString(flat.assigns[0].cond);
+    EXPECT_NE(cond.find("r0"), std::string::npos);
+    EXPECT_NE(cond.find("r1"), std::string::npos);
+    EXPECT_NE(cond.find("&&"), std::string::npos);
+}
+
+TEST(Flatten, MuxPathsGateBramReads)
+{
+    ProgramBuilder b("t", 8, 8);
+    Value r = b.reg("r", 8);
+    Value s = b.reg("s", 8);
+    Bram m = b.bram("m", 16, 8);
+    // Reads of m gated by the mux select on r.
+    b.assign(s, mux(r == 0, m[Value::lit(0, 4)], m[Value::lit(1, 4)]));
+    FlatProgram flat = flatten(b.finish());
+    ASSERT_EQ(flat.bramReads.size(), 2u);
+    std::string c0 = exprToString(flat.bramReads[0].cond);
+    std::string c1 = exprToString(flat.bramReads[1].cond);
+    EXPECT_NE(c0.find("=="), std::string::npos);
+    EXPECT_NE(c1.find("!"), std::string::npos);
+}
+
+TEST(Flatten, WideConditionNormalizedToNonZeroTest)
+{
+    ProgramBuilder b("t", 8, 8);
+    Value r = b.reg("r", 8);
+    Value s = b.reg("s", 8);
+    b.if_(r, [&] { b.assign(s, 1); }); // 8-bit condition
+    FlatProgram flat = flatten(b.finish());
+    ASSERT_EQ(flat.assigns.size(), 1u);
+    EXPECT_EQ(flat.assigns[0].cond->width, 1);
+}
+
+TEST(Flatten, AndCondNullHandling)
+{
+    EXPECT_EQ(andCond(nullptr, nullptr), nullptr);
+    Expr one = constExpr(1, 1);
+    EXPECT_EQ(andCond(one, nullptr), one);
+    EXPECT_EQ(andCond(nullptr, one), one);
+    Expr both = andCond(one, one);
+    ASSERT_TRUE(both != nullptr);
+    EXPECT_EQ(both->kind, ExprKind::Bin);
+}
+
+} // namespace
+} // namespace lang
+} // namespace fleet

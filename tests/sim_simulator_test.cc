@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include "lang/builder.h"
+#include "sim/simulator.h"
+#include "test_programs.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace fleet {
+namespace sim {
+namespace {
+
+using lang::Bram;
+using lang::Program;
+using lang::ProgramBuilder;
+using lang::Value;
+using lang::VecReg;
+using lang::mux;
+
+BitBuffer
+tokens8(std::initializer_list<uint64_t> values)
+{
+    BitBuffer buf;
+    for (uint64_t v : values)
+        buf.appendBits(v, 8);
+    return buf;
+}
+
+TEST(Simulator, IdentityEchoesStream)
+{
+    FunctionalSimulator simulator(testprogs::identity());
+    BitBuffer input = BitBuffer::fromString("hello fleet");
+    RunResult result = simulator.run(input);
+    EXPECT_EQ(result.output.toString(), "hello fleet");
+    EXPECT_EQ(result.tokens, 11u);
+    // One virtual cycle per token plus the cleanup cycle.
+    EXPECT_EQ(result.vcycles, 12u);
+    EXPECT_EQ(result.emits, 11u);
+}
+
+TEST(Simulator, IdentityEmptyStream)
+{
+    FunctionalSimulator simulator(testprogs::identity());
+    RunResult result = simulator.run(BitBuffer());
+    EXPECT_EQ(result.output.sizeBits(), 0u);
+    EXPECT_EQ(result.tokens, 0u);
+    EXPECT_EQ(result.vcycles, 1u); // cleanup cycle only
+}
+
+TEST(Simulator, StreamSumEmitsOnCleanup)
+{
+    FunctionalSimulator simulator(testprogs::streamSum());
+    RunResult result = simulator.run(tokens8({1, 2, 3, 200, 250}));
+    ASSERT_EQ(result.emits, 1u);
+    EXPECT_EQ(result.output.readBits(0, 32), 456u);
+}
+
+TEST(Simulator, HistogramMatchesReference)
+{
+    const int block = 100;
+    FunctionalSimulator simulator(testprogs::blockFrequencies(block));
+    Rng rng(11);
+    BitBuffer input;
+    std::vector<uint64_t> values;
+    // Whole number of blocks: the paper notes the final (full) block's
+    // histogram is emitted by the stream_finished execution of the logic.
+    for (int i = 0; i < 3 * block; ++i) {
+        uint64_t v = rng.nextBelow(16); // concentrate to get counts > 1
+        values.push_back(v);
+        input.appendBits(v, 8);
+    }
+    RunResult result = simulator.run(input);
+
+    std::vector<std::vector<int>> expected_blocks;
+    std::vector<int> hist(256, 0);
+    int in_block = 0;
+    for (uint64_t v : values) {
+        hist[v]++;
+        if (++in_block == block) {
+            expected_blocks.push_back(hist);
+            hist.assign(256, 0);
+            in_block = 0;
+        }
+    }
+    ASSERT_EQ(expected_blocks.size(), 3u);
+
+    ASSERT_EQ(result.emits, expected_blocks.size() * 256);
+    uint64_t offset = 0;
+    for (const auto &block_hist : expected_blocks) {
+        for (int v = 0; v < 256; ++v) {
+            ASSERT_EQ(result.output.readBits(offset, 8),
+                      uint64_t(block_hist[v]))
+                << "value " << v;
+            offset += 8;
+        }
+    }
+}
+
+TEST(Simulator, WhileLoopTakesExtraVcycles)
+{
+    // Emit each token, then count down from it without consuming input.
+    ProgramBuilder b("countdown", 8, 8);
+    Value remaining = b.reg("remaining", 8, 0);
+    Value started = b.reg("started", 1, 0);
+    b.while_(remaining != 0, [&] {
+        b.assign(remaining, remaining - 1);
+    });
+    b.if_(!b.streamFinished(), [&] {
+        b.assign(remaining, b.input());
+        b.assign(started, Value::lit(1, 1));
+        b.emit(b.input());
+    });
+    FunctionalSimulator simulator(b.finish());
+    RunResult result = simulator.run(tokens8({3, 0, 2}));
+    EXPECT_EQ(result.output.readBits(0, 8), 3u);
+    // Token 0 takes 1 vcycle (loop not yet active), then 3 loop vcycles
+    // precede token 1, etc. Total: 1 + (3+1) + (0+1)... compute:
+    // t0: loop inactive -> 1 vcycle. t1: 3 loop + 1 = 4. t2: 0 loop + 1 = 1.
+    // cleanup: 2 loop + 1 = 3. Total = 9.
+    EXPECT_EQ(result.vcycles, 9u);
+    EXPECT_EQ(result.tokens, 3u);
+}
+
+TEST(Simulator, WhileConditionWithPathGating)
+{
+    // The histogram's while only runs when the enclosing if condition
+    // holds; verified via vcycle counts.
+    FunctionalSimulator simulator(testprogs::blockFrequencies(4));
+    BitBuffer input = tokens8({1, 2, 3, 4, 5});
+    RunResult result = simulator.run(input);
+    // Tokens 0-3: 1 vcycle each. Token 4: counter==4 -> 256 loop + 1.
+    // Cleanup: counter==1 != 4 -> ... wait, cleanup runs the histogram
+    // emission only when itemCounter == 4; after token 4 the counter is 1
+    // (it reset after emitting), so cleanup is 1 vcycle... but then the
+    // final partial block would be lost. The paper's unit only emits
+    // full-block histograms at block boundaries; the Figure 3 text notes
+    // the final block is emitted because block length divides the stream
+    // in their usage. Here 5 % 4 != 0 so no cleanup emission.
+    EXPECT_EQ(result.vcycles, 4u + 256u + 1u + 1u);
+    EXPECT_EQ(result.emits, 256u);
+}
+
+TEST(Simulator, MultipleEmitsViolation)
+{
+    ProgramBuilder b("bad", 8, 8);
+    b.emit(b.input());
+    b.emit(b.input());
+    FunctionalSimulator simulator(b.finish());
+    EXPECT_THROW(simulator.run(tokens8({1})), FatalError);
+}
+
+TEST(Simulator, MutuallyExclusiveEmitsAllowed)
+{
+    ProgramBuilder b("ok", 8, 8);
+    b.if_(b.input() < 128, [&] { b.emit(b.input()); })
+        .else_([&] { b.emit(Value::lit(0, 8)); });
+    FunctionalSimulator simulator(b.finish());
+    RunResult result = simulator.run(tokens8({5, 200, 7}));
+    EXPECT_EQ(result.output.readBits(0, 8), 5u);
+    EXPECT_EQ(result.output.readBits(8, 8), 0u);
+    EXPECT_EQ(result.output.readBits(16, 8), 7u);
+    // Cleanup cycle: input is the dummy zero token, < 128, so the unit
+    // emits one extra 0. This mirrors hardware, where the cleanup virtual
+    // cycle runs the same logic.
+    EXPECT_EQ(result.emits, 4u);
+}
+
+TEST(Simulator, DoubleRegisterWriteViolation)
+{
+    ProgramBuilder b("bad", 8, 8);
+    Value r = b.reg("r", 8);
+    b.assign(r, 1);
+    b.assign(r, 2);
+    FunctionalSimulator simulator(b.finish());
+    EXPECT_THROW(simulator.run(tokens8({1})), FatalError);
+}
+
+TEST(Simulator, ConditionalDoubleWriteAllowedWhenExclusive)
+{
+    ProgramBuilder b("ok", 8, 8);
+    Value r = b.reg("r", 8);
+    b.if_(b.input() == 0, [&] { b.assign(r, 1); });
+    b.if_(b.input() != 0, [&] { b.assign(r, 2); });
+    FunctionalSimulator simulator(b.finish());
+    EXPECT_NO_THROW(simulator.run(tokens8({0, 1})));
+}
+
+TEST(Simulator, TwoBramReadAddressesViolation)
+{
+    ProgramBuilder b("bad", 8, 8);
+    Bram m = b.bram("m", 16, 8);
+    Value r = b.reg("r", 8);
+    b.assign(r, (m[Value::lit(0, 4)] + m[Value::lit(1, 4)]).resize(8));
+    FunctionalSimulator simulator(b.finish());
+    EXPECT_THROW(simulator.run(tokens8({1})), FatalError);
+}
+
+TEST(Simulator, SameBramAddressTwiceAllowed)
+{
+    ProgramBuilder b("ok", 8, 8);
+    Bram m = b.bram("m", 256, 8);
+    b.assign(m[b.input()], m[b.input()] + 1);
+    FunctionalSimulator simulator(b.finish());
+    EXPECT_NO_THROW(simulator.run(tokens8({7, 7, 9})));
+}
+
+TEST(Simulator, TwoBramWritesViolation)
+{
+    ProgramBuilder b("bad", 8, 8);
+    Bram m = b.bram("m", 16, 8);
+    b.assign(m[Value::lit(0, 4)], 1);
+    b.assign(m[Value::lit(1, 4)], 2);
+    FunctionalSimulator simulator(b.finish());
+    EXPECT_THROW(simulator.run(tokens8({1})), FatalError);
+}
+
+TEST(Simulator, BramWriteOutOfRangeViolation)
+{
+    ProgramBuilder b("bad", 8, 8);
+    Bram m = b.bram("m", 10, 8); // non-power-of-two
+    b.assign(m[b.input().slice(3, 0)], 1);
+    FunctionalSimulator simulator(b.finish());
+    EXPECT_THROW(simulator.run(tokens8({15})), FatalError);
+    EXPECT_NO_THROW(simulator.run(tokens8({9})));
+}
+
+TEST(Simulator, VecRegParallelElementWrites)
+{
+    // All elements of a vector register update in one virtual cycle
+    // (the Smith-Waterman row pattern).
+    const int kElems = 4;
+    ProgramBuilder b("vec", 8, 8);
+    VecReg row = b.vreg("row", kElems, 8);
+    for (int j = 0; j < kElems; ++j) {
+        Value prev = j == 0 ? b.input() : row[Value::lit(j - 1, 2)];
+        b.assign(row[Value::lit(j, 2)], prev);
+    }
+    b.emit(row[Value::lit(kElems - 1, 2)]);
+    FunctionalSimulator simulator(b.finish());
+    RunResult result = simulator.run(tokens8({10, 20, 30, 40, 50}));
+    // The register chain delays input by kElems-1... all assignments read
+    // pre-cycle state, so row[3] after t tokens holds token[t-4].
+    // Emitted values: 0,0,0,0,10 then cleanup emits 20.
+    EXPECT_EQ(result.output.readBits(4 * 8, 8), 10u);
+    EXPECT_EQ(result.output.readBits(5 * 8, 8), 20u);
+}
+
+TEST(Simulator, VecRegSameElementTwiceViolation)
+{
+    ProgramBuilder b("bad", 8, 8);
+    VecReg v = b.vreg("v", 4, 8);
+    b.assign(v[Value::lit(0, 2)], 1);
+    b.assign(v[Value::lit(0, 2)], 2);
+    FunctionalSimulator simulator(b.finish());
+    EXPECT_THROW(simulator.run(tokens8({1})), FatalError);
+}
+
+TEST(Simulator, ConcurrentSemanticsReadOldValues)
+{
+    // Classic register swap.
+    ProgramBuilder b("swap", 8, 8);
+    Value a = b.reg("a", 8, 1);
+    Value c = b.reg("c", 8, 2);
+    b.assign(a, c);
+    b.assign(c, a);
+    b.if_(b.streamFinished(), [&] { b.emit(a); });
+    FunctionalSimulator simulator(b.finish());
+    RunResult result = simulator.run(tokens8({0}));
+    // One swap during token 0; during cleanup a==2 is emitted after one
+    // more swap is gathered but emit reads pre-cycle value: a was 2 after
+    // token 0's swap... initial a=1,c=2; after t0: a=2,c=1; cleanup reads
+    // a=2.
+    EXPECT_EQ(result.output.readBits(0, 8), 2u);
+}
+
+TEST(Simulator, BramReadAfterWritePreviousVcycleFlagged)
+{
+    ProgramBuilder b("fwd", 8, 8);
+    Bram m = b.bram("m", 256, 8);
+    b.assign(m[b.input()], 1);
+    b.emit(m[b.input()]);
+    FunctionalSimulator simulator(b.finish());
+    // Same address in consecutive virtual cycles: forwarding required.
+    RunResult result = simulator.run(tokens8({5, 5}));
+    EXPECT_TRUE(result.usedBramForwarding);
+    // Distinct addresses: no forwarding needed.
+    RunResult result2 = simulator.run(tokens8({1, 2, 3}));
+    EXPECT_FALSE(result2.usedBramForwarding);
+}
+
+TEST(Simulator, InfiniteWhileLoopDetected)
+{
+    ProgramBuilder b("spin", 8, 8);
+    Value r = b.reg("r", 1, 0);
+    b.while_(r == 0, [&] {
+        // Never changes r.
+        b.assign(r, Value::lit(0, 1));
+    });
+    SimOptions options;
+    options.maxVcyclesPerToken = 1000;
+    FunctionalSimulator simulator(b.finish(), options);
+    EXPECT_THROW(simulator.run(tokens8({1})), FatalError);
+}
+
+TEST(Simulator, MisalignedStreamRejected)
+{
+    lang::ProgramBuilder b("t", 16, 16);
+    b.emit(b.input());
+    FunctionalSimulator simulator(b.finish());
+    BitBuffer input;
+    input.appendBits(0, 24); // not a multiple of 16
+    EXPECT_THROW(simulator.run(input), FatalError);
+}
+
+TEST(Simulator, TraceRecordsConsumeAndEmit)
+{
+    SimOptions options;
+    options.recordTrace = true;
+    FunctionalSimulator simulator(testprogs::identity(), options);
+    RunResult result = simulator.run(tokens8({1, 2}));
+    ASSERT_EQ(result.trace.size(), 3u);
+    EXPECT_EQ(result.trace[0], kVcycleConsumesToken | kVcycleEmits);
+    EXPECT_EQ(result.trace[1], kVcycleConsumesToken | kVcycleEmits);
+    EXPECT_EQ(result.trace[2], kVcycleConsumesToken); // cleanup, no emit
+}
+
+TEST(Simulator, RunIsRepeatable)
+{
+    FunctionalSimulator simulator(testprogs::blockFrequencies(10));
+    BitBuffer input = tokens8({1, 1, 2, 3, 5, 8, 13, 21, 34, 55});
+    RunResult first = simulator.run(input);
+    RunResult second = simulator.run(input);
+    EXPECT_TRUE(first.output == second.output);
+    EXPECT_EQ(first.vcycles, second.vcycles);
+}
+
+} // namespace
+} // namespace sim
+} // namespace fleet

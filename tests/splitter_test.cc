@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "apps/json.h"
+#include "sim/simulator.h"
+#include "system/fleet_system.h"
+#include "system/splitter.h"
+#include "test_programs.h"
+#include "util/rng.h"
+
+namespace fleet {
+namespace system {
+namespace {
+
+TEST(Splitter, DelimiterSplitCutsOnlyAfterDelimiters)
+{
+    std::string text = "aa\nbbbb\ncc\ndddddd\ne\n";
+    auto streams = splitAtDelimiter(text, 3, '\n');
+    ASSERT_GE(streams.size(), 2u);
+    std::string rebuilt;
+    for (const auto &stream : streams) {
+        std::string piece = stream.toString();
+        ASSERT_FALSE(piece.empty());
+        EXPECT_EQ(piece.back(), '\n');
+        rebuilt += piece;
+    }
+    EXPECT_EQ(rebuilt, text);
+}
+
+TEST(Splitter, DelimiterSplitHandlesFewRecords)
+{
+    auto streams = splitAtDelimiter("one\n", 8, '\n');
+    ASSERT_EQ(streams.size(), 1u);
+    EXPECT_EQ(streams[0].toString(), "one\n");
+}
+
+TEST(Splitter, DelimiterSplitTrailingPartialRecord)
+{
+    std::string text = "aaa\nbb"; // no trailing newline
+    auto streams = splitAtDelimiter(text, 2, '\n');
+    std::string rebuilt;
+    for (const auto &stream : streams)
+        rebuilt += stream.toString();
+    EXPECT_EQ(rebuilt, text);
+}
+
+TEST(Splitter, ProloguePrependedToEverySplit)
+{
+    std::vector<uint8_t> prologue = {0x11, 0x22};
+    auto streams = splitAtDelimiter("x\ny\nz\n", 3, '\n', prologue);
+    for (const auto &stream : streams) {
+        EXPECT_EQ(stream.readBits(0, 8), 0x11u);
+        EXPECT_EQ(stream.readBits(8, 8), 0x22u);
+    }
+}
+
+TEST(Splitter, FixedSplitBalancesTokens)
+{
+    BitBuffer data;
+    for (int i = 0; i < 10; ++i)
+        data.appendBits(i, 32);
+    auto streams = splitFixed(data, 4, 32);
+    ASSERT_EQ(streams.size(), 4u);
+    EXPECT_EQ(streams[0].sizeBits(), 3u * 32);
+    EXPECT_EQ(streams[1].sizeBits(), 3u * 32);
+    EXPECT_EQ(streams[2].sizeBits(), 2u * 32);
+    EXPECT_EQ(streams[3].sizeBits(), 2u * 32);
+    // Order preserved across the concatenation.
+    uint64_t expected = 0;
+    for (const auto &stream : streams) {
+        for (uint64_t t = 0; t < stream.sizeBits() / 32; ++t)
+            EXPECT_EQ(stream.readBits(t * 32, 32), expected++);
+    }
+}
+
+TEST(Splitter, FixedSplitRejectsMisalignment)
+{
+    BitBuffer data;
+    data.appendBits(0, 20);
+    EXPECT_THROW(splitFixed(data, 2, 32), FatalError);
+    EXPECT_THROW(splitFixed(data, 0, 20), FatalError);
+}
+
+TEST(Splitter, JsonEndToEndThroughSplitter)
+{
+    // The full Section 2 flow: one big record batch, split at newlines
+    // with the trie prologue, run, concatenated outputs equal the
+    // unsplit golden.
+    apps::JsonApp app;
+    Rng rng(61);
+    BitBuffer batch = app.generateStream(rng, 60000);
+    std::string text = batch.toString().substr(app.trieConfig().size());
+
+    auto streams = splitAtDelimiter(text, 6, '\n', app.trieConfig());
+    SystemConfig config;
+    config.numChannels = 2;
+    FleetSystem fleet_system(app.program(), config, streams);
+    fleet_system.run();
+
+    std::string combined;
+    for (int p = 0; p < fleet_system.numPus(); ++p)
+        combined += fleet_system.output(p).toString();
+    EXPECT_EQ(combined, app.golden(batch).toString());
+}
+
+TEST(PuStatsTracking, SkewAndBackpressureAreVisible)
+{
+    // One long stream and several short ones: the long PU should finish
+    // last; identity emits 1:1 so output blocking occurs while bursts
+    // flush.
+    auto program = testprogs::identity();
+    Rng rng(62);
+    std::vector<BitBuffer> streams;
+    for (int p = 0; p < 4; ++p) {
+        BitBuffer stream;
+        int tokens = p == 0 ? 20000 : 500;
+        for (int t = 0; t < tokens; ++t)
+            stream.appendBits(rng.next(), 8);
+        streams.push_back(std::move(stream));
+    }
+    SystemConfig config;
+    config.numChannels = 1;
+    FleetSystem fleet_system(program, config, streams);
+    fleet_system.run();
+
+    auto total = fleet_system.stats();
+    for (int p = 0; p < 4; ++p) {
+        const auto &stats = fleet_system.puStats(p);
+        EXPECT_LE(stats.inputStarvedCycles + stats.outputBlockedCycles,
+                  total.cycles);
+        EXPECT_GT(stats.finishedAtCycle, 0u);
+    }
+    // The long stream's PU finishes last.
+    for (int p = 1; p < 4; ++p) {
+        EXPECT_GT(fleet_system.puStats(0).finishedAtCycle,
+                  fleet_system.puStats(p).finishedAtCycle);
+    }
+}
+
+} // namespace
+} // namespace system
+} // namespace fleet

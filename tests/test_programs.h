@@ -1,0 +1,78 @@
+#ifndef FLEET_TESTS_TEST_PROGRAMS_H
+#define FLEET_TESTS_TEST_PROGRAMS_H
+
+/**
+ * @file
+ * Small Fleet programs shared across test suites, including the paper's
+ * Figure 3 histogram unit and the identity unit from Section 3.
+ */
+
+#include "lang/builder.h"
+
+namespace fleet {
+namespace testprogs {
+
+/** The identity unit from Section 3: emits the input stream unchanged. */
+inline lang::Program
+identity(int token_width = 8)
+{
+    lang::ProgramBuilder b("Identity", token_width, token_width);
+    b.if_(!b.streamFinished(), [&] { b.emit(b.input()); });
+    return b.finish();
+}
+
+/**
+ * The paper's Figure 3 unit: a 256-entry histogram emitted and cleared
+ * after every `block` 8-bit tokens.
+ */
+inline lang::Program
+blockFrequencies(int block = 100)
+{
+    using lang::Value;
+    lang::ProgramBuilder b("BlockFrequencies", 8, 8);
+    Value itemCounter = b.reg("itemCounter", 7, 0);
+    lang::Bram frequencies = b.bram("frequencies", 256, 8);
+    Value frequenciesIdx = b.reg("frequenciesIdx", 9, 0);
+
+    b.if_(itemCounter == uint64_t(block), [&] {
+        b.while_(frequenciesIdx < 256, [&] {
+            b.emit(frequencies[frequenciesIdx]);
+            b.assign(frequencies[frequenciesIdx], 0);
+            b.assign(frequenciesIdx, frequenciesIdx + 1);
+        });
+        b.assign(frequenciesIdx, 0);
+    });
+    b.assign(frequencies[b.input()], frequencies[b.input()] + 1);
+    b.assign(itemCounter, lang::mux(itemCounter == uint64_t(block), 1,
+                                    itemCounter + 1));
+    return b.finish();
+}
+
+/** Sums all tokens and emits the total in the cleanup cycle. */
+inline lang::Program
+streamSum(int token_width = 8, int sum_width = 32)
+{
+    using lang::Value;
+    lang::ProgramBuilder b("StreamSum", token_width, sum_width);
+    Value sum = b.reg("sum", sum_width, 0);
+    b.if_(b.streamFinished(), [&] { b.emit(sum); })
+        .else_([&] {
+            b.assign(sum, sum + b.input().resize(sum_width));
+        });
+    return b.finish();
+}
+
+/** Drops every token and produces no output (memory-bench probe PU). */
+inline lang::Program
+dropAll(int token_width = 32)
+{
+    lang::ProgramBuilder b("DropAll", token_width, token_width);
+    lang::Value seen = b.reg("seen", 1, 0);
+    b.assign(seen, lang::Value::lit(1, 1));
+    return b.finish();
+}
+
+} // namespace testprogs
+} // namespace fleet
+
+#endif // FLEET_TESTS_TEST_PROGRAMS_H

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "util/bits.h"
+
+namespace fleet {
+namespace {
+
+TEST(Bits, Mask64)
+{
+    EXPECT_EQ(mask64(0), 0u);
+    EXPECT_EQ(mask64(1), 1u);
+    EXPECT_EQ(mask64(8), 0xffu);
+    EXPECT_EQ(mask64(63), ~uint64_t(0) >> 1);
+    EXPECT_EQ(mask64(64), ~uint64_t(0));
+}
+
+TEST(Bits, TruncTo)
+{
+    EXPECT_EQ(truncTo(0x1ff, 8), 0xffu);
+    EXPECT_EQ(truncTo(0x1ff, 9), 0x1ffu);
+    EXPECT_EQ(truncTo(~uint64_t(0), 64), ~uint64_t(0));
+    EXPECT_EQ(truncTo(~uint64_t(0), 1), 1u);
+}
+
+TEST(Bits, BitsOf)
+{
+    EXPECT_EQ(bitsOf(0xabcd, 4, 8), 0xbcu);
+    EXPECT_EQ(bitsOf(0xabcd, 0, 4), 0xdu);
+    EXPECT_EQ(bitsOf(0xabcd, 12, 4), 0xau);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend64(0x80, 8), -128);
+    EXPECT_EQ(signExtend64(0x7f, 8), 127);
+    EXPECT_EQ(signExtend64(1, 1), -1);
+    EXPECT_EQ(signExtend64(0, 1), 0);
+    EXPECT_EQ(signExtend64(uint64_t(1) << 63, 64),
+              std::numeric_limits<int64_t>::min());
+}
+
+TEST(Bits, BitsToRepresent)
+{
+    EXPECT_EQ(bitsToRepresent(0), 1);
+    EXPECT_EQ(bitsToRepresent(1), 1);
+    EXPECT_EQ(bitsToRepresent(2), 2);
+    EXPECT_EQ(bitsToRepresent(255), 8);
+    EXPECT_EQ(bitsToRepresent(256), 9);
+    EXPECT_EQ(bitsToRepresent(~uint64_t(0)), 64);
+}
+
+TEST(Bits, IndexWidth)
+{
+    EXPECT_EQ(indexWidth(1), 1);
+    EXPECT_EQ(indexWidth(2), 1);
+    EXPECT_EQ(indexWidth(3), 2);
+    EXPECT_EQ(indexWidth(256), 8);
+    EXPECT_EQ(indexWidth(257), 9);
+}
+
+TEST(Bits, CeilDivRoundUp)
+{
+    EXPECT_EQ(ceilDiv(0, 8), 0u);
+    EXPECT_EQ(ceilDiv(1, 8), 1u);
+    EXPECT_EQ(ceilDiv(8, 8), 1u);
+    EXPECT_EQ(ceilDiv(9, 8), 2u);
+    EXPECT_EQ(roundUp(9, 8), 16u);
+    EXPECT_EQ(roundUp(16, 8), 16u);
+}
+
+} // namespace
+} // namespace fleet

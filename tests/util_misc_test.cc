@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "util/loc.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace fleet {
+namespace {
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("bad thing ", 42), FatalError);
+    try {
+        fatal("value is ", 7, "!");
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value is 7!");
+    }
+}
+
+TEST(Logging, PanicThrows)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = rng.nextInRange(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Table, BasicLayout)
+{
+    Table t({"App", "GB/s"});
+    t.row().cell("JSON").cell(21.39);
+    t.row().cell("Regex").cell(27.24);
+    std::string s = t.str();
+    EXPECT_NE(s.find("| App   | GB/s  |"), std::string::npos);
+    EXPECT_NE(s.find("21.39"), std::string::npos);
+    EXPECT_NE(s.find("27.24"), std::string::npos);
+}
+
+TEST(Table, TooManyCellsPanics)
+{
+    Table t({"one"});
+    t.row().cell("a");
+    EXPECT_THROW(t.cell("b"), PanicError);
+}
+
+TEST(Table, CellBeforeRowPanics)
+{
+    Table t({"one"});
+    EXPECT_THROW(t.cell("a"), PanicError);
+}
+
+TEST(Loc, CountsCodeLines)
+{
+    std::string src =
+        "// comment only\n"
+        "int x = 1; // trailing\n"
+        "\n"
+        "/* block\n"
+        "   comment */\n"
+        "int y = 2; /* inline */ int z = 3;\n"
+        "   \n"
+        "}\n";
+    EXPECT_EQ(countCodeLines(src), 3);
+}
+
+TEST(Loc, StringLiteralsNotComments)
+{
+    std::string src = "const char *s = \"// not a comment\";\n";
+    EXPECT_EQ(countCodeLines(src), 1);
+}
+
+TEST(Loc, BlockCommentSpanningCodeLines)
+{
+    std::string src =
+        "int a; /* start\n"
+        "still comment\n"
+        "end */ int b;\n";
+    EXPECT_EQ(countCodeLines(src), 2);
+}
+
+TEST(Loc, EmptySource)
+{
+    EXPECT_EQ(countCodeLines(""), 0);
+    EXPECT_EQ(countCodeLines("\n\n\n"), 0);
+}
+
+TEST(Loc, MissingFileThrows)
+{
+    EXPECT_THROW(countCodeLinesInFile("/nonexistent/file.cc"), FatalError);
+}
+
+} // namespace
+} // namespace fleet

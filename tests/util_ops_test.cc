@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "util/ops.h"
+#include "util/rng.h"
+
+namespace fleet {
+namespace {
+
+TEST(Ops, WidthRules)
+{
+    EXPECT_EQ(binOpWidth(BinOp::Add, 8, 3), 8);
+    EXPECT_EQ(binOpWidth(BinOp::Sub, 3, 9), 9);
+    EXPECT_EQ(binOpWidth(BinOp::Mul, 8, 8), 16);
+    EXPECT_EQ(binOpWidth(BinOp::Mul, 40, 40), 64);
+    EXPECT_EQ(binOpWidth(BinOp::Shl, 8, 4), 8);
+    EXPECT_EQ(binOpWidth(BinOp::Eq, 8, 8), 1);
+    EXPECT_EQ(binOpWidth(BinOp::LAnd, 8, 8), 1);
+    EXPECT_EQ(unOpWidth(UnOp::Not, 8), 8);
+    EXPECT_EQ(unOpWidth(UnOp::LNot, 8), 1);
+    EXPECT_EQ(unOpWidth(UnOp::Neg, 8), 8);
+}
+
+TEST(Ops, ModularArithmetic)
+{
+    // 8-bit wrap-around.
+    EXPECT_EQ(evalBinOp(BinOp::Add, 0xff, 8, 1, 8), 0u);
+    EXPECT_EQ(evalBinOp(BinOp::Sub, 0, 8, 1, 8), 0xffu);
+    EXPECT_EQ(evalBinOp(BinOp::Mul, 16, 8, 16, 8), 256u); // grows to 16 bits
+    EXPECT_EQ(evalBinOp(BinOp::Add, 200, 8, 100, 8), 44u);
+}
+
+TEST(Ops, MixedWidthAdd)
+{
+    // Result width is max(8, 3) = 8.
+    EXPECT_EQ(evalBinOp(BinOp::Add, 0xff, 8, 0x7, 3), 0x06u);
+}
+
+TEST(Ops, Shifts)
+{
+    EXPECT_EQ(evalBinOp(BinOp::Shl, 1, 8, 7, 3), 0x80u);
+    EXPECT_EQ(evalBinOp(BinOp::Shl, 1, 8, 8, 4), 0u);  // shifted out
+    EXPECT_EQ(evalBinOp(BinOp::Shr, 0x80, 8, 7, 3), 1u);
+    EXPECT_EQ(evalBinOp(BinOp::Shr, 0x80, 8, 8, 4), 0u);
+    EXPECT_EQ(evalBinOp(BinOp::Shl, 1, 64, 63, 6), uint64_t(1) << 63);
+    EXPECT_EQ(evalBinOp(BinOp::Shr, ~uint64_t(0), 64, 100, 7), 0u);
+}
+
+TEST(Ops, UnsignedComparisons)
+{
+    EXPECT_EQ(evalBinOp(BinOp::Ult, 3, 8, 5, 8), 1u);
+    EXPECT_EQ(evalBinOp(BinOp::Ult, 5, 8, 3, 8), 0u);
+    EXPECT_EQ(evalBinOp(BinOp::Uge, 5, 8, 5, 8), 1u);
+    EXPECT_EQ(evalBinOp(BinOp::Eq, 0xff, 8, 0xff, 16), 1u);
+    EXPECT_EQ(evalBinOp(BinOp::Ne, 0, 1, 1, 1), 1u);
+}
+
+TEST(Ops, SignedComparisons)
+{
+    // 0xff as signed 8-bit is -1.
+    EXPECT_EQ(evalBinOp(BinOp::Slt, 0xff, 8, 0, 8), 1u);
+    EXPECT_EQ(evalBinOp(BinOp::Sgt, 1, 8, 0xff, 8), 1u);
+    EXPECT_EQ(evalBinOp(BinOp::Sle, 0x80, 8, 0x7f, 8), 1u); // -128 <= 127
+    // Mixed widths sign-extend independently: 3-bit 0b111 == -1.
+    EXPECT_EQ(evalBinOp(BinOp::Sge, 0, 8, 0b111, 3), 1u);
+}
+
+TEST(Ops, Logical)
+{
+    EXPECT_EQ(evalBinOp(BinOp::LAnd, 2, 8, 4, 8), 1u);
+    EXPECT_EQ(evalBinOp(BinOp::LAnd, 2, 8, 0, 8), 0u);
+    EXPECT_EQ(evalBinOp(BinOp::LOr, 0, 8, 0, 8), 0u);
+    EXPECT_EQ(evalBinOp(BinOp::LOr, 0, 8, 9, 8), 1u);
+    EXPECT_EQ(evalUnOp(UnOp::LNot, 0, 8), 1u);
+    EXPECT_EQ(evalUnOp(UnOp::LNot, 3, 8), 0u);
+}
+
+TEST(Ops, UnaryBitwise)
+{
+    EXPECT_EQ(evalUnOp(UnOp::Not, 0b1010, 4), 0b0101u);
+    EXPECT_EQ(evalUnOp(UnOp::Neg, 1, 8), 0xffu);
+    EXPECT_EQ(evalUnOp(UnOp::Neg, 0, 8), 0u);
+}
+
+TEST(Ops, ResultsAlwaysMasked)
+{
+    Rng rng(1);
+    const BinOp all_ops[] = {
+        BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Or,
+        BinOp::Xor, BinOp::Shl, BinOp::Shr, BinOp::Eq, BinOp::Ne,
+        BinOp::Ult, BinOp::Ule, BinOp::Ugt, BinOp::Uge, BinOp::Slt,
+        BinOp::Sle, BinOp::Sgt, BinOp::Sge, BinOp::LAnd, BinOp::LOr,
+    };
+    for (int trial = 0; trial < 2000; ++trial) {
+        BinOp op = all_ops[rng.nextBelow(std::size(all_ops))];
+        int wa = static_cast<int>(rng.nextInRange(1, 64));
+        int wb = static_cast<int>(rng.nextInRange(1, 64));
+        uint64_t a = rng.next() & mask64(wa);
+        uint64_t b = rng.next() & mask64(wb);
+        uint64_t r = evalBinOp(op, a, wa, b, wb);
+        int w = binOpWidth(op, wa, wb);
+        ASSERT_EQ(r, r & mask64(w))
+            << binOpName(op) << " widths " << wa << "," << wb;
+    }
+}
+
+} // namespace
+} // namespace fleet
