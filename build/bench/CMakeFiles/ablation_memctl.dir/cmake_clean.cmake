@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memctl.dir/ablation_memctl.cc.o"
+  "CMakeFiles/ablation_memctl.dir/ablation_memctl.cc.o.d"
+  "ablation_memctl"
+  "ablation_memctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

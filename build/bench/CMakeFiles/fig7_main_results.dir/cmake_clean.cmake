@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_main_results.dir/fig7_main_results.cc.o"
+  "CMakeFiles/fig7_main_results.dir/fig7_main_results.cc.o.d"
+  "fig7_main_results"
+  "fig7_main_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_main_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_loc.dir/fig8_loc.cc.o"
+  "CMakeFiles/fig8_loc.dir/fig8_loc.cc.o.d"
+  "fig8_loc"
+  "fig8_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

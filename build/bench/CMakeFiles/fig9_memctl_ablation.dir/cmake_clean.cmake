@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_memctl_ablation.dir/fig9_memctl_ablation.cc.o"
+  "CMakeFiles/fig9_memctl_ablation.dir/fig9_memctl_ablation.cc.o.d"
+  "fig9_memctl_ablation"
+  "fig9_memctl_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_memctl_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

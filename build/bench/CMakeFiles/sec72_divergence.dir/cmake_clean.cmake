@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec72_divergence.dir/sec72_divergence.cc.o"
+  "CMakeFiles/sec72_divergence.dir/sec72_divergence.cc.o.d"
+  "sec72_divergence"
+  "sec72_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec72_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec73_memory_bandwidth.dir/sec73_memory_bandwidth.cc.o"
+  "CMakeFiles/sec73_memory_bandwidth.dir/sec73_memory_bandwidth.cc.o.d"
+  "sec73_memory_bandwidth"
+  "sec73_memory_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec73_memory_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

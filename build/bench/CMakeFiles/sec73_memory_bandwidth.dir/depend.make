@@ -1,0 +1,2 @@
+# Empty dependencies file for sec73_memory_bandwidth.
+# This may be replaced when dependencies are built.

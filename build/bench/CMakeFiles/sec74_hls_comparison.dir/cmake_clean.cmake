@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec74_hls_comparison.dir/sec74_hls_comparison.cc.o"
+  "CMakeFiles/sec74_hls_comparison.dir/sec74_hls_comparison.cc.o.d"
+  "sec74_hls_comparison"
+  "sec74_hls_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec74_hls_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

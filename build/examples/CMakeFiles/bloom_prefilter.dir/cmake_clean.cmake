@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloom_prefilter.dir/bloom_prefilter.cpp.o"
+  "CMakeFiles/bloom_prefilter.dir/bloom_prefilter.cpp.o.d"
+  "bloom_prefilter"
+  "bloom_prefilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloom_prefilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bloom_prefilter.
+# This may be replaced when dependencies are built.

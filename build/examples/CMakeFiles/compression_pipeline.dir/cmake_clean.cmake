@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_pipeline.dir/compression_pipeline.cpp.o"
+  "CMakeFiles/compression_pipeline.dir/compression_pipeline.cpp.o.d"
+  "compression_pipeline"
+  "compression_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

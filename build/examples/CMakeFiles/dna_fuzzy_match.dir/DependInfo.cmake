@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dna_fuzzy_match.cpp" "examples/CMakeFiles/dna_fuzzy_match.dir/dna_fuzzy_match.cpp.o" "gcc" "examples/CMakeFiles/dna_fuzzy_match.dir/dna_fuzzy_match.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/fleet_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/fleet_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/compile/CMakeFiles/fleet_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/fleet_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fleet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/fleet_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/memctl/CMakeFiles/fleet_memctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/fleet_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fleet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_fuzzy_match.dir/dna_fuzzy_match.cpp.o"
+  "CMakeFiles/dna_fuzzy_match.dir/dna_fuzzy_match.cpp.o.d"
+  "dna_fuzzy_match"
+  "dna_fuzzy_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_fuzzy_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

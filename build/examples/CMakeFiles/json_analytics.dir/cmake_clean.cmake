@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_analytics.dir/json_analytics.cpp.o"
+  "CMakeFiles/json_analytics.dir/json_analytics.cpp.o.d"
+  "json_analytics"
+  "json_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_search.dir/log_search.cpp.o"
+  "CMakeFiles/log_search.dir/log_search.cpp.o.d"
+  "log_search"
+  "log_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bloom.cc" "src/apps/CMakeFiles/fleet_apps.dir/bloom.cc.o" "gcc" "src/apps/CMakeFiles/fleet_apps.dir/bloom.cc.o.d"
+  "/root/repo/src/apps/dtree.cc" "src/apps/CMakeFiles/fleet_apps.dir/dtree.cc.o" "gcc" "src/apps/CMakeFiles/fleet_apps.dir/dtree.cc.o.d"
+  "/root/repo/src/apps/intcode.cc" "src/apps/CMakeFiles/fleet_apps.dir/intcode.cc.o" "gcc" "src/apps/CMakeFiles/fleet_apps.dir/intcode.cc.o.d"
+  "/root/repo/src/apps/json.cc" "src/apps/CMakeFiles/fleet_apps.dir/json.cc.o" "gcc" "src/apps/CMakeFiles/fleet_apps.dir/json.cc.o.d"
+  "/root/repo/src/apps/regex.cc" "src/apps/CMakeFiles/fleet_apps.dir/regex.cc.o" "gcc" "src/apps/CMakeFiles/fleet_apps.dir/regex.cc.o.d"
+  "/root/repo/src/apps/regex_nfa.cc" "src/apps/CMakeFiles/fleet_apps.dir/regex_nfa.cc.o" "gcc" "src/apps/CMakeFiles/fleet_apps.dir/regex_nfa.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/apps/CMakeFiles/fleet_apps.dir/registry.cc.o" "gcc" "src/apps/CMakeFiles/fleet_apps.dir/registry.cc.o.d"
+  "/root/repo/src/apps/sw.cc" "src/apps/CMakeFiles/fleet_apps.dir/sw.cc.o" "gcc" "src/apps/CMakeFiles/fleet_apps.dir/sw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/fleet_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fleet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

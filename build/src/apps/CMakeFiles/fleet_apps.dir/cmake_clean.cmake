@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_apps.dir/bloom.cc.o"
+  "CMakeFiles/fleet_apps.dir/bloom.cc.o.d"
+  "CMakeFiles/fleet_apps.dir/dtree.cc.o"
+  "CMakeFiles/fleet_apps.dir/dtree.cc.o.d"
+  "CMakeFiles/fleet_apps.dir/intcode.cc.o"
+  "CMakeFiles/fleet_apps.dir/intcode.cc.o.d"
+  "CMakeFiles/fleet_apps.dir/json.cc.o"
+  "CMakeFiles/fleet_apps.dir/json.cc.o.d"
+  "CMakeFiles/fleet_apps.dir/regex.cc.o"
+  "CMakeFiles/fleet_apps.dir/regex.cc.o.d"
+  "CMakeFiles/fleet_apps.dir/regex_nfa.cc.o"
+  "CMakeFiles/fleet_apps.dir/regex_nfa.cc.o.d"
+  "CMakeFiles/fleet_apps.dir/registry.cc.o"
+  "CMakeFiles/fleet_apps.dir/registry.cc.o.d"
+  "CMakeFiles/fleet_apps.dir/sw.cc.o"
+  "CMakeFiles/fleet_apps.dir/sw.cc.o.d"
+  "libfleet_apps.a"
+  "libfleet_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/cpu.cc" "src/baseline/CMakeFiles/fleet_baseline.dir/cpu.cc.o" "gcc" "src/baseline/CMakeFiles/fleet_baseline.dir/cpu.cc.o.d"
+  "/root/repo/src/baseline/hls.cc" "src/baseline/CMakeFiles/fleet_baseline.dir/hls.cc.o" "gcc" "src/baseline/CMakeFiles/fleet_baseline.dir/hls.cc.o.d"
+  "/root/repo/src/baseline/simt.cc" "src/baseline/CMakeFiles/fleet_baseline.dir/simt.cc.o" "gcc" "src/baseline/CMakeFiles/fleet_baseline.dir/simt.cc.o.d"
+  "/root/repo/src/baseline/timing.cc" "src/baseline/CMakeFiles/fleet_baseline.dir/timing.cc.o" "gcc" "src/baseline/CMakeFiles/fleet_baseline.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/fleet_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fleet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fleet_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/fleet_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/fleet_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/memctl/CMakeFiles/fleet_memctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/fleet_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fleet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_baseline.dir/cpu.cc.o"
+  "CMakeFiles/fleet_baseline.dir/cpu.cc.o.d"
+  "CMakeFiles/fleet_baseline.dir/hls.cc.o"
+  "CMakeFiles/fleet_baseline.dir/hls.cc.o.d"
+  "CMakeFiles/fleet_baseline.dir/simt.cc.o"
+  "CMakeFiles/fleet_baseline.dir/simt.cc.o.d"
+  "CMakeFiles/fleet_baseline.dir/timing.cc.o"
+  "CMakeFiles/fleet_baseline.dir/timing.cc.o.d"
+  "libfleet_baseline.a"
+  "libfleet_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_compile.dir/compiler.cc.o"
+  "CMakeFiles/fleet_compile.dir/compiler.cc.o.d"
+  "libfleet_compile.a"
+  "libfleet_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fleet_compile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_dram.dir/dram.cc.o"
+  "CMakeFiles/fleet_dram.dir/dram.cc.o.d"
+  "libfleet_dram.a"
+  "libfleet_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

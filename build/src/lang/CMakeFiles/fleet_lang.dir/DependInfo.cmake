@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/analyze.cc" "src/lang/CMakeFiles/fleet_lang.dir/analyze.cc.o" "gcc" "src/lang/CMakeFiles/fleet_lang.dir/analyze.cc.o.d"
+  "/root/repo/src/lang/ast.cc" "src/lang/CMakeFiles/fleet_lang.dir/ast.cc.o" "gcc" "src/lang/CMakeFiles/fleet_lang.dir/ast.cc.o.d"
+  "/root/repo/src/lang/builder.cc" "src/lang/CMakeFiles/fleet_lang.dir/builder.cc.o" "gcc" "src/lang/CMakeFiles/fleet_lang.dir/builder.cc.o.d"
+  "/root/repo/src/lang/check.cc" "src/lang/CMakeFiles/fleet_lang.dir/check.cc.o" "gcc" "src/lang/CMakeFiles/fleet_lang.dir/check.cc.o.d"
+  "/root/repo/src/lang/flatten.cc" "src/lang/CMakeFiles/fleet_lang.dir/flatten.cc.o" "gcc" "src/lang/CMakeFiles/fleet_lang.dir/flatten.cc.o.d"
+  "/root/repo/src/lang/stdlib.cc" "src/lang/CMakeFiles/fleet_lang.dir/stdlib.cc.o" "gcc" "src/lang/CMakeFiles/fleet_lang.dir/stdlib.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fleet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_lang.dir/analyze.cc.o"
+  "CMakeFiles/fleet_lang.dir/analyze.cc.o.d"
+  "CMakeFiles/fleet_lang.dir/ast.cc.o"
+  "CMakeFiles/fleet_lang.dir/ast.cc.o.d"
+  "CMakeFiles/fleet_lang.dir/builder.cc.o"
+  "CMakeFiles/fleet_lang.dir/builder.cc.o.d"
+  "CMakeFiles/fleet_lang.dir/check.cc.o"
+  "CMakeFiles/fleet_lang.dir/check.cc.o.d"
+  "CMakeFiles/fleet_lang.dir/flatten.cc.o"
+  "CMakeFiles/fleet_lang.dir/flatten.cc.o.d"
+  "CMakeFiles/fleet_lang.dir/stdlib.cc.o"
+  "CMakeFiles/fleet_lang.dir/stdlib.cc.o.d"
+  "libfleet_lang.a"
+  "libfleet_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memctl/input_controller.cc" "src/memctl/CMakeFiles/fleet_memctl.dir/input_controller.cc.o" "gcc" "src/memctl/CMakeFiles/fleet_memctl.dir/input_controller.cc.o.d"
+  "/root/repo/src/memctl/output_controller.cc" "src/memctl/CMakeFiles/fleet_memctl.dir/output_controller.cc.o" "gcc" "src/memctl/CMakeFiles/fleet_memctl.dir/output_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/fleet_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fleet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

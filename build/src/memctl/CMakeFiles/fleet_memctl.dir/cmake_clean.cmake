@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_memctl.dir/input_controller.cc.o"
+  "CMakeFiles/fleet_memctl.dir/input_controller.cc.o.d"
+  "CMakeFiles/fleet_memctl.dir/output_controller.cc.o"
+  "CMakeFiles/fleet_memctl.dir/output_controller.cc.o.d"
+  "libfleet_memctl.a"
+  "libfleet_memctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_memctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fleet_memctl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_model.dir/area.cc.o"
+  "CMakeFiles/fleet_model.dir/area.cc.o.d"
+  "CMakeFiles/fleet_model.dir/power.cc.o"
+  "CMakeFiles/fleet_model.dir/power.cc.o.d"
+  "libfleet_model.a"
+  "libfleet_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

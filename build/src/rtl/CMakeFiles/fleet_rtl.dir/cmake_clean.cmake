@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_rtl.dir/circuit.cc.o"
+  "CMakeFiles/fleet_rtl.dir/circuit.cc.o.d"
+  "CMakeFiles/fleet_rtl.dir/sim.cc.o"
+  "CMakeFiles/fleet_rtl.dir/sim.cc.o.d"
+  "CMakeFiles/fleet_rtl.dir/verilog.cc.o"
+  "CMakeFiles/fleet_rtl.dir/verilog.cc.o.d"
+  "libfleet_rtl.a"
+  "libfleet_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

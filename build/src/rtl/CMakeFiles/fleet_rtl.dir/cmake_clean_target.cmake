@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfleet_rtl.a"
+)

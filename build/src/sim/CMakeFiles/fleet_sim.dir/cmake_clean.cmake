@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_sim.dir/simulator.cc.o"
+  "CMakeFiles/fleet_sim.dir/simulator.cc.o.d"
+  "libfleet_sim.a"
+  "libfleet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_system.dir/fleet_system.cc.o"
+  "CMakeFiles/fleet_system.dir/fleet_system.cc.o.d"
+  "CMakeFiles/fleet_system.dir/pu_fast.cc.o"
+  "CMakeFiles/fleet_system.dir/pu_fast.cc.o.d"
+  "CMakeFiles/fleet_system.dir/pu_rtl.cc.o"
+  "CMakeFiles/fleet_system.dir/pu_rtl.cc.o.d"
+  "CMakeFiles/fleet_system.dir/pu_testbench.cc.o"
+  "CMakeFiles/fleet_system.dir/pu_testbench.cc.o.d"
+  "CMakeFiles/fleet_system.dir/splitter.cc.o"
+  "CMakeFiles/fleet_system.dir/splitter.cc.o.d"
+  "libfleet_system.a"
+  "libfleet_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

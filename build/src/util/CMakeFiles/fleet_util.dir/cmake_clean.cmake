@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_util.dir/bitbuf.cc.o"
+  "CMakeFiles/fleet_util.dir/bitbuf.cc.o.d"
+  "CMakeFiles/fleet_util.dir/loc.cc.o"
+  "CMakeFiles/fleet_util.dir/loc.cc.o.d"
+  "CMakeFiles/fleet_util.dir/logging.cc.o"
+  "CMakeFiles/fleet_util.dir/logging.cc.o.d"
+  "CMakeFiles/fleet_util.dir/ops.cc.o"
+  "CMakeFiles/fleet_util.dir/ops.cc.o.d"
+  "CMakeFiles/fleet_util.dir/table.cc.o"
+  "CMakeFiles/fleet_util.dir/table.cc.o.d"
+  "libfleet_util.a"
+  "libfleet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

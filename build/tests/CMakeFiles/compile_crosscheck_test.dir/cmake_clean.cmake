@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_crosscheck_test.dir/compile_crosscheck_test.cc.o"
+  "CMakeFiles/compile_crosscheck_test.dir/compile_crosscheck_test.cc.o.d"
+  "compile_crosscheck_test"
+  "compile_crosscheck_test.pdb"
+  "compile_crosscheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_crosscheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compile_runtime_checks_test.cc" "tests/CMakeFiles/compile_runtime_checks_test.dir/compile_runtime_checks_test.cc.o" "gcc" "tests/CMakeFiles/compile_runtime_checks_test.dir/compile_runtime_checks_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compile/CMakeFiles/fleet_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/fleet_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/fleet_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fleet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_runtime_checks_test.dir/compile_runtime_checks_test.cc.o"
+  "CMakeFiles/compile_runtime_checks_test.dir/compile_runtime_checks_test.cc.o.d"
+  "compile_runtime_checks_test"
+  "compile_runtime_checks_test.pdb"
+  "compile_runtime_checks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_runtime_checks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_structure_test.dir/compile_structure_test.cc.o"
+  "CMakeFiles/compile_structure_test.dir/compile_structure_test.cc.o.d"
+  "compile_structure_test"
+  "compile_structure_test.pdb"
+  "compile_structure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

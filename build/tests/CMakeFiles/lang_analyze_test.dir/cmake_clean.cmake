@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_analyze_test.dir/lang_analyze_test.cc.o"
+  "CMakeFiles/lang_analyze_test.dir/lang_analyze_test.cc.o.d"
+  "lang_analyze_test"
+  "lang_analyze_test.pdb"
+  "lang_analyze_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_analyze_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

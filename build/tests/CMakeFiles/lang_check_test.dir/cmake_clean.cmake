@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_check_test.dir/lang_check_test.cc.o"
+  "CMakeFiles/lang_check_test.dir/lang_check_test.cc.o.d"
+  "lang_check_test"
+  "lang_check_test.pdb"
+  "lang_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

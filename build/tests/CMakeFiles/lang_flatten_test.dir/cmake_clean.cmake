@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_flatten_test.dir/lang_flatten_test.cc.o"
+  "CMakeFiles/lang_flatten_test.dir/lang_flatten_test.cc.o.d"
+  "lang_flatten_test"
+  "lang_flatten_test.pdb"
+  "lang_flatten_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_flatten_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

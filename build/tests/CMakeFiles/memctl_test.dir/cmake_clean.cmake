@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memctl_test.dir/memctl_test.cc.o"
+  "CMakeFiles/memctl_test.dir/memctl_test.cc.o.d"
+  "memctl_test"
+  "memctl_test.pdb"
+  "memctl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memctl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_robustness_test.dir/misc_robustness_test.cc.o"
+  "CMakeFiles/misc_robustness_test.dir/misc_robustness_test.cc.o.d"
+  "misc_robustness_test"
+  "misc_robustness_test.pdb"
+  "misc_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

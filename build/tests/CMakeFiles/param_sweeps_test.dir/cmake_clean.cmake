@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_sweeps_test.dir/param_sweeps_test.cc.o"
+  "CMakeFiles/param_sweeps_test.dir/param_sweeps_test.cc.o.d"
+  "param_sweeps_test"
+  "param_sweeps_test.pdb"
+  "param_sweeps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_sweeps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

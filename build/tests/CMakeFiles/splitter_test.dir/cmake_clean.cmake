@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitter_test.dir/splitter_test.cc.o"
+  "CMakeFiles/splitter_test.dir/splitter_test.cc.o.d"
+  "splitter_test"
+  "splitter_test.pdb"
+  "splitter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

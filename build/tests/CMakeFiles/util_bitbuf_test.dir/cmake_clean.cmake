@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_bitbuf_test.dir/util_bitbuf_test.cc.o"
+  "CMakeFiles/util_bitbuf_test.dir/util_bitbuf_test.cc.o.d"
+  "util_bitbuf_test"
+  "util_bitbuf_test.pdb"
+  "util_bitbuf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_bitbuf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_bits_test.dir/util_bits_test.cc.o"
+  "CMakeFiles/util_bits_test.dir/util_bits_test.cc.o.d"
+  "util_bits_test"
+  "util_bits_test.pdb"
+  "util_bits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_bits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/verilog_apps_test.cc" "tests/CMakeFiles/verilog_apps_test.dir/verilog_apps_test.cc.o" "gcc" "tests/CMakeFiles/verilog_apps_test.dir/verilog_apps_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/fleet_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/compile/CMakeFiles/fleet_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/fleet_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/fleet_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fleet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

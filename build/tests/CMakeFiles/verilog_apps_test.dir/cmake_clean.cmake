@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verilog_apps_test.dir/verilog_apps_test.cc.o"
+  "CMakeFiles/verilog_apps_test.dir/verilog_apps_test.cc.o.d"
+  "verilog_apps_test"
+  "verilog_apps_test.pdb"
+  "verilog_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verilog_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_bits_test[1]_include.cmake")
+include("/root/repo/build/tests/util_bitbuf_test[1]_include.cmake")
+include("/root/repo/build/tests/util_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/util_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_flatten_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_check_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_circuit_test[1]_include.cmake")
+include("/root/repo/build/tests/compile_crosscheck_test[1]_include.cmake")
+include("/root/repo/build/tests/property_random_programs_test[1]_include.cmake")
+include("/root/repo/build/tests/dram_test[1]_include.cmake")
+include("/root/repo/build/tests/memctl_test[1]_include.cmake")
+include("/root/repo/build/tests/system_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_analyze_test[1]_include.cmake")
+include("/root/repo/build/tests/compile_runtime_checks_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/verilog_apps_test[1]_include.cmake")
+include("/root/repo/build/tests/param_sweeps_test[1]_include.cmake")
+include("/root/repo/build/tests/splitter_test[1]_include.cmake")
+include("/root/repo/build/tests/compile_structure_test[1]_include.cmake")
