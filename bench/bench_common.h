@@ -77,6 +77,36 @@ makeStreams(const apps::Application &app, int count, uint64_t bytes_each,
     return streams;
 }
 
+/** One full-system simulation's results, for tables and BENCH_PR.json. */
+struct FleetRun
+{
+    double gbps = 0;           ///< Input GB/s (scaled if requested).
+    double bytesPerCycle = 0;  ///< Input bytes per simulated cycle.
+    double simWallSeconds = 0; ///< Host wall-clock spent simulating.
+    int threads = 1;           ///< Host worker threads used.
+    uint64_t cycles = 0;
+    std::vector<system::ChannelStats> channels;
+};
+
+/** Run a system to completion and collect the bench-facing numbers. */
+inline FleetRun
+runFleet(const lang::Program &program,
+         const std::vector<BitBuffer> &streams,
+         const system::SystemConfig &config, double gbps_scale = 1.0)
+{
+    system::FleetSystem fleet_system(program, config, streams);
+    fleet_system.run();
+    auto stats = fleet_system.stats();
+    FleetRun run;
+    run.gbps = stats.inputGBps() * gbps_scale;
+    run.bytesPerCycle = stats.bytesPerCycle();
+    run.simWallSeconds = stats.wallSeconds;
+    run.threads = stats.threadsUsed;
+    run.cycles = stats.cycles;
+    run.channels = std::move(stats.channels);
+    return run;
+}
+
 /**
  * Simulate `pus_per_channel` units on a single channel and return the
  * aggregate GB/s scaled to `total_channels`.
@@ -87,9 +117,7 @@ channelScaledGBps(const lang::Program &program,
                   system::SystemConfig config = {})
 {
     config.numChannels = 1;
-    system::FleetSystem fleet_system(program, config, streams);
-    fleet_system.run();
-    return fleet_system.stats().inputGBps() * total_channels;
+    return runFleet(program, streams, config, total_channels).gbps;
 }
 
 inline void

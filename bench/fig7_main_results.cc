@@ -17,9 +17,18 @@
  *  - GPU GB/s comes from the V100-calibrated warp-divergence model.
  *  - Perf/W uses the power models of src/model/power.h (the paper itself
  *    models DRAM power as a constant 12.5 W).
+ *
+ * Modes:
+ *  --smoke        short CI configuration: a 4-channel cycle-accurate run
+ *                 per app (small streams, few PUs, no CPU/GPU baselines),
+ *                 once single-threaded and once on the worker pool, so
+ *                 the artifact tracks simulation wall-clock and speedup.
+ *  --json PATH    write the per-app results as JSON (BENCH_PR.json).
+ *  --threads N    worker threads for the parallel runs (0 = auto).
  */
 
 #include <algorithm>
+#include <cstring>
 #include <thread>
 
 #include "apps/intcode.h"
@@ -35,6 +44,13 @@ using namespace fleet;
 
 namespace {
 
+struct RunOptions
+{
+    bool smoke = false;
+    std::string jsonPath;
+    int threads = 0; ///< 0 = one per hardware thread.
+};
+
 struct AppResult
 {
     std::string name;
@@ -45,7 +61,50 @@ struct AppResult
     double cpuPerfW = 0;
     double gpuGBps = 0;
     double gpuPerfW = 0;
+    // Simulation-engine telemetry (BENCH_PR.json trajectory).
+    double bytesPerCycle = 0;
+    uint64_t cycles = 0;
+    double simWallS = 0;       ///< Wall-clock with the worker pool.
+    double simWallSerialS = 0; ///< Wall-clock with numThreads = 1.
+    int threadsUsed = 1;
+    std::vector<system::ChannelStats> channels;
 };
+
+/** Short CI configuration: 4 channels, small streams, engine only. */
+AppResult
+evaluateAppSmoke(const apps::Application &app, const RunOptions &opts)
+{
+    AppResult result;
+    result.name = app.name();
+    const int channels = 4;
+    const int pus_per_channel = 4;
+    const uint64_t stream_bytes = 4096;
+
+    auto streams = bench::makeStreams(app, channels * pus_per_channel,
+                                      stream_bytes, 1015);
+    result.pus = static_cast<int>(streams.size());
+
+    system::SystemConfig config;
+    config.numChannels = channels;
+
+    config.numThreads = 1;
+    auto serial = bench::runFleet(app.program(), streams, config);
+    result.simWallSerialS = serial.simWallSeconds;
+
+    config.numThreads = opts.threads;
+    auto parallel = bench::runFleet(app.program(), streams, config);
+    result.fleetGBps = parallel.gbps;
+    result.bytesPerCycle = parallel.bytesPerCycle;
+    result.cycles = parallel.cycles;
+    result.simWallS = parallel.simWallSeconds;
+    result.threadsUsed = parallel.threads;
+    result.channels = parallel.channels;
+
+    if (serial.cycles != parallel.cycles)
+        throw std::runtime_error(app.name() +
+                                 ": thread-count determinism violated");
+    return result;
+}
 
 AppResult
 evaluateApp(const apps::Application &app, const model::Device &device,
@@ -84,8 +143,15 @@ evaluateApp(const apps::Application &app, const model::Device &device,
         }
         auto streams = bench::makeStreams(*use, per_channel, stream_bytes,
                                    1000 + range);
-        fleet_sum += bench::channelScaledGBps(use->program(), streams,
-                                              device.memoryChannels);
+        system::SystemConfig config;
+        config.numChannels = 1;
+        auto run = bench::runFleet(use->program(), streams, config,
+                                   device.memoryChannels);
+        fleet_sum += run.gbps;
+        result.bytesPerCycle += run.bytesPerCycle;
+        result.cycles += run.cycles;
+        result.simWallS += run.simWallSeconds;
+        result.threadsUsed = run.threads;
 
         // --- GPU model: two warps of distinct streams. -------------------
         auto gpu_streams = bench::makeStreams(*use, 64, 8192, 2000 + range);
@@ -111,6 +177,7 @@ evaluateApp(const apps::Application &app, const model::Device &device,
     result.fleetGBps = fleet_sum / value_ranges.size();
     result.gpuGBps = gpu_sum / value_ranges.size();
     result.cpuGBps = cpu_sum / value_ranges.size();
+    result.bytesPerCycle /= value_ranges.size();
 
     // --- Power. -----------------------------------------------------------
     auto controllers = model::estimateControllerResources(ctrl);
@@ -123,11 +190,136 @@ evaluateApp(const apps::Application &app, const model::Device &device,
     return result;
 }
 
+bool
+writeJson(const std::string &path, const std::vector<AppResult> &results,
+          const RunOptions &opts)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    double total_wall = 0;
+    for (const auto &r : results)
+        total_wall += r.simWallS;
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"fig7_main_results\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", opts.smoke ? "true" : "false");
+    std::fprintf(f, "  \"host_hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"total_sim_wall_s\": %.6f,\n", total_wall);
+    std::fprintf(f, "  \"apps\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const AppResult &r = results[i];
+        std::fprintf(f, "    {\n");
+        std::fprintf(f, "      \"app\": \"%s\",\n", r.name.c_str());
+        std::fprintf(f, "      \"pus\": %d,\n", r.pus);
+        std::fprintf(f, "      \"fleet_gbps\": %.6f,\n", r.fleetGBps);
+        std::fprintf(f, "      \"bytes_per_cycle\": %.6f,\n",
+                     r.bytesPerCycle);
+        std::fprintf(f, "      \"cycles\": %llu,\n",
+                     static_cast<unsigned long long>(r.cycles));
+        std::fprintf(f, "      \"sim_wall_s\": %.6f,\n", r.simWallS);
+        if (opts.smoke) {
+            std::fprintf(f, "      \"sim_wall_serial_s\": %.6f,\n",
+                         r.simWallSerialS);
+            std::fprintf(f, "      \"parallel_speedup\": %.3f,\n",
+                         r.simWallS > 0 ? r.simWallSerialS / r.simWallS
+                                        : 0.0);
+        }
+        std::fprintf(f, "      \"threads\": %d", r.threadsUsed);
+        if (!r.channels.empty()) {
+            std::fprintf(f, ",\n      \"channels\": [\n");
+            for (size_t c = 0; c < r.channels.size(); ++c) {
+                const auto &ch = r.channels[c];
+                std::fprintf(
+                    f,
+                    "        {\"cycles\": %llu, \"pus\": %d, "
+                    "\"bus_utilization\": %.4f, "
+                    "\"avg_read_queue\": %.3f, "
+                    "\"input_starved_cycles\": %llu, "
+                    "\"output_blocked_cycles\": %llu}%s\n",
+                    static_cast<unsigned long long>(ch.cycles), ch.numPus,
+                    ch.busUtilization(), ch.avgReadQueueDepth(),
+                    static_cast<unsigned long long>(ch.inputStarvedCycles),
+                    static_cast<unsigned long long>(
+                        ch.outputBlockedCycles),
+                    c + 1 < r.channels.size() ? "," : "");
+            }
+            std::fprintf(f, "      ]\n");
+        } else {
+            std::fprintf(f, "\n");
+        }
+        std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    RunOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            opts.smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            opts.jsonPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            opts.threads = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--json PATH] "
+                         "[--threads N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::vector<AppResult> results;
+
+    if (opts.smoke) {
+        bench::printHeader(
+            "Figure 7 (smoke): 4-channel engine run per app",
+            "Short CI configuration: cycle-accurate simulation only (no "
+            "CPU/GPU\nbaselines), single-threaded vs worker-pool "
+            "wall-clock.");
+        Table table({"App", "Streams", "GB/s", "B/cycle", "wall 1T (s)",
+                     "wall NT (s)", "speedup", "threads"});
+        for (auto &app : apps::allApplications()) {
+            AppResult r = evaluateAppSmoke(*app, opts);
+            char gbps[32], bpc[32], w1[32], wn[32], sp[32];
+            std::snprintf(gbps, sizeof(gbps), "%.2f", r.fleetGBps);
+            std::snprintf(bpc, sizeof(bpc), "%.2f", r.bytesPerCycle);
+            std::snprintf(w1, sizeof(w1), "%.3f", r.simWallSerialS);
+            std::snprintf(wn, sizeof(wn), "%.3f", r.simWallS);
+            std::snprintf(sp, sizeof(sp), "%.2fx",
+                          r.simWallS > 0 ? r.simWallSerialS / r.simWallS
+                                         : 0.0);
+            table.row()
+                .cell(r.name)
+                .cell(std::to_string(r.pus))
+                .cell(gbps)
+                .cell(bpc)
+                .cell(w1)
+                .cell(wn)
+                .cell(sp)
+                .cell(std::to_string(r.threadsUsed));
+            std::fflush(stdout);
+            results.push_back(std::move(r));
+        }
+        std::printf("%s\n", table.str().c_str());
+        if (!opts.jsonPath.empty() &&
+            !writeJson(opts.jsonPath, results, opts))
+            return 1;
+        return 0;
+    }
+
     bench::printHeader(
         "Figure 7: Fleet on (modelled) Amazon F1 vs CPU/GPU",
         "Simulated/modelled values with the paper's reported numbers in "
@@ -166,9 +358,12 @@ main()
             .cell(fmt(r.fleetPerfW / std::max(r.gpuPerfW, 1e-9),
                       paper.fleetPerfWDram / paper.gpuPerfWDram, 1));
         std::fflush(stdout);
+        results.push_back(std::move(r));
     }
     std::printf("%s\n", table.str().c_str());
     std::printf("Columns: ours (paper). Perf/W includes the paper's "
                 "12.5 W DRAM assumption.\n");
+    if (!opts.jsonPath.empty() && !writeJson(opts.jsonPath, results, opts))
+        return 1;
     return 0;
 }

@@ -98,6 +98,16 @@ class DramChannel
     /// @{
     uint64_t beatsDelivered() const { return beatsDelivered_; }
     uint64_t beatsWritten() const { return beatsWritten_; }
+    /** Accepted-but-undelivered read requests (queue occupancy). */
+    int outstandingReads() const
+    {
+        return static_cast<int>(readQueue_.size());
+    }
+    /** Buffered write bursts awaiting bus time (queue occupancy). */
+    int outstandingWrites() const
+    {
+        return static_cast<int>(writeQueue_.size());
+    }
     /// @}
 
   private:

@@ -49,6 +49,15 @@ class InputController
     /// @{
     uint64_t bitsDelivered() const { return bitsDelivered_; }
     uint64_t arIssued() const { return arIssued_; }
+    /** Issued-but-not-fully-drained bursts across all PUs (occupancy of
+     * the addressing unit's pipeline; utilization diagnostics). */
+    int inflightBursts() const
+    {
+        int total = 0;
+        for (const auto &pu : pus_)
+            total += pu.inflightBursts;
+        return total;
+    }
     /// @}
 
   private:

@@ -50,6 +50,12 @@ class OutputController
     /// @{
     uint64_t bitsCollected() const { return bitsCollected_; }
     uint64_t awIssued() const { return awIssued_; }
+    /** Issued-but-untransmitted bursts (addressing-unit lead; utilization
+     * diagnostics). */
+    int pendingBursts() const
+    {
+        return static_cast<int>(orderQueue_.size());
+    }
     /// @}
 
   private:

@@ -1,0 +1,135 @@
+#include "system/channel_shard.h"
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace system {
+
+ChannelShard::ChannelShard(int channel_index,
+                           const dram::DramParams &dram_params,
+                           const memctl::ControllerParams &input_params,
+                           const memctl::ControllerParams &output_params,
+                           std::vector<memctl::StreamRegion> input_regions,
+                           std::vector<memctl::StreamRegion> output_regions,
+                           uint64_t mem_bytes)
+    : channelIndex_(channel_index)
+{
+    channel_ = std::make_unique<dram::DramChannel>(dram_params, mem_bytes);
+    inputCtrl_ = std::make_unique<memctl::InputController>(
+        *channel_, input_params, std::move(input_regions));
+    outputCtrl_ = std::make_unique<memctl::OutputController>(
+        *channel_, output_params, std::move(output_regions));
+}
+
+void
+ChannelShard::addPu(std::unique_ptr<ProcessingUnit> pu, int global_index,
+                    uint64_t stream_bits)
+{
+    PuSlot slot;
+    slot.pu = std::move(pu);
+    slot.globalIndex = global_index;
+    slot.streamBits = stream_bits;
+    pus_.push_back(std::move(slot));
+}
+
+void
+ChannelShard::run(int input_token_width, int output_token_width,
+                  uint64_t max_cycles)
+{
+    const int in_width = input_token_width;
+    const int out_width = output_token_width;
+
+    // Forward-progress watchdog: a configuration can genuinely deadlock
+    // (e.g. blocking output addressing with divergent filter rates, the
+    // pathology Section 5's non-blocking default avoids); detect it
+    // rather than spinning to maxCycles. Per-shard, the watchdog is
+    // stricter than the old global one: a stuck channel can no longer
+    // hide behind another channel's activity.
+    uint64_t last_activity_cycle = 0;
+    uint64_t last_beats = 0;
+
+    for (cycles_ = 0; cycles_ < max_cycles; ++cycles_) {
+        bool activity = false;
+        bool all_finished = true;
+        for (size_t l = 0; l < pus_.size(); ++l) {
+            PuSlot &slot = pus_[l];
+            auto &in_buf = inputCtrl_->buffer(static_cast<int>(l));
+            auto &out_buf = outputCtrl_->buffer(static_cast<int>(l));
+
+            PuInputs in;
+            in.inputValid = in_buf.sizeBits() >= uint64_t(in_width);
+            in.inputToken = in.inputValid ? in_buf.peek(in_width) : 0;
+            in.inputFinished =
+                inputCtrl_->streamExhausted(static_cast<int>(l)) &&
+                in_buf.empty();
+            in.outputReady = out_buf.freeBits() >= uint64_t(out_width);
+
+            PuOutputs out = slot.pu->eval(in);
+
+            if (out.outputValid && in.outputReady) {
+                out_buf.push(out.outputToken, out_width);
+                slot.emittedBits += out_width;
+                activity = true;
+            }
+            if (out.inputReady && in.inputValid) {
+                in_buf.pop(in_width);
+                activity = true;
+            }
+            if (out.outputFinished && !slot.finishedSeen) {
+                outputCtrl_->setPuFinished(static_cast<int>(l));
+                slot.finishedSeen = true;
+                slot.stats.finishedAtCycle = cycles_;
+                activity = true;
+            }
+            if (!slot.finishedSeen) {
+                if (out.inputReady && !in.inputValid && !in.inputFinished)
+                    ++slot.stats.inputStarvedCycles;
+                if (out.outputValid && !in.outputReady)
+                    ++slot.stats.outputBlockedCycles;
+            }
+            all_finished = all_finished && slot.finishedSeen;
+        }
+
+        inputCtrl_->tick();
+        outputCtrl_->tick();
+        channel_->tick();
+        for (auto &slot : pus_)
+            slot.pu->step();
+
+        stats_.readQueueOccupancySum += channel_->outstandingReads();
+        stats_.writeQueueOccupancySum += channel_->outstandingWrites();
+
+        uint64_t beats =
+            channel_->beatsDelivered() + channel_->beatsWritten();
+        if (activity || beats != last_beats) {
+            last_activity_cycle = cycles_;
+            last_beats = beats;
+        } else if (cycles_ - last_activity_cycle > 200000) {
+            fatal("ChannelShard: channel ", channelIndex_,
+                  " made no forward progress for 200000 cycles "
+                  "(deadlocked configuration?)");
+        }
+
+        if (all_finished && outputCtrl_->done()) {
+            ++cycles_;
+            stats_.cycles = cycles_;
+            stats_.numPus = numPus();
+            stats_.beatsDelivered = channel_->beatsDelivered();
+            stats_.beatsWritten = channel_->beatsWritten();
+            for (const auto &slot : pus_) {
+                stats_.inputBytes += ceilDiv(slot.streamBits, 8);
+                stats_.outputBytes += ceilDiv(slot.emittedBits, 8);
+                stats_.inputStarvedCycles += slot.stats.inputStarvedCycles;
+                stats_.outputBlockedCycles +=
+                    slot.stats.outputBlockedCycles;
+            }
+            return;
+        }
+    }
+    fatal("ChannelShard: channel ", channelIndex_,
+          " did not finish within ", max_cycles, " cycles");
+}
+
+} // namespace system
+} // namespace fleet

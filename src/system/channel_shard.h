@@ -1,0 +1,156 @@
+#ifndef FLEET_SYSTEM_CHANNEL_SHARD_H
+#define FLEET_SYSTEM_CHANNEL_SHARD_H
+
+/**
+ * @file
+ * One memory channel's complete simulation state: the DRAM timing model,
+ * the input and output controllers, and every processing unit assigned to
+ * the channel. Section 5 of the paper observes that "the processing units
+ * are simply divided among the channels ... no further coordination is
+ * needed" — a shard is exactly that coordination-free partition, so the
+ * full-system simulator can step each shard on its own host thread with
+ * no shared mutable state and still be bit-for-bit identical to a
+ * single-threaded run (per-shard cycle counts merge as a max at the end).
+ *
+ * A shard's run() loop is the reference semantics: the legacy
+ * single-threaded FleetSystem::run() is now "run every shard in sequence
+ * on the calling thread", which is why numThreads = 1 and numThreads = N
+ * are byte-identical by construction (enforced by determinism_test).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dram/dram.h"
+#include "memctl/input_controller.h"
+#include "memctl/output_controller.h"
+#include "system/pu.h"
+
+namespace fleet {
+namespace system {
+
+/** Per-PU stall breakdown (valid after the shard has run). */
+struct PuStats
+{
+    uint64_t inputStarvedCycles = 0;  ///< Wanted a token, buffer empty.
+    uint64_t outputBlockedCycles = 0; ///< Emitting, buffer full.
+    uint64_t finishedAtCycle = 0;
+};
+
+/**
+ * Per-channel utilization counters, surfaced through SystemStats so the
+ * benches can report where each channel's cycles went.
+ */
+struct ChannelStats
+{
+    uint64_t cycles = 0;
+    int numPus = 0;
+    uint64_t inputBytes = 0;
+    uint64_t outputBytes = 0;
+    /** Summed over the channel's PUs. */
+    uint64_t inputStarvedCycles = 0;
+    uint64_t outputBlockedCycles = 0;
+    /** DRAM data-bus beats moved (512-bit each by default). */
+    uint64_t beatsDelivered = 0;
+    uint64_t beatsWritten = 0;
+    /** Per-cycle samples of the DRAM queues (occupancy integrals). */
+    uint64_t readQueueOccupancySum = 0;
+    uint64_t writeQueueOccupancySum = 0;
+
+    double avgReadQueueDepth() const
+    {
+        return cycles ? double(readQueueOccupancySum) / cycles : 0.0;
+    }
+    double avgWriteQueueDepth() const
+    {
+        return cycles ? double(writeQueueOccupancySum) / cycles : 0.0;
+    }
+    /** Fraction of cycles the DRAM data bus moved a beat. */
+    double busUtilization() const
+    {
+        return cycles ? double(beatsDelivered + beatsWritten) / cycles
+                      : 0.0;
+    }
+};
+
+class ChannelShard
+{
+  public:
+    /**
+     * Build the channel's DRAM model and controllers. Input streams are
+     * copied into channel memory by the caller (via memory()); PUs are
+     * attached with addPu() in local-index order.
+     */
+    ChannelShard(int channel_index, const dram::DramParams &dram_params,
+                 const memctl::ControllerParams &input_params,
+                 const memctl::ControllerParams &output_params,
+                 std::vector<memctl::StreamRegion> input_regions,
+                 std::vector<memctl::StreamRegion> output_regions,
+                 uint64_t mem_bytes);
+
+    /** Attach the next processing unit (local index = attach order). */
+    void addPu(std::unique_ptr<ProcessingUnit> pu, int global_index,
+               uint64_t stream_bits);
+
+    /**
+     * Run this channel to completion: all attached PUs finished and all
+     * output flushed to channel memory. Self-contained — touches no state
+     * outside the shard, so shards may run concurrently. Throws
+     * FatalError on deadlock or cycle-limit overrun.
+     */
+    void run(int input_token_width, int output_token_width,
+             uint64_t max_cycles);
+
+    int channelIndex() const { return channelIndex_; }
+    int numPus() const { return static_cast<int>(pus_.size()); }
+    uint64_t cycles() const { return cycles_; }
+
+    dram::DramChannel &channel() { return *channel_; }
+    const dram::DramChannel &channel() const { return *channel_; }
+    const memctl::InputController &inputController() const
+    {
+        return *inputCtrl_;
+    }
+    const memctl::OutputController &outputController() const
+    {
+        return *outputCtrl_;
+    }
+
+    /// @name Per-PU results, by local index (valid after run()).
+    /// @{
+    const PuStats &puStats(int local) const { return pus_[local].stats; }
+    uint64_t emittedBits(int local) const { return pus_[local].emittedBits; }
+    uint64_t flushedPayloadBits(int local) const
+    {
+        return outputCtrl_->payloadBits(local);
+    }
+    /// @}
+
+    /** Utilization counters (valid after run()). */
+    const ChannelStats &stats() const { return stats_; }
+
+  private:
+    struct PuSlot
+    {
+        std::unique_ptr<ProcessingUnit> pu;
+        int globalIndex = -1;
+        uint64_t streamBits = 0;
+        uint64_t emittedBits = 0;
+        bool finishedSeen = false;
+        PuStats stats;
+    };
+
+    int channelIndex_;
+    std::unique_ptr<dram::DramChannel> channel_;
+    std::unique_ptr<memctl::InputController> inputCtrl_;
+    std::unique_ptr<memctl::OutputController> outputCtrl_;
+    std::vector<PuSlot> pus_;
+    uint64_t cycles_ = 0;
+    ChannelStats stats_;
+};
+
+} // namespace system
+} // namespace fleet
+
+#endif // FLEET_SYSTEM_CHANNEL_SHARD_H

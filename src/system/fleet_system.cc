@@ -1,6 +1,11 @@
 #include "system/fleet_system.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
 #include <optional>
+#include <thread>
 
 #include "compile/compiler.h"
 #include "system/pu_fast.h"
@@ -10,6 +15,65 @@
 
 namespace fleet {
 namespace system {
+
+namespace {
+
+int
+hardwareThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/**
+ * Run fn(0..jobs-1) on up to `threads` workers. Jobs must be mutually
+ * independent. Exceptions are captured per job and the lowest-index one
+ * is rethrown after the pool joins, matching the error a sequential loop
+ * would surface first.
+ */
+void
+parallelFor(int threads, int jobs, const std::function<void(int)> &fn)
+{
+    if (jobs <= 0)
+        return;
+    if (threads <= 1 || jobs == 1) {
+        for (int i = 0; i < jobs; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<int> next{0};
+    std::vector<std::exception_ptr> errors(jobs);
+    {
+        std::vector<std::jthread> pool;
+        pool.reserve(std::min(threads, jobs));
+        for (int t = 0; t < std::min(threads, jobs); ++t) {
+            pool.emplace_back([&] {
+                for (int i = next.fetch_add(1); i < jobs;
+                     i = next.fetch_add(1)) {
+                    try {
+                        fn(i);
+                    } catch (...) {
+                        errors[i] = std::current_exception();
+                    }
+                }
+            });
+        }
+    } // jthreads join here.
+    for (auto &error : errors)
+        if (error)
+            std::rethrow_exception(error);
+}
+
+} // namespace
+
+int
+FleetSystem::resolveThreads(int jobs) const
+{
+    int threads = config_.numThreads;
+    if (threads <= 0)
+        threads = hardwareThreads();
+    return std::max(1, std::min(threads, jobs));
+}
 
 FleetSystem::FleetSystem(const lang::Program &program,
                          const SystemConfig &config,
@@ -36,6 +100,8 @@ FleetSystem::FleetSystem(const lang::Program &program,
     std::vector<Layout> layouts(channels);
 
     outputRegions_.resize(streams_.size());
+    puShard_.resize(streams_.size());
+    puLocal_.resize(streams_.size());
     for (size_t p = 0; p < streams_.size(); ++p) {
         const BitBuffer &stream = streams_[p];
         if (stream.sizeBits() % program_.inputTokenWidth != 0)
@@ -43,6 +109,8 @@ FleetSystem::FleetSystem(const lang::Program &program,
                   " is not a whole number of tokens");
         int ch = static_cast<int>(p) % channels;
         Layout &layout = layouts[ch];
+        puShard_[p] = ch;
+        puLocal_[p] = static_cast<int>(layout.globalPu.size());
 
         memctl::StreamRegion in;
         in.baseAddr = layout.bytes;
@@ -70,41 +138,45 @@ FleetSystem::FleetSystem(const lang::Program &program,
         }
     }
 
-    // Instantiate channels and controllers; copy streams into memory.
+    // Instantiate one self-contained shard per channel and copy its
+    // streams into channel memory.
     for (int ch = 0; ch < channels; ++ch) {
         Layout &layout = layouts[ch];
-        auto channel = std::make_unique<dram::DramChannel>(
-            config_.dram, std::max<uint64_t>(layout.bytes, burst_bytes));
+        auto shard = std::make_unique<ChannelShard>(
+            ch, config_.dram, config_.inputCtrl, config_.outputCtrl,
+            layout.inputs, layout.outputs,
+            std::max<uint64_t>(layout.bytes, burst_bytes));
+        auto &mem = shard->channel().memory();
         for (size_t l = 0; l < layout.inputs.size(); ++l) {
             const BitBuffer &stream = streams_[layout.globalPu[l]];
             auto bytes = stream.toBytes();
             std::copy(bytes.begin(), bytes.end(),
-                      channel->memory().begin() +
-                          layout.inputs[l].baseAddr);
+                      mem.begin() + layout.inputs[l].baseAddr);
             outputRegions_[layout.globalPu[l]] = layout.outputs[l];
         }
-        inputCtrls_.push_back(std::make_unique<memctl::InputController>(
-            *channel, config_.inputCtrl, layout.inputs));
-        outputCtrls_.push_back(std::make_unique<memctl::OutputController>(
-            *channel, config_.outputCtrl, layout.outputs));
-        channels_.push_back(std::move(channel));
+        shards_.push_back(std::move(shard));
     }
 
-    // Instantiate the processing units.
+    // Instantiate the processing units. FastPu construction pre-runs the
+    // functional simulator over the unit's whole stream — the dominant
+    // construction cost — and units are independent, so build them on
+    // the worker pool too.
     std::optional<compile::CompiledUnit> compiled;
     if (config_.backend == PuBackend::Rtl)
         compiled.emplace(compile::compileProgram(program_));
-    std::vector<int> local_count(channels, 0);
-    for (size_t p = 0; p < streams_.size(); ++p) {
-        PuSlot slot;
-        slot.channel = static_cast<int>(p) % channels;
-        slot.localIndex = local_count[slot.channel]++;
-        if (config_.backend == PuBackend::Rtl)
-            slot.pu = std::make_unique<RtlPu>(*compiled);
-        else
-            slot.pu = std::make_unique<FastPu>(program_, streams_[p]);
-        pus_.push_back(std::move(slot));
-    }
+    std::vector<std::unique_ptr<ProcessingUnit>> pus(streams_.size());
+    parallelFor(resolveThreads(static_cast<int>(streams_.size())),
+                static_cast<int>(streams_.size()), [&](int p) {
+                    if (config_.backend == PuBackend::Rtl)
+                        pus[p] = std::make_unique<RtlPu>(*compiled);
+                    else
+                        pus[p] = std::make_unique<FastPu>(program_,
+                                                          streams_[p]);
+                });
+    for (size_t p = 0; p < streams_.size(); ++p)
+        shards_[puShard_[p]]->addPu(std::move(pus[p]),
+                                    static_cast<int>(p),
+                                    streams_[p].sizeBits());
 }
 
 FleetSystem::~FleetSystem() = default;
@@ -112,92 +184,27 @@ FleetSystem::~FleetSystem() = default;
 void
 FleetSystem::run()
 {
+    auto start = std::chrono::steady_clock::now();
     const int in_width = program_.inputTokenWidth;
     const int out_width = program_.outputTokenWidth;
 
-    // Forward-progress watchdog: a configuration can genuinely deadlock
-    // (e.g. blocking output addressing with divergent filter rates, the
-    // pathology Section 5's non-blocking default avoids); detect it
-    // rather than spinning to maxCycles.
-    uint64_t last_activity_cycle = 0;
-    uint64_t last_beats = 0;
+    // Channels never communicate (Section 5), so each shard runs its
+    // whole simulation independently; the system's cycle count is the
+    // slowest channel's. This is exactly what the old global lockstep
+    // loop computed — finished channels only idled until the last one
+    // drained — so outputs, stats, and cycles are bit-identical.
+    threadsUsed_ = resolveThreads(numShards());
+    parallelFor(threadsUsed_, numShards(), [&](int s) {
+        shards_[s]->run(in_width, out_width, config_.maxCycles);
+    });
 
-    for (cycles_ = 0; cycles_ < config_.maxCycles; ++cycles_) {
-        bool activity = false;
-        bool all_finished = true;
-        for (auto &slot : pus_) {
-            auto &in_ctrl = *inputCtrls_[slot.channel];
-            auto &out_ctrl = *outputCtrls_[slot.channel];
-            auto &in_buf = in_ctrl.buffer(slot.localIndex);
-            auto &out_buf = out_ctrl.buffer(slot.localIndex);
-
-            PuInputs in;
-            in.inputValid = in_buf.sizeBits() >= uint64_t(in_width);
-            in.inputToken = in.inputValid ? in_buf.peek(in_width) : 0;
-            in.inputFinished =
-                in_ctrl.streamExhausted(slot.localIndex) && in_buf.empty();
-            in.outputReady = out_buf.freeBits() >= uint64_t(out_width);
-
-            PuOutputs out = slot.pu->eval(in);
-
-            if (out.outputValid && in.outputReady) {
-                out_buf.push(out.outputToken, out_width);
-                slot.emittedBits += out_width;
-                activity = true;
-            }
-            if (out.inputReady && in.inputValid) {
-                in_buf.pop(in_width);
-                activity = true;
-            }
-            if (out.outputFinished && !slot.finishedSeen) {
-                out_ctrl.setPuFinished(slot.localIndex);
-                slot.finishedSeen = true;
-                slot.stats.finishedAtCycle = cycles_;
-                activity = true;
-            }
-            if (!slot.finishedSeen) {
-                if (out.inputReady && !in.inputValid && !in.inputFinished)
-                    ++slot.stats.inputStarvedCycles;
-                if (out.outputValid && !in.outputReady)
-                    ++slot.stats.outputBlockedCycles;
-            }
-            all_finished = all_finished && slot.finishedSeen;
-        }
-
-        for (int ch = 0; ch < config_.numChannels; ++ch) {
-            inputCtrls_[ch]->tick();
-            outputCtrls_[ch]->tick();
-            channels_[ch]->tick();
-        }
-        for (auto &slot : pus_)
-            slot.pu->step();
-
-        uint64_t beats = 0;
-        for (int ch = 0; ch < config_.numChannels; ++ch) {
-            beats += channels_[ch]->beatsDelivered() +
-                     channels_[ch]->beatsWritten();
-        }
-        if (activity || beats != last_beats) {
-            last_activity_cycle = cycles_;
-            last_beats = beats;
-        } else if (cycles_ - last_activity_cycle > 200000) {
-            fatal("FleetSystem: no forward progress for 200000 cycles "
-                  "(deadlocked configuration?)");
-        }
-
-        if (all_finished) {
-            bool drained = true;
-            for (int ch = 0; ch < config_.numChannels; ++ch)
-                drained = drained && outputCtrls_[ch]->done();
-            if (drained) {
-                ++cycles_;
-                ran_ = true;
-                return;
-            }
-        }
-    }
-    fatal("FleetSystem: did not finish within ", config_.maxCycles,
-          " cycles");
+    cycles_ = 0;
+    for (const auto &shard : shards_)
+        cycles_ = std::max(cycles_, shard->cycles());
+    wallSeconds_ = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    ran_ = true;
 }
 
 BitBuffer
@@ -205,13 +212,13 @@ FleetSystem::output(int pu) const
 {
     if (!ran_)
         fatal("FleetSystem: output() before run()");
-    const PuSlot &slot = pus_[pu];
-    const auto &out_ctrl = *outputCtrls_[slot.channel];
-    uint64_t bits = out_ctrl.payloadBits(slot.localIndex);
-    if (bits != slot.emittedBits)
+    const ChannelShard &shard = *shards_[puShard_[pu]];
+    int local = puLocal_[pu];
+    uint64_t bits = shard.flushedPayloadBits(local);
+    if (bits != shard.emittedBits(local))
         panic("FleetSystem: controller flushed ", bits,
-              " bits but the unit emitted ", slot.emittedBits);
-    const auto &mem = channels_[slot.channel]->memory();
+              " bits but the unit emitted ", shard.emittedBits(local));
+    const auto &mem = shard.channel().memory();
     const auto &region = outputRegions_[pu];
     BitBuffer out;
     for (uint64_t offset = 0; offset < bits;) {
@@ -240,10 +247,16 @@ FleetSystem::stats() const
     SystemStats stats;
     stats.cycles = cycles_;
     stats.clockMHz = config_.clockMHz;
+    stats.threadsUsed = threadsUsed_;
+    stats.wallSeconds = wallSeconds_;
     for (const auto &stream : streams_)
         stats.inputBytes += ceilDiv(stream.sizeBits(), 8);
-    for (const auto &slot : pus_)
-        stats.outputBytes += ceilDiv(slot.emittedBits, 8);
+    for (size_t p = 0; p < streams_.size(); ++p)
+        stats.outputBytes += ceilDiv(
+            shards_[puShard_[p]]->emittedBits(puLocal_[p]), 8);
+    if (ran_)
+        for (const auto &shard : shards_)
+            stats.channels.push_back(shard->stats());
     return stats;
 }
 

@@ -12,6 +12,12 @@
  * (simulated) FPGA DRAM, kicks off the units, and reads back each unit's
  * output region when all units have finished.
  *
+ * Because channels share nothing, each channel's simulation is owned by a
+ * ChannelShard (channel_shard.h) and the shards are stepped concurrently
+ * on a host worker pool (SystemConfig::numThreads). The parallel run is
+ * bit-for-bit deterministic: outputs, per-PU stats, and the merged cycle
+ * count (max over shards) are identical to the numThreads = 1 run.
+ *
  * Timing is cycle-accurate end to end; throughput in GB/s is
  * bytes / (cycles / clockMHz), the same accounting the paper uses at
  * 125 MHz.
@@ -24,6 +30,7 @@
 #include "lang/ast.h"
 #include "memctl/input_controller.h"
 #include "memctl/output_controller.h"
+#include "system/channel_shard.h"
 #include "system/pu.h"
 #include "util/bitbuf.h"
 
@@ -48,6 +55,13 @@ struct SystemConfig
     /** Per-PU output region; 0 = auto (2x input + 8 KiB). */
     uint64_t outputRegionBytes = 0;
     uint64_t maxCycles = 1ULL << 40;
+    /**
+     * Host worker threads used to step the channel shards (and to
+     * pre-compute the fast model's functional traces). 0 = one per
+     * hardware thread; 1 = legacy single-threaded path (no pool).
+     * Results are identical for every value — see channel_shard.h.
+     */
+    int numThreads = 0;
 
     SystemConfig() { outputCtrl.blockingAddressing = false; }
 };
@@ -58,6 +72,12 @@ struct SystemStats
     uint64_t inputBytes = 0;
     uint64_t outputBytes = 0;
     double clockMHz = 125.0;
+    /** Host worker threads the run actually used. */
+    int threadsUsed = 1;
+    /** Host wall-clock seconds spent inside run(). */
+    double wallSeconds = 0.0;
+    /** Per-channel utilization breakdown, indexed by channel. */
+    std::vector<ChannelStats> channels;
 
     double seconds() const { return cycles / (clockMHz * 1e6); }
     /** Input-side processing throughput (the paper's headline metric). */
@@ -66,6 +86,10 @@ struct SystemStats
         return inputBytes / seconds() / 1e9;
     }
     double outputGBps() const { return outputBytes / seconds() / 1e9; }
+    double bytesPerCycle() const
+    {
+        return cycles ? double(inputBytes) / double(cycles) : 0.0;
+    }
 };
 
 class FleetSystem
@@ -88,37 +112,33 @@ class FleetSystem
     SystemStats stats() const;
 
     /** Per-PU stall breakdown (valid after run()). */
-    struct PuStats
+    const PuStats &puStats(int pu) const
     {
-        uint64_t inputStarvedCycles = 0; ///< Wanted a token, buffer empty.
-        uint64_t outputBlockedCycles = 0; ///< Emitting, buffer full.
-        uint64_t finishedAtCycle = 0;
-    };
-    const PuStats &puStats(int pu) const { return pus_[pu].stats; }
+        return shards_[puShard_[pu]]->puStats(puLocal_[pu]);
+    }
 
     int numPus() const { return static_cast<int>(streams_.size()); }
-    const dram::DramChannel &channel(int c) const { return *channels_[c]; }
+    int numShards() const { return static_cast<int>(shards_.size()); }
+    const dram::DramChannel &channel(int c) const
+    {
+        return shards_[c]->channel();
+    }
+    const ChannelShard &shard(int c) const { return *shards_[c]; }
 
   private:
-    struct PuSlot
-    {
-        std::unique_ptr<ProcessingUnit> pu;
-        int channel;
-        int localIndex;
-        uint64_t emittedBits = 0;
-        bool finishedSeen = false;
-        PuStats stats;
-    };
+    /** Worker threads to use for `jobs` independent jobs. */
+    int resolveThreads(int jobs) const;
 
     lang::Program program_;
     SystemConfig config_;
     std::vector<BitBuffer> streams_;
-    std::vector<std::unique_ptr<dram::DramChannel>> channels_;
-    std::vector<std::unique_ptr<memctl::InputController>> inputCtrls_;
-    std::vector<std::unique_ptr<memctl::OutputController>> outputCtrls_;
-    std::vector<PuSlot> pus_;
+    std::vector<std::unique_ptr<ChannelShard>> shards_;
+    std::vector<int> puShard_; ///< Global PU index -> owning shard.
+    std::vector<int> puLocal_; ///< Global PU index -> local index.
     std::vector<memctl::StreamRegion> outputRegions_; ///< Global PU index.
     uint64_t cycles_ = 0;
+    int threadsUsed_ = 1;
+    double wallSeconds_ = 0.0;
     bool ran_ = false;
 };
 

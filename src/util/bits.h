@@ -56,7 +56,7 @@ constexpr int
 bitsToRepresent(uint64_t value)
 {
     int bits = 1;
-    while (value >> bits && bits < 64)
+    while (bits < 64 && value >> bits)
         ++bits;
     return bits;
 }
