@@ -143,21 +143,22 @@ main()
             }
             const char *label = blocking ? "blocking"
                                          : "non-blocking (default)";
-            try {
-                system::FleetSystem fleet_system(filterUnit(), config,
-                                                 streams);
-                fleet_system.run();
+            system::FleetSystem fleet_system(filterUnit(), config,
+                                             streams);
+            const auto &report = fleet_system.run();
+            if (report.allOk()) {
                 auto stats = fleet_system.stats();
                 table.row()
                     .cell(label)
                     .cell(stats.cycles)
                     .cell(stats.outputGBps());
-            } catch (const FatalError &e) {
+            } else {
                 // Blocking output addressing can genuinely deadlock with
                 // divergent filter rates: the input addressing unit waits
                 // on a full PU whose output waits on another PU's
                 // unfilled burst — the pathology behind Section 5's
-                // non-blocking default.
+                // non-blocking default. The watchdog contains it as a
+                // per-channel WatchdogStall outcome.
                 table.row().cell(label).cell("DEADLOCK").cell("-");
             }
         }

@@ -86,6 +86,7 @@ struct FleetRun
     int threads = 1;           ///< Host worker threads used.
     uint64_t cycles = 0;
     std::vector<system::ChannelStats> channels;
+    system::RunReport report; ///< Per-channel / per-PU outcomes.
 };
 
 /** Run a system to completion and collect the bench-facing numbers. */
@@ -95,9 +96,9 @@ runFleet(const lang::Program &program,
          const system::SystemConfig &config, double gbps_scale = 1.0)
 {
     system::FleetSystem fleet_system(program, config, streams);
-    fleet_system.run();
-    auto stats = fleet_system.stats();
     FleetRun run;
+    run.report = fleet_system.run();
+    auto stats = fleet_system.stats();
     run.gbps = stats.inputGBps() * gbps_scale;
     run.bytesPerCycle = stats.bytesPerCycle();
     run.simWallSeconds = stats.wallSeconds;

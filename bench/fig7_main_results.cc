@@ -25,10 +25,19 @@
  *                 the artifact tracks simulation wall-clock and speedup.
  *  --json PATH    write the per-app results as JSON (BENCH_PR.json).
  *  --threads N    worker threads for the parallel runs (0 = auto).
+ *  --faults SEED  smoke only: re-run every app under the mixed fault
+ *                 plan FaultPlan::fromSeed(SEED), print each app's
+ *                 RunReport summary, and assert the serial and
+ *                 worker-pool runs produce identical reports.
+ *  --baseline P   smoke only: after the fault-free run, compare each
+ *                 app's bytes/cycle against a previously written
+ *                 BENCH_PR.json and fail if any value changed.
  */
 
 #include <algorithm>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <thread>
 
 #include "apps/intcode.h"
@@ -37,6 +46,7 @@
 #include "baseline/timing.h"
 #include "bench_common.h"
 #include "compile/compiler.h"
+#include "fault/fault.h"
 #include "model/area.h"
 #include "model/power.h"
 
@@ -49,6 +59,9 @@ struct RunOptions
     bool smoke = false;
     std::string jsonPath;
     int threads = 0; ///< 0 = one per hardware thread.
+    bool faults = false;
+    uint64_t faultSeed = 0;
+    std::string baselinePath;
 };
 
 struct AppResult
@@ -68,6 +81,10 @@ struct AppResult
     double simWallSerialS = 0; ///< Wall-clock with numThreads = 1.
     int threadsUsed = 1;
     std::vector<system::ChannelStats> channels;
+    // Fault-mode telemetry (--faults).
+    int faultFailedPus = 0;
+    int faultTruncatedPus = 0;
+    std::string faultSummary;
 };
 
 /** Short CI configuration: 4 channels, small streams, engine only. */
@@ -86,6 +103,8 @@ evaluateAppSmoke(const apps::Application &app, const RunOptions &opts)
 
     system::SystemConfig config;
     config.numChannels = channels;
+    if (opts.faults)
+        config.faults = fault::FaultPlan::fromSeed(opts.faultSeed);
 
     config.numThreads = 1;
     auto serial = bench::runFleet(app.program(), streams, config);
@@ -99,10 +118,20 @@ evaluateAppSmoke(const apps::Application &app, const RunOptions &opts)
     result.simWallS = parallel.simWallSeconds;
     result.threadsUsed = parallel.threads;
     result.channels = parallel.channels;
+    result.faultFailedPus = parallel.report.failedPuCount();
+    result.faultTruncatedPus = parallel.report.truncatedPuCount();
+    result.faultSummary = parallel.report.summary();
 
     if (serial.cycles != parallel.cycles)
         throw std::runtime_error(app.name() +
                                  ": thread-count determinism violated");
+    if (!(serial.report == parallel.report))
+        throw std::runtime_error(
+            app.name() + ": RunReport differs between serial and "
+                         "worker-pool runs");
+    if (!opts.faults && !parallel.report.allOk())
+        throw std::runtime_error(app.name() + ": fault-free run failed: " +
+                                 parallel.report.summary());
     return result;
 }
 
@@ -190,6 +219,80 @@ evaluateApp(const apps::Application &app, const model::Device &device,
     return result;
 }
 
+/**
+ * Compare each app's fault-free bytes/cycle against a previously
+ * written BENCH_PR.json. The comparison is exact at the JSON's own
+ * printed precision (%.6f): the simulator is deterministic, so any
+ * drift is a real behaviour change, not noise. Returns true when every
+ * app matches.
+ */
+bool
+checkBaseline(const std::string &path,
+              const std::vector<AppResult> &results)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+        return false;
+    }
+    // Minimal scan of the JSON we write ourselves: each app object
+    // carries "app" then "bytes_per_cycle" in order.
+    std::vector<std::pair<std::string, std::string>> baseline;
+    std::string line;
+    std::string current_app;
+    while (std::getline(in, line)) {
+        auto grab = [&line](const char *key) -> std::string {
+            auto pos = line.find(key);
+            if (pos == std::string::npos)
+                return "";
+            pos = line.find(':', pos);
+            if (pos == std::string::npos)
+                return "";
+            std::string value = line.substr(pos + 1);
+            auto strip = [](std::string s) {
+                const char *junk = " \t\",";
+                auto b = s.find_first_not_of(junk);
+                auto e = s.find_last_not_of(junk);
+                return b == std::string::npos ? std::string()
+                                              : s.substr(b, e - b + 1);
+            };
+            return strip(value);
+        };
+        if (auto app = grab("\"app\""); !app.empty())
+            current_app = app;
+        if (auto bpc = grab("\"bytes_per_cycle\""); !bpc.empty()) {
+            if (current_app.empty())
+                continue;
+            baseline.emplace_back(current_app, bpc);
+            current_app.clear();
+        }
+    }
+    bool ok = true;
+    for (const auto &r : results) {
+        char now[32];
+        std::snprintf(now, sizeof(now), "%.6f", r.bytesPerCycle);
+        auto it = std::find_if(baseline.begin(), baseline.end(),
+                               [&r](const auto &b) {
+                                   return b.first == r.name;
+                               });
+        if (it == baseline.end()) {
+            std::fprintf(stderr, "baseline: %s missing from %s\n",
+                         r.name.c_str(), path.c_str());
+            ok = false;
+        } else if (it->second != now) {
+            std::fprintf(stderr,
+                         "baseline: %s bytes/cycle changed: %s -> %s\n",
+                         r.name.c_str(), it->second.c_str(), now);
+            ok = false;
+        }
+    }
+    if (ok)
+        std::printf("baseline: bytes/cycle unchanged for all %zu apps "
+                    "(vs %s)\n",
+                    results.size(), path.c_str());
+    return ok;
+}
+
 bool
 writeJson(const std::string &path, const std::vector<AppResult> &results,
           const RunOptions &opts)
@@ -226,6 +329,14 @@ writeJson(const std::string &path, const std::vector<AppResult> &results,
             std::fprintf(f, "      \"parallel_speedup\": %.3f,\n",
                          r.simWallS > 0 ? r.simWallSerialS / r.simWallS
                                         : 0.0);
+        }
+        if (opts.faults) {
+            std::fprintf(f, "      \"fault_seed\": %llu,\n",
+                         static_cast<unsigned long long>(opts.faultSeed));
+            std::fprintf(f, "      \"failed_pus\": %d,\n",
+                         r.faultFailedPus);
+            std::fprintf(f, "      \"truncated_pus\": %d,\n",
+                         r.faultTruncatedPus);
         }
         std::fprintf(f, "      \"threads\": %d", r.threadsUsed);
         if (!r.channels.empty()) {
@@ -272,23 +383,47 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--threads") == 0 &&
                    i + 1 < argc) {
             opts.threads = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--faults") == 0 &&
+                   i + 1 < argc) {
+            opts.faults = true;
+            opts.faultSeed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--baseline") == 0 &&
+                   i + 1 < argc) {
+            opts.baselinePath = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--json PATH] "
-                         "[--threads N]\n",
+                         "[--threads N] [--faults SEED] "
+                         "[--baseline PATH]\n",
                          argv[0]);
             return 2;
         }
+    }
+    if ((opts.faults || !opts.baselinePath.empty()) && !opts.smoke) {
+        std::fprintf(stderr,
+                     "--faults and --baseline require --smoke\n");
+        return 2;
+    }
+    if (opts.faults && !opts.baselinePath.empty()) {
+        std::fprintf(stderr,
+                     "--baseline compares the fault-free run; combine "
+                     "it with --smoke only, not --faults\n");
+        return 2;
     }
 
     std::vector<AppResult> results;
 
     if (opts.smoke) {
         bench::printHeader(
-            "Figure 7 (smoke): 4-channel engine run per app",
+            opts.faults
+                ? "Figure 7 (smoke, fault injection): 4-channel run per app"
+                : "Figure 7 (smoke): 4-channel engine run per app",
             "Short CI configuration: cycle-accurate simulation only (no "
             "CPU/GPU\nbaselines), single-threaded vs worker-pool "
             "wall-clock.");
+        if (opts.faults)
+            std::printf("fault plan: FaultPlan::fromSeed(%llu)\n\n",
+                        static_cast<unsigned long long>(opts.faultSeed));
         Table table({"App", "Streams", "GB/s", "B/cycle", "wall 1T (s)",
                      "wall NT (s)", "speedup", "threads"});
         for (auto &app : apps::allApplications()) {
@@ -314,8 +449,19 @@ main(int argc, char **argv)
             results.push_back(std::move(r));
         }
         std::printf("%s\n", table.str().c_str());
+        if (opts.faults) {
+            std::printf("Per-app fault outcomes (identical on serial and "
+                        "worker-pool runs):\n");
+            for (const auto &r : results)
+                std::printf("  %-14s %s\n", r.name.c_str(),
+                            r.faultSummary.c_str());
+            std::printf("\n");
+        }
         if (!opts.jsonPath.empty() &&
             !writeJson(opts.jsonPath, results, opts))
+            return 1;
+        if (!opts.baselinePath.empty() &&
+            !checkBaseline(opts.baselinePath, results))
             return 1;
         return 0;
     }

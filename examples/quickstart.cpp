@@ -48,6 +48,10 @@ blockFrequenciesUnit()
     });
     b.assign(frequencies[b.input()], frequencies[b.input()] + 1);
     b.assign(itemCounter, mux(itemCounter == 100, 1, itemCounter + 1));
+    // The histogram emits 256 entries per 100-token block (2.56 output
+    // bytes per input byte); declaring it lets the runtime auto-size
+    // each unit's DRAM output region.
+    b.maxOutputExpansion(2.56);
     return b.finish();
 }
 
@@ -103,10 +107,11 @@ main(int argc, char **argv)
     }
     system::SystemConfig config;
     system::FleetSystem fleet(program, config, streams);
-    fleet.run();
+    const system::RunReport &report = fleet.run();
     auto stats = fleet.stats();
     std::printf("\nFull system: %d PUs x %llu bytes on %d channels\n",
                 num_pus, (unsigned long long)bytes, config.numChannels);
+    std::printf("  run report: %s\n", report.summary().c_str());
     std::printf("  %llu cycles @ %.0f MHz -> %.2f GB/s in, %.2f GB/s out\n",
                 (unsigned long long)stats.cycles, stats.clockMHz,
                 stats.inputGBps(), stats.outputGBps());

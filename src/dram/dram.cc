@@ -8,8 +8,9 @@
 namespace fleet {
 namespace dram {
 
-DramChannel::DramChannel(const DramParams &params, uint64_t mem_bytes)
-    : params_(params), mem_(mem_bytes, 0)
+DramChannel::DramChannel(const DramParams &params, uint64_t mem_bytes,
+                         const fault::ChannelFaults *faults)
+    : params_(params), faults_(faults), mem_(mem_bytes, 0)
 {
     if (params_.busWidthBits % 8 != 0 || params_.busWidthBits <= 0)
         fatal("DramChannel: bus width must be a positive multiple of 8");
@@ -54,6 +55,8 @@ DramChannel::scheduleBus(uint64_t earliest, int beats)
 bool
 DramChannel::arReady() const
 {
+    if (faults_ && faults_->busBackpressured(cycle_))
+        return false; // Injected backpressure window: accept no AR.
     return readQueue_.size() <
            static_cast<size_t>(params_.maxOutstandingReads);
 }
@@ -69,7 +72,11 @@ DramChannel::arPush(uint64_t addr, int len_beats)
         fatal("DramChannel: read address ", addr, " not beat-aligned");
     if (addr + uint64_t(len_beats) * busWidthBytes() > mem_.size())
         fatal("DramChannel: read burst past end of channel memory");
-    uint64_t first = scheduleBus(cycle_ + params_.readLatency, len_beats);
+    uint64_t latency = params_.readLatency;
+    if (faults_)
+        latency += faults_->extraReadLatency(readRequests_);
+    ++readRequests_;
+    uint64_t first = scheduleBus(cycle_ + latency, len_beats);
     readQueue_.push_back(PendingRead{addr, len_beats, first});
 }
 
@@ -91,6 +98,9 @@ DramChannel::rPeek() const
     headBeat_.addr = head.addr +
                      uint64_t(headBeatsDelivered_) * busWidthBytes();
     headBeat_.last = headBeatsDelivered_ == head.lenBeats - 1;
+    // Corruption is a pure function of the beat's delivery index, so
+    // repeated rPeek() calls within a cycle agree.
+    headBeat_.corrupted = faults_ && faults_->beatCorrupted(beatsDelivered_);
     headBeatValid_ = true;
     return headBeat_;
 }
@@ -111,6 +121,8 @@ DramChannel::rPop()
 bool
 DramChannel::awReady() const
 {
+    if (faults_ && faults_->busBackpressured(cycle_))
+        return false; // Injected backpressure window: accept no AW.
     return writeQueue_.size() <
            static_cast<size_t>(params_.maxOutstandingWrites);
 }

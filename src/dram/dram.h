@@ -28,6 +28,8 @@
 #include <deque>
 #include <vector>
 
+#include "fault/fault.h"
+
 namespace fleet {
 namespace dram {
 
@@ -51,14 +53,23 @@ struct DramParams
 /** One 512-bit read-data beat (data is read via DramChannel::memory()). */
 struct RBeat
 {
-    uint64_t addr; ///< Byte address of this beat.
-    bool last;     ///< Final beat of its burst.
+    uint64_t addr;          ///< Byte address of this beat.
+    bool last;              ///< Final beat of its burst.
+    bool corrupted = false; ///< Injected single-bit error (fault layer);
+                            ///< caught by the controller's parity check.
 };
 
 class DramChannel
 {
   public:
-    DramChannel(const DramParams &params, uint64_t mem_bytes);
+    /**
+     * `faults` (optional, not owned, may be null) injects read latency
+     * spikes, address-channel backpressure windows, and corrupted read
+     * beats; see fault/fault.h. A null injector is never consulted, so
+     * fault-free timing is bit-identical with or without the layer.
+     */
+    DramChannel(const DramParams &params, uint64_t mem_bytes,
+                const fault::ChannelFaults *faults = nullptr);
 
     /// @name Host access to channel memory (zero simulated cost).
     /// @{
@@ -130,8 +141,10 @@ class DramChannel
     uint64_t scheduleBus(uint64_t earliest, int beats);
 
     DramParams params_;
+    const fault::ChannelFaults *faults_;
     std::vector<uint8_t> mem_;
     uint64_t cycle_ = 0;
+    uint64_t readRequests_ = 0; ///< ARs accepted (fault-event index).
 
     uint64_t busNext_ = 0;      ///< First cycle the data bus is free.
     double overheadAcc_ = 0.0;  ///< Fractional per-request overhead.

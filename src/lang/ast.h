@@ -154,7 +154,7 @@ int exprNodeCount(const Expr &e);
 // Statements
 // ---------------------------------------------------------------------------
 
-/** Assignment target: a register, a vector-register element, or a BRAM word. */
+/** Assignment target: a register, vector-register element, or BRAM word. */
 struct LValue
 {
     enum class Kind { Reg, VecElem, BramElem };
@@ -206,6 +206,17 @@ struct Program
     std::string name;
     int inputTokenWidth = 8;
     int outputTokenWidth = 8;
+
+    /**
+     * Declared worst-case output bytes per input byte, used by the host
+     * runtime to auto-size each unit's DRAM output region (the paper's
+     * runtime makes the user pick output buffer sizes; declaring the
+     * expansion on the program keeps that knowledge with the code that
+     * determines it). The runtime never sizes below 2.0. A unit that
+     * out-emits its declaration is contained with an OutputOverflow
+     * outcome rather than aborting the system.
+     */
+    double maxOutputExpansion = 2.0;
 
     std::vector<RegDecl> regs;
     std::vector<VecRegDecl> vregs;

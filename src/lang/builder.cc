@@ -155,6 +155,16 @@ ProgramBuilder::streamFinished() const
 }
 
 void
+ProgramBuilder::maxOutputExpansion(double factor)
+{
+    if (finished_)
+        fatal("ProgramBuilder used after finish()");
+    if (!(factor > 0.0))
+        fatal("maxOutputExpansion: factor must be positive, got ", factor);
+    program_.maxOutputExpansion = factor;
+}
+
+void
 ProgramBuilder::assign(const Value &target, const Value &value)
 {
     Stmt stmt;

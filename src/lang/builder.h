@@ -56,7 +56,10 @@ class Value
     explicit Value(Expr e) : expr_(std::move(e)) {}
 
     /** Literal with an explicit width. */
-    static Value lit(uint64_t v, int width) { return Value(constExpr(v, width)); }
+    static Value lit(uint64_t v, int width)
+    {
+        return Value(constExpr(v, width));
+    }
 
     const Expr &expr() const { return expr_; }
     int width() const { return expr_->width; }
@@ -84,7 +87,10 @@ class Value
     Value operator-() const { return Value(unExpr(UnOp::Neg, expr_)); }
 
     /** Bits [hi:lo], inclusive, as in Verilog. */
-    Value slice(int hi, int lo) const { return Value(sliceExpr(expr_, hi, lo)); }
+    Value slice(int hi, int lo) const
+    {
+        return Value(sliceExpr(expr_, hi, lo));
+    }
     /** Single bit [i]. */
     Value bit(int i) const { return slice(i, i); }
     /** Zero-extend or truncate to an exact width. */
@@ -192,6 +198,14 @@ class ProgramBuilder
     Value input() const;
     /** True during the post-stream cleanup virtual cycle. */
     Value streamFinished() const;
+
+    /**
+     * Declare the program's worst-case output bytes per input byte so
+     * the runtime can auto-size output regions (see
+     * lang::Program::maxOutputExpansion). E.g. the Figure 3 histogram
+     * emits 256 tokens per 100-token block: expansion 2.56.
+     */
+    void maxOutputExpansion(double factor);
 
     /** Concurrent assignment to a register / vector element / BRAM word. */
     void assign(const Value &target, const Value &value);

@@ -71,6 +71,26 @@ InputController::creditAvailable(const PuState &pu) const
     return committed + payload <= pu.buffer.capacityBits();
 }
 
+std::optional<InputController::ParityEvent>
+InputController::takeParityEvent()
+{
+    if (parityEvents_.empty())
+        return std::nullopt;
+    ParityEvent event = parityEvents_.front();
+    parityEvents_.pop_front();
+    return event;
+}
+
+void
+InputController::killPu(int pu_index)
+{
+    PuState &pu = pus_[pu_index];
+    pu.dead = true;
+    // No further bursts for this stream; in-flight ones are discarded as
+    // they complete (drainSlots), freeing their burst registers.
+    pu.totalBursts = pu.burstsIssued;
+}
+
 void
 InputController::drainSlots()
 {
@@ -80,6 +100,14 @@ InputController::drainSlots()
         PuState &pu = pus_[slot.pu];
         if (slot.seq != pu.burstsDrained)
             continue; // Keep each PU's bursts in stream order.
+        if (pu.dead) {
+            // Contained failure: discard the burst without touching the
+            // buffer, so the register frees even if the buffer is full.
+            slot.active = false;
+            pu.inflightBursts--;
+            pu.burstsDrained++;
+            continue;
+        }
         uint64_t remaining = slot.payloadBits - slot.drainedBits;
         int chunk = static_cast<int>(
             std::min<uint64_t>(params_.portWidth, remaining));
@@ -145,6 +173,12 @@ InputController::acceptBeat()
     std::copy(mem.begin() + beat.addr, mem.begin() + beat.addr + bus_bytes,
               slot.data.begin() +
                   static_cast<size_t>(slot.beatsReceived) * bus_bytes);
+    // Per-beat parity check: a single-bit error is always detected.
+    // Surface it as an event so the shard can contain the owning PU
+    // before the burst drains into its buffer (at most one beat arrives
+    // per cycle, so the event queue stays shallow).
+    if (beat.corrupted && !pus_[slot.pu].dead)
+        parityEvents_.push_back(ParityEvent{slot.pu, beat.addr});
     channel_.rPop();
     slot.beatsReceived++;
     if (slot.beatsReceived == slot.beatsTotal)

@@ -11,10 +11,19 @@
  * buffers. Backpressure propagates naturally: a full buffer stalls its
  * burst register's drain, busy burst registers stall the AXI R channel,
  * and exhausted credits stall the addressing unit.
+ *
+ * Failure containment (ISSUE 2): each accepted read beat passes a parity
+ * check; a corrupted beat (injected via fault/fault.h) raises a
+ * ParityEvent for the owning processing unit instead of silently feeding
+ * it bad tokens. The shard then calls killPu(), after which the dead
+ * unit's in-flight bursts are discarded at full rate and no further
+ * addresses are issued for it — so a contained failure can never wedge
+ * the shared burst registers and stall healthy units on the channel.
  */
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <vector>
 
 #include "dram/dram.h"
@@ -33,6 +42,7 @@ class InputController
 
     /** Per-PU input buffer the processing unit consumes tokens from. */
     BitFifo &buffer(int pu) { return pus_[pu].buffer; }
+    const BitFifo &buffer(int pu) const { return pus_[pu].buffer; }
 
     /** True once every payload bit of the PU's stream is in (or through)
      * its buffer — drives the input_finished protocol signal together
@@ -44,6 +54,24 @@ class InputController
 
     /** Advance one cycle (call before the channel's tick()). */
     void tick();
+
+    /** A corrupted beat caught by the per-beat parity check. */
+    struct ParityEvent
+    {
+        int pu;        ///< Local PU whose stream the beat belonged to.
+        uint64_t addr; ///< Byte address of the corrupted beat.
+    };
+
+    /** Oldest undelivered parity event, if any (at most one per cycle —
+     * the channel delivers at most one beat per cycle). */
+    std::optional<ParityEvent> takeParityEvent();
+
+    /**
+     * Contain a failed processing unit: issue no further bursts for it
+     * and discard its in-flight and undrained data, so the channel's
+     * shared burst registers and AR queue keep flowing for healthy PUs.
+     */
+    void killPu(int pu);
 
     /// @name Statistics.
     /// @{
@@ -71,6 +99,7 @@ class InputController
         uint64_t burstsDrained = 0;  ///< Fully pushed into the buffer.
         uint64_t bitsBuffered = 0; ///< Payload bits pushed into buffer.
         int inflightBursts = 0;    ///< Issued but not fully drained.
+        bool dead = false;         ///< Contained failure: discard data.
     };
 
     struct BurstSlot
@@ -99,6 +128,7 @@ class InputController
     /** PUs of issued-but-not-fully-received bursts, in AR order. */
     std::deque<int> orderQueue_;
     int fillingSlot_ = -1; ///< Slot receiving the current burst's beats.
+    std::deque<ParityEvent> parityEvents_;
     int rrPointer_ = 0;
     int beatsPerBurst_;
     uint64_t bitsDelivered_ = 0;

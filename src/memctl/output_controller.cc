@@ -33,6 +33,16 @@ OutputController::setPuFinished(int pu)
     pus_[pu].finished = true;
 }
 
+std::optional<OutputController::OverflowEvent>
+OutputController::takeOverflowEvent()
+{
+    if (overflowEvents_.empty())
+        return std::nullopt;
+    OverflowEvent event = overflowEvents_.front();
+    overflowEvents_.pop_front();
+    return event;
+}
+
 bool
 OutputController::done() const
 {
@@ -41,7 +51,9 @@ OutputController::done() const
     for (const auto &pu : pus_) {
         if (!pu.finished)
             return false;
-        if (!pu.buffer.empty())
+        // An overflowed PU's uncommitted bits are dropped: only the bits
+        // already committed to issued bursts still need to flush.
+        if (pu.failed ? pu.bitsPendingFill != 0 : !pu.buffer.empty())
             return false;
     }
     return true;
@@ -77,10 +89,11 @@ OutputController::issueAddresses()
     int count = static_cast<int>(pus_.size());
     while (examined < count) {
         PuState &pu = pus_[rrPointer_];
-        bool skip_forever = pu.finished &&
-                            pu.buffer.sizeBits() == pu.bitsPendingFill;
+        bool skip_forever =
+            pu.failed || (pu.finished &&
+                          pu.buffer.sizeBits() == pu.bitsPendingFill);
         if (skip_forever) {
-            // Produced its last output: always skipped.
+            // Produced its last output (or was contained): always skipped.
             rrPointer_ = (rrPointer_ + 1) % count;
             ++examined;
             continue;
@@ -95,8 +108,18 @@ OutputController::issueAddresses()
         uint64_t burst_bytes = params_.burstBits / 8;
         uint64_t addr = pu.region.baseAddr + pu.burstsIssued * burst_bytes;
         if ((pu.burstsIssued + 1) * burst_bytes > pu.region.regionBytes) {
-            fatal("OutputController: PU output exceeds its ",
-                  pu.region.regionBytes, "-byte region");
+            // Contained overflow: no room for another burst. Keep the
+            // bursts already issued (their data flushes normally), drop
+            // the uncommitted remainder, and report the PU failed. The
+            // rest of the channel is unaffected.
+            pu.failed = true;
+            pu.finished = true;
+            pu.flushIssued = true;
+            overflowEvents_.push_back(
+                OverflowEvent{rrPointer_, pu.region.regionBytes});
+            rrPointer_ = (rrPointer_ + 1) % count;
+            ++examined;
+            continue;
         }
         uint64_t payload = std::min<uint64_t>(
             params_.burstBits, pu.buffer.sizeBits() - pu.bitsPendingFill);

@@ -11,10 +11,18 @@
  * are transmitted to the AXI W channel in address order. The addressing
  * unit is non-blocking by default, since filter-style units produce
  * output at dramatically different rates (paper, Section 5).
+ *
+ * Failure containment (ISSUE 2): a processing unit whose output would
+ * exceed its DRAM region is *contained*, not fatal — the controller
+ * stops issuing bursts for it, flushes what was already committed, drops
+ * the uncommitted remainder, and raises an OverflowEvent so the shard
+ * can record a per-PU OutputOverflow outcome while every other unit on
+ * the channel keeps running.
  */
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <vector>
 
 #include "dram/dram.h"
@@ -33,9 +41,23 @@ class OutputController
 
     /** Per-PU output buffer the processing unit emits tokens into. */
     BitFifo &buffer(int pu) { return pus_[pu].buffer; }
+    const BitFifo &buffer(int pu) const { return pus_[pu].buffer; }
 
     /** Inform the controller the PU asserted output_finished. */
     void setPuFinished(int pu);
+
+    /** A PU whose next burst would exceed its output region. */
+    struct OverflowEvent
+    {
+        int pu;
+        uint64_t regionBytes; ///< The region it overflowed.
+    };
+
+    /** Oldest undelivered overflow event, if any. */
+    std::optional<OverflowEvent> takeOverflowEvent();
+
+    /** True once the PU was contained for output-region overflow. */
+    bool puFailed(int pu) const { return pus_[pu].failed; }
 
     /** All output flushed to channel memory for every finished PU. */
     bool done() const;
@@ -68,6 +90,8 @@ class OutputController
         uint64_t bitsPendingFill = 0; ///< Committed but not yet popped.
         bool finished = false;
         bool flushIssued = false; ///< Final partial burst issued.
+        bool failed = false;      ///< Contained overflow: uncommitted
+                                  ///< bits are dropped, not flushed.
     };
 
     struct PendingBurst
@@ -100,6 +124,7 @@ class OutputController
     std::vector<PuState> pus_;
     std::vector<BurstSlot> slots_;
     std::deque<PendingBurst> orderQueue_;
+    std::deque<OverflowEvent> overflowEvents_;
     int rrPointer_ = 0;
     int beatsPerBurst_;
     uint64_t bitsCollected_ = 0;

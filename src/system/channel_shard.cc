@@ -1,7 +1,10 @@
 #include "system/channel_shard.h"
 
+#include <sstream>
+
 #include "util/bits.h"
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace fleet {
 namespace system {
@@ -12,10 +15,17 @@ ChannelShard::ChannelShard(int channel_index,
                            const memctl::ControllerParams &output_params,
                            std::vector<memctl::StreamRegion> input_regions,
                            std::vector<memctl::StreamRegion> output_regions,
-                           uint64_t mem_bytes)
+                           uint64_t mem_bytes,
+                           const fault::FaultPlan &fault_plan)
     : channelIndex_(channel_index)
 {
-    channel_ = std::make_unique<dram::DramChannel>(dram_params, mem_bytes);
+    // A fault-free shard carries no injector at all: the DRAM model's
+    // null check is the only cost, so disabled-plan runs are
+    // bit-identical to a build without the fault layer.
+    if (fault_plan.enabled())
+        faults_.emplace(fault_plan, channel_index);
+    channel_ = std::make_unique<dram::DramChannel>(
+        dram_params, mem_bytes, faults_ ? &*faults_ : nullptr);
     inputCtrl_ = std::make_unique<memctl::InputController>(
         *channel_, input_params, std::move(input_regions));
     outputCtrl_ = std::make_unique<memctl::OutputController>(
@@ -34,101 +44,240 @@ ChannelShard::addPu(std::unique_ptr<ProcessingUnit> pu, int global_index,
 }
 
 void
+ChannelShard::containPu(int local, Status status)
+{
+    PuSlot &slot = pus_[local];
+    if (slot.failed)
+        return;
+    slot.failed = true;
+    slot.outcome.status = std::move(status);
+    slot.outcome.atCycle = cycles_;
+    // Kill it in both controllers so the shared burst registers and
+    // addressing units keep flowing for the channel's healthy units:
+    // no further input bursts (in-flight ones are discarded), and the
+    // output side flushes what was already emitted as a final burst.
+    inputCtrl_->killPu(local);
+    outputCtrl_->setPuFinished(local);
+}
+
+ChannelOutcome
 ChannelShard::run(int input_token_width, int output_token_width,
-                  uint64_t max_cycles)
+                  uint64_t max_cycles, uint64_t watchdog_cycles)
 {
     const int in_width = input_token_width;
     const int out_width = output_token_width;
 
-    // Forward-progress watchdog: a configuration can genuinely deadlock
+    ChannelOutcome channel_outcome;
+    bool completed = false;
+
+    // Forward-progress watchdog: a configuration can genuinely hang
     // (e.g. blocking output addressing with divergent filter rates, the
-    // pathology Section 5's non-blocking default avoids); detect it
-    // rather than spinning to maxCycles. Per-shard, the watchdog is
-    // stricter than the old global one: a stuck channel can no longer
-    // hide behind another channel's activity.
+    // pathology Section 5's non-blocking default avoids — or a PU
+    // program that spins in a `while` without retiring tokens). If no
+    // PU retired a token and no DRAM beat moved for watchdog_cycles,
+    // turn the hang into a WatchdogStall outcome with a diagnostic dump
+    // instead of spinning to maxCycles. Per-shard, the watchdog is
+    // stricter than a global one: a stuck channel cannot hide behind
+    // another channel's activity.
     uint64_t last_activity_cycle = 0;
     uint64_t last_beats = 0;
 
-    for (cycles_ = 0; cycles_ < max_cycles; ++cycles_) {
-        bool activity = false;
-        bool all_finished = true;
-        for (size_t l = 0; l < pus_.size(); ++l) {
-            PuSlot &slot = pus_[l];
-            auto &in_buf = inputCtrl_->buffer(static_cast<int>(l));
-            auto &out_buf = outputCtrl_->buffer(static_cast<int>(l));
+    try {
+        for (cycles_ = 0; cycles_ < max_cycles; ++cycles_) {
+            bool activity = false;
+            bool all_finished = true;
+            for (size_t l = 0; l < pus_.size(); ++l) {
+                PuSlot &slot = pus_[l];
+                if (slot.failed)
+                    continue; // Contained: quarantined from the loop.
+                auto &in_buf = inputCtrl_->buffer(static_cast<int>(l));
+                auto &out_buf = outputCtrl_->buffer(static_cast<int>(l));
 
-            PuInputs in;
-            in.inputValid = in_buf.sizeBits() >= uint64_t(in_width);
-            in.inputToken = in.inputValid ? in_buf.peek(in_width) : 0;
-            in.inputFinished =
-                inputCtrl_->streamExhausted(static_cast<int>(l)) &&
-                in_buf.empty();
-            in.outputReady = out_buf.freeBits() >= uint64_t(out_width);
+                PuInputs in;
+                in.inputValid = in_buf.sizeBits() >= uint64_t(in_width);
+                in.inputToken = in.inputValid ? in_buf.peek(in_width) : 0;
+                in.inputFinished =
+                    inputCtrl_->streamExhausted(static_cast<int>(l)) &&
+                    in_buf.empty();
+                in.outputReady = out_buf.freeBits() >= uint64_t(out_width);
 
-            PuOutputs out = slot.pu->eval(in);
+                PuOutputs out = slot.pu->eval(in);
+                slot.lastIn = in;
+                slot.lastOut = out;
 
-            if (out.outputValid && in.outputReady) {
-                out_buf.push(out.outputToken, out_width);
-                slot.emittedBits += out_width;
+                if (out.outputValid && in.outputReady) {
+                    out_buf.push(out.outputToken, out_width);
+                    slot.emittedBits += out_width;
+                    activity = true;
+                }
+                if (out.inputReady && in.inputValid) {
+                    in_buf.pop(in_width);
+                    activity = true;
+                }
+                if (out.outputFinished && !slot.finishedSeen) {
+                    outputCtrl_->setPuFinished(static_cast<int>(l));
+                    slot.finishedSeen = true;
+                    slot.stats.finishedAtCycle = cycles_;
+                    activity = true;
+                }
+                if (!slot.finishedSeen) {
+                    if (out.inputReady && !in.inputValid &&
+                        !in.inputFinished)
+                        ++slot.stats.inputStarvedCycles;
+                    if (out.outputValid && !in.outputReady)
+                        ++slot.stats.outputBlockedCycles;
+                }
+                all_finished = all_finished && slot.finishedSeen;
+            }
+
+            inputCtrl_->tick();
+            outputCtrl_->tick();
+            channel_->tick();
+            for (auto &slot : pus_)
+                if (!slot.failed)
+                    slot.pu->step();
+
+            // Containment events raised by this cycle's ticks. Polled
+            // after the ticks so the kill takes effect from the next
+            // cycle — the same point on every host thread count.
+            while (auto parity = inputCtrl_->takeParityEvent()) {
+                if (pus_[parity->pu].finishedSeen)
+                    continue; // Already done; stale beat is harmless.
+                std::ostringstream os;
+                os << "PU " << pus_[parity->pu].globalIndex
+                   << ": parity error on read beat at channel address "
+                   << parity->addr;
+                containPu(parity->pu,
+                          Status::make(StatusCode::ParityError, os.str()));
                 activity = true;
             }
-            if (out.inputReady && in.inputValid) {
-                in_buf.pop(in_width);
+            while (auto overflow = outputCtrl_->takeOverflowEvent()) {
+                std::ostringstream os;
+                os << "PU " << pus_[overflow->pu].globalIndex
+                   << ": output exceeds its " << overflow->regionBytes
+                   << "-byte region (declare a larger maxOutputExpansion "
+                      "or set SystemConfig::outputRegionBytes)";
+                containPu(overflow->pu,
+                          Status::make(StatusCode::OutputOverflow,
+                                       os.str()));
                 activity = true;
             }
-            if (out.outputFinished && !slot.finishedSeen) {
-                outputCtrl_->setPuFinished(static_cast<int>(l));
-                slot.finishedSeen = true;
-                slot.stats.finishedAtCycle = cycles_;
-                activity = true;
+
+            stats_.readQueueOccupancySum += channel_->outstandingReads();
+            stats_.writeQueueOccupancySum += channel_->outstandingWrites();
+
+            uint64_t beats =
+                channel_->beatsDelivered() + channel_->beatsWritten();
+            if (activity || beats != last_beats) {
+                last_activity_cycle = cycles_;
+                last_beats = beats;
+            } else if (cycles_ - last_activity_cycle > watchdog_cycles) {
+                channel_outcome.status = Status::make(
+                    StatusCode::WatchdogStall,
+                    watchdogDump(cycles_ - last_activity_cycle));
+                break;
             }
-            if (!slot.finishedSeen) {
-                if (out.inputReady && !in.inputValid && !in.inputFinished)
-                    ++slot.stats.inputStarvedCycles;
-                if (out.outputValid && !in.outputReady)
-                    ++slot.stats.outputBlockedCycles;
+
+            if (all_finished && outputCtrl_->done()) {
+                ++cycles_;
+                completed = true;
+                break;
             }
-            all_finished = all_finished && slot.finishedSeen;
         }
-
-        inputCtrl_->tick();
-        outputCtrl_->tick();
-        channel_->tick();
-        for (auto &slot : pus_)
-            slot.pu->step();
-
-        stats_.readQueueOccupancySum += channel_->outstandingReads();
-        stats_.writeQueueOccupancySum += channel_->outstandingWrites();
-
-        uint64_t beats =
-            channel_->beatsDelivered() + channel_->beatsWritten();
-        if (activity || beats != last_beats) {
-            last_activity_cycle = cycles_;
-            last_beats = beats;
-        } else if (cycles_ - last_activity_cycle > 200000) {
-            fatal("ChannelShard: channel ", channelIndex_,
-                  " made no forward progress for 200000 cycles "
-                  "(deadlocked configuration?)");
+        if (!completed && channel_outcome.status.ok()) {
+            std::ostringstream os;
+            os << "channel " << channelIndex_ << " did not finish within "
+               << max_cycles << " cycles";
+            channel_outcome.status =
+                Status::make(StatusCode::CycleLimitExceeded, os.str());
         }
-
-        if (all_finished && outputCtrl_->done()) {
-            ++cycles_;
-            stats_.cycles = cycles_;
-            stats_.numPus = numPus();
-            stats_.beatsDelivered = channel_->beatsDelivered();
-            stats_.beatsWritten = channel_->beatsWritten();
-            for (const auto &slot : pus_) {
-                stats_.inputBytes += ceilDiv(slot.streamBits, 8);
-                stats_.outputBytes += ceilDiv(slot.emittedBits, 8);
-                stats_.inputStarvedCycles += slot.stats.inputStarvedCycles;
-                stats_.outputBlockedCycles +=
-                    slot.stats.outputBlockedCycles;
-            }
-            return;
-        }
+    } catch (const StatusError &error) {
+        channel_outcome.status = error.status();
+    } catch (const std::exception &error) {
+        channel_outcome.status =
+            Status::make(StatusCode::InternalError, error.what());
     }
-    fatal("ChannelShard: channel ", channelIndex_,
-          " did not finish within ", max_cycles, " cycles");
+
+    channel_outcome.cycles = cycles_;
+    finalizeStats();
+
+    // Settle per-PU outcomes: contained units keep the status recorded
+    // at containment; on a failed channel every other unit inherits the
+    // channel status (even a unit that asserted output_finished may
+    // have unflushed output stranded in its buffer); on a completed
+    // channel every non-contained unit finished and fully flushed.
+    for (size_t l = 0; l < pus_.size(); ++l) {
+        PuSlot &slot = pus_[l];
+        if (!slot.failed) {
+            if (channel_outcome.status.ok()) {
+                slot.outcome.status = Status::make(StatusCode::Ok);
+                slot.outcome.atCycle = slot.stats.finishedAtCycle;
+            } else {
+                slot.outcome.status = channel_outcome.status;
+                slot.outcome.atCycle = cycles_;
+            }
+        }
+        slot.outcome.outputBits =
+            outputCtrl_->payloadBits(static_cast<int>(l));
+    }
+    return channel_outcome;
+}
+
+void
+ChannelShard::finalizeStats()
+{
+    stats_.cycles = cycles_;
+    stats_.numPus = numPus();
+    stats_.beatsDelivered = channel_->beatsDelivered();
+    stats_.beatsWritten = channel_->beatsWritten();
+    for (const auto &slot : pus_) {
+        stats_.inputBytes += ceilDiv(slot.streamBits, 8);
+        stats_.outputBytes += ceilDiv(slot.emittedBits, 8);
+        stats_.inputStarvedCycles += slot.stats.inputStarvedCycles;
+        stats_.outputBlockedCycles += slot.stats.outputBlockedCycles;
+    }
+}
+
+const char *
+ChannelShard::stallReason(const PuSlot &slot) const
+{
+    if (slot.failed)
+        return "contained";
+    if (slot.finishedSeen)
+        return "finished";
+    if (slot.lastOut.inputReady && !slot.lastIn.inputValid &&
+        !slot.lastIn.inputFinished)
+        return "input-starved";
+    if (slot.lastOut.outputValid && !slot.lastIn.outputReady)
+        return "output-blocked";
+    // Neither consuming nor producing while unfinished: the unit is
+    // spinning inside its program (e.g. a non-terminating while loop).
+    return "internal-spin";
+}
+
+std::string
+ChannelShard::watchdogDump(uint64_t stalled_cycles) const
+{
+    std::ostringstream os;
+    os << "channel " << channelIndex_ << " made no forward progress for "
+       << stalled_cycles << " cycles (cycle " << cycles_
+       << "): no PU retired a token and no DRAM beat moved\n";
+    for (size_t l = 0; l < pus_.size(); ++l) {
+        const PuSlot &slot = pus_[l];
+        os << "  PU " << slot.globalIndex << " (local " << l
+           << "): " << stallReason(slot) << "; in-fifo "
+           << inputCtrl_->buffer(static_cast<int>(l)).sizeBits()
+           << " bits, out-fifo "
+           << outputCtrl_->buffer(static_cast<int>(l)).sizeBits()
+           << " bits, emitted " << slot.emittedBits << " bits, starved "
+           << slot.stats.inputStarvedCycles << " cycles, blocked "
+           << slot.stats.outputBlockedCycles << " cycles\n";
+    }
+    os << "  input-ctrl in-flight bursts " << inputCtrl_->inflightBursts()
+       << ", output-ctrl pending bursts " << outputCtrl_->pendingBursts()
+       << ", DRAM outstanding reads " << channel_->outstandingReads()
+       << " / writes " << channel_->outstandingWrites();
+    return os.str();
 }
 
 } // namespace system

@@ -16,16 +16,28 @@
  * single-threaded FleetSystem::run() is now "run every shard in sequence
  * on the calling thread", which is why numThreads = 1 and numThreads = N
  * are byte-identical by construction (enforced by determinism_test).
+ *
+ * Failure containment (ISSUE 2): the shard is also the failure boundary.
+ * Per-PU faults (parity errors on corrupted read beats, output-region
+ * overflow) quarantine the single unit — it is killed in both
+ * controllers and skipped thereafter while its channel-mates run to
+ * completion. Channel-level faults (a forward-progress watchdog trip,
+ * the cycle limit, an unexpected exception) end this shard's run with a
+ * diagnostic ChannelOutcome; other shards are unaffected. run() never
+ * throws for simulation failures — it reports.
  */
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "dram/dram.h"
+#include "fault/fault.h"
 #include "memctl/input_controller.h"
 #include "memctl/output_controller.h"
 #include "system/pu.h"
+#include "system/run_report.h"
 
 namespace fleet {
 namespace system {
@@ -80,27 +92,31 @@ class ChannelShard
     /**
      * Build the channel's DRAM model and controllers. Input streams are
      * copied into channel memory by the caller (via memory()); PUs are
-     * attached with addPu() in local-index order.
+     * attached with addPu() in local-index order. A fault injector is
+     * constructed only when the plan is enabled — a fault-free shard
+     * never consults fault state.
      */
     ChannelShard(int channel_index, const dram::DramParams &dram_params,
                  const memctl::ControllerParams &input_params,
                  const memctl::ControllerParams &output_params,
                  std::vector<memctl::StreamRegion> input_regions,
                  std::vector<memctl::StreamRegion> output_regions,
-                 uint64_t mem_bytes);
+                 uint64_t mem_bytes, const fault::FaultPlan &fault_plan);
 
     /** Attach the next processing unit (local index = attach order). */
     void addPu(std::unique_ptr<ProcessingUnit> pu, int global_index,
                uint64_t stream_bits);
 
     /**
-     * Run this channel to completion: all attached PUs finished and all
-     * output flushed to channel memory. Self-contained — touches no state
-     * outside the shard, so shards may run concurrently. Throws
-     * FatalError on deadlock or cycle-limit overrun.
+     * Run this channel until all attached PUs are finished or contained
+     * and all output is flushed to channel memory. Self-contained —
+     * touches no state outside the shard, so shards may run
+     * concurrently. Simulation failures (watchdog stall, cycle-limit
+     * overrun, escaped exceptions) are returned as the ChannelOutcome,
+     * never thrown.
      */
-    void run(int input_token_width, int output_token_width,
-             uint64_t max_cycles);
+    ChannelOutcome run(int input_token_width, int output_token_width,
+                       uint64_t max_cycles, uint64_t watchdog_cycles);
 
     int channelIndex() const { return channelIndex_; }
     int numPus() const { return static_cast<int>(pus_.size()); }
@@ -125,6 +141,10 @@ class ChannelShard
     {
         return outputCtrl_->payloadBits(local);
     }
+    const PuOutcome &puOutcome(int local) const
+    {
+        return pus_[local].outcome;
+    }
     /// @}
 
     /** Utilization counters (valid after run()). */
@@ -138,10 +158,25 @@ class ChannelShard
         uint64_t streamBits = 0;
         uint64_t emittedBits = 0;
         bool finishedSeen = false;
+        bool failed = false; ///< Contained: skipped for the rest of run.
         PuStats stats;
+        PuOutcome outcome;
+        /** Last cycle's handshake, for the watchdog's stall diagnosis. */
+        PuInputs lastIn;
+        PuOutputs lastOut;
     };
 
+    /** Quarantine one PU: kill it in both controllers, record why. */
+    void containPu(int local, Status status);
+    /** Fill stats_ from whatever state the run reached. */
+    void finalizeStats();
+    /** Multi-line forward-progress diagnostic for a watchdog trip. */
+    std::string watchdogDump(uint64_t stalled_cycles) const;
+    /** One PU's stall classification for the watchdog dump. */
+    const char *stallReason(const PuSlot &slot) const;
+
     int channelIndex_;
+    std::optional<fault::ChannelFaults> faults_;
     std::unique_ptr<dram::DramChannel> channel_;
     std::unique_ptr<memctl::InputController> inputCtrl_;
     std::unique_ptr<memctl::OutputController> outputCtrl_;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <functional>
 #include <optional>
+#include <sstream>
 #include <thread>
 
 #include "compile/compiler.h"
@@ -88,6 +90,28 @@ FleetSystem::FleetSystem(const lang::Program &program,
     const uint64_t burst_bytes = config_.inputCtrl.burstBits / 8;
     const int channels = config_.numChannels;
 
+    // Fault injection: stream truncation models a short or interrupted
+    // upload. It must happen before memory layout *and* before FastPu
+    // construction (the fast model pre-computes its trace over the
+    // exact stream), so it is the very first transformation.
+    truncation_.resize(streams_.size());
+    for (size_t p = 0; p < streams_.size(); ++p) {
+        const BitBuffer &stream = streams_[p];
+        if (stream.sizeBits() % program_.inputTokenWidth != 0)
+            fatal("FleetSystem: stream ", p,
+                  " is not a whole number of tokens");
+        uint64_t tokens = stream.sizeBits() / program_.inputTokenWidth;
+        truncation_[p] = {tokens, tokens};
+        if (!config_.faults.enabled())
+            continue;
+        uint64_t keep = fault::truncatedStreamTokens(
+            config_.faults, static_cast<int>(p), tokens);
+        if (keep != tokens) {
+            streams_[p].resizeBits(keep * program_.inputTokenWidth);
+            truncation_[p].first = keep;
+        }
+    }
+
     // Lay out each channel's memory: all of its PUs' input regions,
     // then their output regions.
     struct Layout
@@ -104,9 +128,6 @@ FleetSystem::FleetSystem(const lang::Program &program,
     puLocal_.resize(streams_.size());
     for (size_t p = 0; p < streams_.size(); ++p) {
         const BitBuffer &stream = streams_[p];
-        if (stream.sizeBits() % program_.inputTokenWidth != 0)
-            fatal("FleetSystem: stream ", p,
-                  " is not a whole number of tokens");
         int ch = static_cast<int>(p) % channels;
         Layout &layout = layouts[ch];
         puShard_[p] = ch;
@@ -120,9 +141,16 @@ FleetSystem::FleetSystem(const lang::Program &program,
         layout.bytes += in.regionBytes;
 
         memctl::StreamRegion out;
-        uint64_t out_bytes = config_.outputRegionBytes != 0
-                                 ? config_.outputRegionBytes
-                                 : 2 * in.regionBytes + 8192;
+        // Auto sizing honors the program's declared worst-case output
+        // expansion (never below the historical 2x), plus slack for
+        // cleanup-cycle output that is independent of stream length.
+        double expansion = std::max(2.0, program_.maxOutputExpansion);
+        uint64_t out_bytes =
+            config_.outputRegionBytes != 0
+                ? config_.outputRegionBytes
+                : static_cast<uint64_t>(
+                      std::ceil(double(in.regionBytes) * expansion)) +
+                      8192;
         out.baseAddr = 0; // Assigned after all input regions.
         out.regionBytes = roundUp(out_bytes, burst_bytes);
         out.streamBits = 0;
@@ -145,7 +173,8 @@ FleetSystem::FleetSystem(const lang::Program &program,
         auto shard = std::make_unique<ChannelShard>(
             ch, config_.dram, config_.inputCtrl, config_.outputCtrl,
             layout.inputs, layout.outputs,
-            std::max<uint64_t>(layout.bytes, burst_bytes));
+            std::max<uint64_t>(layout.bytes, burst_bytes),
+            config_.faults);
         auto &mem = shard->channel().memory();
         for (size_t l = 0; l < layout.inputs.size(); ++l) {
             const BitBuffer &stream = streams_[layout.globalPu[l]];
@@ -181,7 +210,7 @@ FleetSystem::FleetSystem(const lang::Program &program,
 
 FleetSystem::~FleetSystem() = default;
 
-void
+const RunReport &
 FleetSystem::run()
 {
     auto start = std::chrono::steady_clock::now();
@@ -193,10 +222,33 @@ FleetSystem::run()
     // slowest channel's. This is exactly what the old global lockstep
     // loop computed — finished channels only idled until the last one
     // drained — so outputs, stats, and cycles are bit-identical.
+    // Failures are contained per shard: each worker writes only its own
+    // ChannelOutcome slot, and shard run loops never throw.
+    report_ = RunReport{};
+    report_.channels.resize(numShards());
+    report_.pus.resize(numPus());
     threadsUsed_ = resolveThreads(numShards());
     parallelFor(threadsUsed_, numShards(), [&](int s) {
-        shards_[s]->run(in_width, out_width, config_.maxCycles);
+        report_.channels[s] = shards_[s]->run(
+            in_width, out_width, config_.maxCycles,
+            config_.watchdogCycles);
     });
+
+    for (int p = 0; p < numPus(); ++p) {
+        PuOutcome outcome = shards_[puShard_[p]]->puOutcome(puLocal_[p]);
+        auto [kept, original] = truncation_[p];
+        if (outcome.status.code == StatusCode::Ok && kept != original) {
+            // The unit completed, but over an injected short stream:
+            // surface that so callers don't mistake partial coverage
+            // for a full run.
+            std::ostringstream os;
+            os << "PU " << p << ": input stream truncated to " << kept
+               << " of " << original << " tokens";
+            outcome.status =
+                Status::make(StatusCode::StreamTruncated, os.str());
+        }
+        report_.pus[p] = outcome;
+    }
 
     cycles_ = 0;
     for (const auto &shard : shards_)
@@ -205,6 +257,7 @@ FleetSystem::run()
                        std::chrono::steady_clock::now() - start)
                        .count();
     ran_ = true;
+    return report_;
 }
 
 BitBuffer
@@ -215,7 +268,10 @@ FleetSystem::output(int pu) const
     const ChannelShard &shard = *shards_[puShard_[pu]];
     int local = puLocal_[pu];
     uint64_t bits = shard.flushedPayloadBits(local);
-    if (bits != shard.emittedBits(local))
+    // A contained or stranded unit legitimately flushed less than it
+    // emitted — its output is the partial prefix. Only a *successful*
+    // unit losing bits would be a framework bug.
+    if (report_.pus[pu].ok() && bits != shard.emittedBits(local))
         panic("FleetSystem: controller flushed ", bits,
               " bits but the unit emitted ", shard.emittedBits(local));
     const auto &mem = shard.channel().memory();

@@ -18,20 +18,32 @@
  * bit-for-bit deterministic: outputs, per-PU stats, and the merged cycle
  * count (max over shards) are identical to the numThreads = 1 run.
  *
+ * Failure model (ISSUE 2): run() returns a RunReport instead of
+ * throwing. Per-PU faults — a parity error on a corrupted read beat, an
+ * output-region overflow — quarantine that unit while its channel-mates
+ * complete; channel-level failures (forward-progress watchdog, cycle
+ * limit) end that channel with a diagnostic status. Deterministic fault
+ * injection is configured via SystemConfig::faults (fault/fault.h);
+ * with the plan disabled (the default) runs are bit-identical to the
+ * pre-fault-layer simulator.
+ *
  * Timing is cycle-accurate end to end; throughput in GB/s is
  * bytes / (cycles / clockMHz), the same accounting the paper uses at
  * 125 MHz.
  */
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "dram/dram.h"
+#include "fault/fault.h"
 #include "lang/ast.h"
 #include "memctl/input_controller.h"
 #include "memctl/output_controller.h"
 #include "system/channel_shard.h"
 #include "system/pu.h"
+#include "system/run_report.h"
 #include "util/bitbuf.h"
 
 namespace fleet {
@@ -52,9 +64,22 @@ struct SystemConfig
     dram::DramParams dram;
     PuBackend backend = PuBackend::Fast;
     double clockMHz = 125.0;
-    /** Per-PU output region; 0 = auto (2x input + 8 KiB). */
+    /** Per-PU output region; 0 = auto, sized from the program's declared
+     * maxOutputExpansion (at least 2x input) plus 8 KiB of slack. */
     uint64_t outputRegionBytes = 0;
     uint64_t maxCycles = 1ULL << 40;
+    /**
+     * Deterministic fault-injection plan (fault/fault.h). Disabled by
+     * default; a disabled plan is never consulted, so fault-free runs
+     * are bit-identical to the pre-fault-layer simulator.
+     */
+    fault::FaultPlan faults;
+    /**
+     * Forward-progress watchdog: if a channel retires no token and moves
+     * no DRAM beat for this many cycles, its run ends with a
+     * WatchdogStall outcome carrying a diagnostic dump.
+     */
+    uint64_t watchdogCycles = 200000;
     /**
      * Host worker threads used to step the channel shards (and to
      * pre-compute the fast model's functional traces). 0 = one per
@@ -103,10 +128,24 @@ class FleetSystem
                 std::vector<BitBuffer> streams);
     ~FleetSystem();
 
-    /** Run to completion (all units finished, all output flushed). */
-    void run();
+    /**
+     * Run until every unit has finished or been contained and all output
+     * is flushed. Simulation failures (parity errors, output overflow,
+     * watchdog stalls, cycle-limit overruns) are *contained* — recorded
+     * in the returned RunReport at per-channel / per-PU granularity —
+     * not thrown.
+     */
+    const RunReport &run();
 
-    /** Output stream of one processing unit (valid after run()). */
+    /** The last run's report (valid after run()). */
+    const RunReport &report() const { return report_; }
+
+    /**
+     * Output stream of one processing unit (valid after run()). For a
+     * contained unit this is the partial output flushed before the
+     * failure; for a unit on a truncated stream, the full output over
+     * the truncated prefix.
+     */
     BitBuffer output(int pu) const;
 
     SystemStats stats() const;
@@ -136,6 +175,9 @@ class FleetSystem
     std::vector<int> puShard_; ///< Global PU index -> owning shard.
     std::vector<int> puLocal_; ///< Global PU index -> local index.
     std::vector<memctl::StreamRegion> outputRegions_; ///< Global PU index.
+    /** Tokens kept / original per PU when fault truncation applied. */
+    std::vector<std::pair<uint64_t, uint64_t>> truncation_;
+    RunReport report_;
     uint64_t cycles_ = 0;
     int threadsUsed_ = 1;
     double wallSeconds_ = 0.0;

@@ -1,0 +1,84 @@
+#include "system/run_report.h"
+
+#include <sstream>
+
+namespace fleet {
+namespace system {
+
+bool
+RunReport::allOk() const
+{
+    for (const auto &channel : channels)
+        if (!channel.ok())
+            return false;
+    for (const auto &pu : pus)
+        if (!pu.ok())
+            return false;
+    return true;
+}
+
+int
+RunReport::failedPuCount() const
+{
+    int count = 0;
+    for (const auto &pu : pus)
+        count += pu.ok() ? 0 : 1;
+    return count;
+}
+
+int
+RunReport::truncatedPuCount() const
+{
+    int count = 0;
+    for (const auto &pu : pus)
+        count += pu.status.code == StatusCode::StreamTruncated ? 1 : 0;
+    return count;
+}
+
+std::string
+RunReport::summary() const
+{
+    std::ostringstream os;
+    if (allOk()) {
+        os << "all " << pus.size() << " PUs completed";
+        int truncated = truncatedPuCount();
+        if (truncated)
+            os << " (" << truncated << " on truncated streams)";
+        return os.str();
+    }
+    for (size_t c = 0; c < channels.size(); ++c) {
+        if (!channels[c].ok())
+            os << "channel " << c << ": " << channels[c].status.toString()
+               << "\n";
+    }
+    for (size_t p = 0; p < pus.size(); ++p) {
+        if (!pus[p].ok())
+            os << "PU " << p << ": " << pus[p].status.toString()
+               << " (cycle " << pus[p].atCycle << ", " << pus[p].outputBits
+               << " output bits flushed)\n";
+    }
+    os << failedPuCount() << "/" << pus.size() << " PUs failed";
+    return os.str();
+}
+
+bool
+operator==(const PuOutcome &a, const PuOutcome &b)
+{
+    return a.status == b.status && a.atCycle == b.atCycle &&
+           a.outputBits == b.outputBits;
+}
+
+bool
+operator==(const ChannelOutcome &a, const ChannelOutcome &b)
+{
+    return a.status == b.status && a.cycles == b.cycles;
+}
+
+bool
+operator==(const RunReport &a, const RunReport &b)
+{
+    return a.channels == b.channels && a.pus == b.pus;
+}
+
+} // namespace system
+} // namespace fleet

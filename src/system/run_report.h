@@ -1,0 +1,82 @@
+#ifndef FLEET_SYSTEM_RUN_REPORT_H
+#define FLEET_SYSTEM_RUN_REPORT_H
+
+/**
+ * @file
+ * Structured result of a full-system run (ISSUE 2). run() used to either
+ * return nothing or throw — one stuck or misbehaving processing unit took
+ * down the outputs of hundreds of healthy ones. A RunReport instead
+ * records, per channel and per processing unit, whether it completed and
+ * why it didn't, so the host can read back every healthy unit's output
+ * and the partial output of contained failures.
+ *
+ * Reports compare exactly (operator==), which the fault-injection
+ * determinism suite uses to assert that the same seed and fault plan
+ * produce the same report at every host thread count.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fleet {
+namespace system {
+
+/** Outcome of one processing unit. */
+struct PuOutcome
+{
+    Status status;
+    /** Channel cycle the outcome was decided (finish or containment). */
+    uint64_t atCycle = 0;
+    /** Payload bits flushed to channel memory (partial on failure). */
+    uint64_t outputBits = 0;
+
+    /** Completed — possibly on a truncated stream. */
+    bool ok() const
+    {
+        return status.code == StatusCode::Ok ||
+               status.code == StatusCode::StreamTruncated;
+    }
+};
+
+/** Outcome of one channel shard's run loop. */
+struct ChannelOutcome
+{
+    Status status;
+    uint64_t cycles = 0;
+
+    bool ok() const { return status.ok(); }
+};
+
+struct RunReport
+{
+    std::vector<ChannelOutcome> channels;
+    std::vector<PuOutcome> pus; ///< Indexed by global PU index.
+
+    /** Every channel finished and every PU completed (truncated-stream
+     * completions count as ok — the short stream was an input fault, the
+     * unit itself ran it to the end). */
+    bool allOk() const;
+    int failedPuCount() const;
+    int truncatedPuCount() const;
+
+    /** Multi-line human-readable digest (one line per non-ok channel and
+     * PU; a single "all N PUs completed" line when everything is ok). */
+    std::string summary() const;
+};
+
+bool operator==(const PuOutcome &a, const PuOutcome &b);
+bool operator==(const ChannelOutcome &a, const ChannelOutcome &b);
+bool operator==(const RunReport &a, const RunReport &b);
+inline bool
+operator!=(const RunReport &a, const RunReport &b)
+{
+    return !(a == b);
+}
+
+} // namespace system
+} // namespace fleet
+
+#endif // FLEET_SYSTEM_RUN_REPORT_H

@@ -1,0 +1,40 @@
+#include "util/status.h"
+
+namespace fleet {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+    case StatusCode::Ok:
+        return "Ok";
+    case StatusCode::StreamTruncated:
+        return "StreamTruncated";
+    case StatusCode::OutputOverflow:
+        return "OutputOverflow";
+    case StatusCode::ParityError:
+        return "ParityError";
+    case StatusCode::WatchdogStall:
+        return "WatchdogStall";
+    case StatusCode::CycleLimitExceeded:
+        return "CycleLimitExceeded";
+    case StatusCode::InternalError:
+        return "InternalError";
+    }
+    return "Unknown";
+}
+
+std::string
+Status::toString() const
+{
+    std::string out = "[";
+    out += statusCodeName(code);
+    out += "]";
+    if (!message.empty()) {
+        out += " ";
+        out += message;
+    }
+    return out;
+}
+
+} // namespace fleet

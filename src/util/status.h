@@ -1,0 +1,89 @@
+#ifndef FLEET_UTIL_STATUS_H
+#define FLEET_UTIL_STATUS_H
+
+/**
+ * @file
+ * Structured error model for the runtime (ISSUE 2). The original failure
+ * model was process-wide: any `fatal()` from a controller unwound the
+ * whole simulation, so one misbehaving processing unit killed hundreds
+ * of healthy ones. `Status` carries a machine-readable code plus a
+ * human-readable message, so failures can be *contained* — recorded in a
+ * per-channel / per-PU RunReport (system/run_report.h) — instead of
+ * thrown across the system boundary.
+ *
+ * `StatusError` is the exception form for the rare paths that must
+ * unwind (a shard's run loop catches it at channel granularity). Codes
+ * compare exactly, which the fault-injection determinism suite relies on
+ * to assert RunReport equality across host thread counts.
+ */
+
+#include <stdexcept>
+#include <string>
+
+namespace fleet {
+
+enum class StatusCode
+{
+    Ok = 0,
+    /** Run completed, but on a truncated (short) input stream. */
+    StreamTruncated,
+    /** PU output exceeded its DRAM output region. */
+    OutputOverflow,
+    /** A corrupted read beat was caught by the per-beat parity check. */
+    ParityError,
+    /** Forward-progress watchdog: no token retired and no DRAM beat
+     * moved for the configured window. */
+    WatchdogStall,
+    /** Channel did not finish within SystemConfig::maxCycles. */
+    CycleLimitExceeded,
+    /** Unexpected framework error escaped to the channel boundary. */
+    InternalError,
+};
+
+const char *statusCodeName(StatusCode code);
+
+struct Status
+{
+    StatusCode code = StatusCode::Ok;
+    std::string message;
+
+    bool ok() const { return code == StatusCode::Ok; }
+    /** "[OutputOverflow] PU 3: ..." (or "[Ok]"). */
+    std::string toString() const;
+
+    static Status make(StatusCode code, std::string message = {})
+    {
+        return Status{code, std::move(message)};
+    }
+};
+
+inline bool
+operator==(const Status &a, const Status &b)
+{
+    return a.code == b.code && a.message == b.message;
+}
+inline bool
+operator!=(const Status &a, const Status &b)
+{
+    return !(a == b);
+}
+
+/** Exception wrapper for unwinding paths; caught at channel granularity
+ * by ChannelShard::run(). */
+class StatusError : public std::runtime_error
+{
+  public:
+    explicit StatusError(Status status)
+        : std::runtime_error(status.toString()), status_(std::move(status))
+    {
+    }
+
+    const Status &status() const { return status_; }
+
+  private:
+    Status status_;
+};
+
+} // namespace fleet
+
+#endif // FLEET_UTIL_STATUS_H

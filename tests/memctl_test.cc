@@ -316,7 +316,7 @@ TEST(OutputController, NonblockingSkipsSlowProducer)
     EXPECT_EQ(ch2.beatsWritten(), 0u);
 }
 
-TEST(OutputController, OverflowingRegionFatal)
+TEST(OutputController, OverflowingRegionContained)
 {
     dram::DramChannel ch(fastDram(), 1 << 16);
     ControllerParams params;
@@ -324,15 +324,24 @@ TEST(OutputController, OverflowingRegionFatal)
     // Region fits exactly one burst.
     std::vector<StreamRegion> regions = {{0, 128, 0}};
     OutputController ctrl(ch, params, regions);
-    auto pump = [&] {
-        for (int cycle = 0; cycle < 2000; ++cycle) {
-            if (ctrl.buffer(0).freeBits() >= 32)
-                ctrl.buffer(0).push(0xdeadbeef, 32);
-            ctrl.tick();
-            ch.tick();
-        }
-    };
-    EXPECT_THROW(pump(), FatalError);
+    for (int cycle = 0; cycle < 2000; ++cycle) {
+        if (ctrl.buffer(0).freeBits() >= 32)
+            ctrl.buffer(0).push(0xdeadbeef, 32);
+        ctrl.tick();
+        ch.tick();
+    }
+    // The second burst would exceed the 128-byte region: the PU is
+    // contained (not fatal), the event is surfaced once, and the first
+    // burst's data still flushes to memory.
+    EXPECT_TRUE(ctrl.puFailed(0));
+    auto event = ctrl.takeOverflowEvent();
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->pu, 0);
+    EXPECT_EQ(event->regionBytes, 128u);
+    EXPECT_FALSE(ctrl.takeOverflowEvent().has_value());
+    EXPECT_EQ(ctrl.payloadBits(0), 1024u); // Exactly one committed burst.
+    EXPECT_GT(ch.beatsWritten(), 0u);
+    EXPECT_TRUE(ctrl.done());
 }
 
 } // namespace

@@ -139,8 +139,9 @@ TEST(RelaxedReads, WhileConditionBramReadCrossCheck)
 TEST(FleetSystemRobustness, WatchdogDetectsDeadlock)
 {
     // Blocking output addressing + divergent output rates deadlocks (see
-    // bench/ablation_memctl.cc); the watchdog must report it instead of
-    // spinning forever.
+    // bench/ablation_memctl.cc); the watchdog must report it — as a
+    // contained WatchdogStall outcome with a diagnostic dump, not an
+    // exception — instead of spinning forever.
     ProgramBuilder b("filter", 8, 8);
     Value threshold = b.reg("threshold", 8, 0);
     Value configured = b.reg("configured", 1, 0);
@@ -155,6 +156,7 @@ TEST(FleetSystemRobustness, WatchdogDetectsDeadlock)
     system::SystemConfig config;
     config.numChannels = 1;
     config.outputCtrl.blockingAddressing = true;
+    config.watchdogCycles = 20000;
     Rng rng(11);
     std::vector<BitBuffer> streams;
     for (int p = 0; p < 8; ++p) {
@@ -165,7 +167,20 @@ TEST(FleetSystemRobustness, WatchdogDetectsDeadlock)
         streams.push_back(std::move(stream));
     }
     system::FleetSystem fleet_system(program, config, streams);
-    EXPECT_THROW(fleet_system.run(), FatalError);
+    const auto &report = fleet_system.run();
+    EXPECT_FALSE(report.allOk());
+    ASSERT_EQ(report.channels.size(), 1u);
+    EXPECT_EQ(report.channels[0].status.code, StatusCode::WatchdogStall);
+    // The dump classifies the stuck units: the heavy filters wedge on a
+    // full output buffer behind the blocked addressing unit.
+    EXPECT_NE(report.channels[0].status.message.find("output-blocked"),
+              std::string::npos);
+    // Stranded PUs inherit the channel status; partial outputs are
+    // still readable.
+    for (int p = 0; p < 8; ++p) {
+        EXPECT_EQ(report.pus[p].status.code, StatusCode::WatchdogStall);
+        EXPECT_NO_THROW(fleet_system.output(p));
+    }
 }
 
 TEST(FleetSystemRobustness, OutputBeforeRunRejected)

@@ -45,6 +45,8 @@ blockFrequencies(int block = 100)
     b.assign(frequencies[b.input()], frequencies[b.input()] + 1);
     b.assign(itemCounter, lang::mux(itemCounter == uint64_t(block), 1,
                                     itemCounter + 1));
+    // 256 histogram entries per `block` input tokens.
+    b.maxOutputExpansion(256.0 / block);
     return b.finish();
 }
 
