@@ -32,6 +32,12 @@
  *  --baseline P   smoke only: after the fault-free run, compare each
  *                 app's bytes/cycle against a previously written
  *                 BENCH_PR.json and fail if any value changed.
+ *  --counters     smoke only: run with counter collection (ISSUE 3),
+ *                 print each app's per-component digest, and embed the
+ *                 counters in the --json output.
+ *  --trace PREFIX smoke only: also record span events and write one
+ *                 Chrome trace_event JSON per app (PREFIX_<app>.json,
+ *                 openable in Perfetto). Implies counter collection.
  */
 
 #include <algorithm>
@@ -62,6 +68,8 @@ struct RunOptions
     bool faults = false;
     uint64_t faultSeed = 0;
     std::string baselinePath;
+    bool counters = false;
+    std::string tracePrefix;
 };
 
 struct AppResult
@@ -85,6 +93,8 @@ struct AppResult
     int faultFailedPus = 0;
     int faultTruncatedPus = 0;
     std::string faultSummary;
+    // Observability (--counters / --trace).
+    std::shared_ptr<const trace::TraceReport> trace;
 };
 
 /** Short CI configuration: 4 channels, small streams, engine only. */
@@ -105,6 +115,10 @@ evaluateAppSmoke(const apps::Application &app, const RunOptions &opts)
     config.numChannels = channels;
     if (opts.faults)
         config.faults = fault::FaultPlan::fromSeed(opts.faultSeed);
+    // Observability is purely observational: enabling it changes no
+    // cycle count or output (the --baseline flow proves it each run).
+    config.trace.counters = opts.counters || !opts.tracePrefix.empty();
+    config.trace.events = !opts.tracePrefix.empty();
 
     config.numThreads = 1;
     auto serial = bench::runFleet(app.program(), streams, config);
@@ -121,6 +135,7 @@ evaluateAppSmoke(const apps::Application &app, const RunOptions &opts)
     result.faultFailedPus = parallel.report.failedPuCount();
     result.faultTruncatedPus = parallel.report.truncatedPuCount();
     result.faultSummary = parallel.report.summary();
+    result.trace = parallel.report.trace;
 
     if (serial.cycles != parallel.cycles)
         throw std::runtime_error(app.name() +
@@ -338,6 +353,11 @@ writeJson(const std::string &path, const std::vector<AppResult> &results,
             std::fprintf(f, "      \"truncated_pus\": %d,\n",
                          r.faultTruncatedPus);
         }
+        if (r.trace) {
+            std::fprintf(f, "      \"counters\":\n");
+            r.trace->writeCountersJson(f, "      ");
+            std::fprintf(f, ",\n");
+        }
         std::fprintf(f, "      \"threads\": %d", r.threadsUsed);
         if (!r.channels.empty()) {
             std::fprintf(f, ",\n      \"channels\": [\n");
@@ -390,18 +410,25 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--baseline") == 0 &&
                    i + 1 < argc) {
             opts.baselinePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--counters") == 0) {
+            opts.counters = true;
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            opts.tracePrefix = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--json PATH] "
                          "[--threads N] [--faults SEED] "
-                         "[--baseline PATH]\n",
+                         "[--baseline PATH] [--counters] "
+                         "[--trace PREFIX]\n",
                          argv[0]);
             return 2;
         }
     }
-    if ((opts.faults || !opts.baselinePath.empty()) && !opts.smoke) {
-        std::fprintf(stderr,
-                     "--faults and --baseline require --smoke\n");
+    if ((opts.faults || !opts.baselinePath.empty() || opts.counters ||
+         !opts.tracePrefix.empty()) &&
+        !opts.smoke) {
+        std::fprintf(stderr, "--faults, --baseline, --counters and "
+                             "--trace require --smoke\n");
         return 2;
     }
     if (opts.faults && !opts.baselinePath.empty()) {
@@ -449,6 +476,24 @@ main(int argc, char **argv)
             results.push_back(std::move(r));
         }
         std::printf("%s\n", table.str().c_str());
+        if (opts.counters) {
+            for (const auto &r : results)
+                std::printf("%s counters:\n%s\n", r.name.c_str(),
+                            r.trace->countersSummary().c_str());
+        }
+        if (!opts.tracePrefix.empty()) {
+            for (const auto &r : results) {
+                std::string path =
+                    opts.tracePrefix + "_" + r.name + ".json";
+                Status st = r.trace->writeChromeTrace(path);
+                if (!st.ok()) {
+                    std::fprintf(stderr, "trace: %s\n",
+                                 st.toString().c_str());
+                    return 1;
+                }
+                std::printf("wrote %s\n", path.c_str());
+            }
+        }
         if (opts.faults) {
             std::printf("Per-app fault outcomes (identical on serial and "
                         "worker-pool runs):\n");

@@ -7,13 +7,15 @@
  * of keys; the host then uses the filters to route lookups, and we
  * measure the disk reads the prefilter would save.
  *
- *   ./bloom_prefilter [num_pus] [keys_per_stream]
+ *   ./bloom_prefilter [num_pus] [keys_per_stream] [--counters]
+ *   [--trace PATH]
  */
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "apps/bloom.h"
+#include "example_common.h"
 #include "system/fleet_system.h"
 #include "util/rng.h"
 
@@ -22,6 +24,7 @@ using namespace fleet;
 int
 main(int argc, char **argv)
 {
+    auto trace_opts = examples::stripTraceFlags(argc, argv);
     int num_pus = argc > 1 ? std::atoi(argv[1]) : 32;
     uint64_t keys = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 8192;
 
@@ -40,8 +43,9 @@ main(int argc, char **argv)
                 num_pus, (unsigned long long)keys);
 
     system::SystemConfig config;
+    trace_opts.apply(config);
     system::FleetSystem fleet(app.program(), config, streams);
-    fleet.run();
+    const system::RunReport &report = fleet.run();
     auto stats = fleet.stats();
     std::printf("%llu cycles @ %.0f MHz -> %.2f GB/s of keys hashed\n",
                 (unsigned long long)stats.cycles, stats.clockMHz,
@@ -85,5 +89,7 @@ main(int argc, char **argv)
                 (unsigned long long)probes,
                 100.0 * absent_hits / probes,
                 100.0 * (1.0 - double(absent_hits) / probes));
-    return present_hits == probes ? 0 : 1;
+    if (present_hits != probes)
+        return 1;
+    return trace_opts.report(report);
 }

@@ -7,13 +7,15 @@
  * through the decoder, and reports the compression ratio per value
  * distribution — the five distributions of the paper's experiment.
  *
- *   ./compression_pipeline [num_pus] [ints_per_stream]
+ *   ./compression_pipeline [num_pus] [ints_per_stream] [--counters]
+ *   [--trace PATH]   (one trace file per value range)
  */
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "apps/intcode.h"
+#include "example_common.h"
 #include "system/fleet_system.h"
 #include "util/rng.h"
 
@@ -22,6 +24,7 @@ using namespace fleet;
 int
 main(int argc, char **argv)
 {
+    auto trace_opts = examples::stripTraceFlags(argc, argv);
     int num_pus = argc > 1 ? std::atoi(argv[1]) : 32;
     uint64_t ints = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 16384;
 
@@ -38,8 +41,9 @@ main(int argc, char **argv)
             streams.push_back(app.generateStream(rng, ints * 4));
 
         system::SystemConfig config;
+        trace_opts.apply(config);
         system::FleetSystem fleet(app.program(), config, streams);
-        fleet.run();
+        const system::RunReport &report = fleet.run();
         auto stats = fleet.stats();
 
         // Round-trip verification through the software decoder.
@@ -67,6 +71,8 @@ main(int argc, char **argv)
                     stats.inputBytes / 1e6, out_bytes / 1e6,
                     double(stats.inputBytes) / out_bytes,
                     stats.inputGBps());
+        if (trace_opts.report(report, "range" + std::to_string(range)))
+            return 1;
     }
     std::printf("\nAll streams round-tripped through the decoder.\n");
     return 0;

@@ -8,13 +8,15 @@
  * input at those positions to reconstruct the exact alignments, exactly
  * as the paper describes.
  *
- *   ./dna_fuzzy_match [num_pus] [bytes_per_stream]
+ *   ./dna_fuzzy_match [num_pus] [bytes_per_stream] [--counters]
+ *   [--trace PATH]
  */
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "apps/sw.h"
+#include "example_common.h"
 #include "system/fleet_system.h"
 #include "util/rng.h"
 
@@ -23,6 +25,7 @@ using namespace fleet;
 int
 main(int argc, char **argv)
 {
+    auto trace_opts = examples::stripTraceFlags(argc, argv);
     int num_pus = argc > 1 ? std::atoi(argv[1]) : 48;
     uint64_t bytes = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
                               : 64 * 1024;
@@ -38,8 +41,9 @@ main(int argc, char **argv)
                 app.params().targetLen, num_pus, bytes / 1024.0);
 
     system::SystemConfig config;
+    trace_opts.apply(config);
     system::FleetSystem fleet(app.program(), config, streams);
-    fleet.run();
+    const system::RunReport &report = fleet.run();
     auto stats = fleet.stats();
 
     uint64_t hits = 0;
@@ -64,5 +68,5 @@ main(int argc, char **argv)
         std::printf("  hit @%-8llu ...%s...\n", (unsigned long long)end,
                     text.substr(from, m).c_str());
     }
-    return 0;
+    return trace_opts.report(report);
 }

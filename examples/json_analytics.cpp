@@ -10,13 +10,14 @@
  * config to each stream, runs the accelerator, and concatenates the
  * per-unit outputs.
  *
- *   ./json_analytics [num_pus] [total_bytes]
+ *   ./json_analytics [num_pus] [total_bytes] [--counters] [--trace PATH]
  */
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "apps/json.h"
+#include "example_common.h"
 #include "system/fleet_system.h"
 #include "system/splitter.h"
 #include "util/rng.h"
@@ -26,6 +27,7 @@ using namespace fleet;
 int
 main(int argc, char **argv)
 {
+    auto trace_opts = examples::stripTraceFlags(argc, argv);
     int num_pus = argc > 1 ? std::atoi(argv[1]) : 64;
     uint64_t total = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
                               : 2 << 20;
@@ -54,8 +56,9 @@ main(int argc, char **argv)
                 params.fields.size(), text.size() / 1e6, num_pus);
 
     system::SystemConfig config;
+    trace_opts.apply(config);
     system::FleetSystem fleet(app.program(), config, streams);
-    fleet.run();
+    const system::RunReport &report = fleet.run();
     auto stats = fleet.stats();
 
     std::string values;
@@ -79,5 +82,5 @@ main(int argc, char **argv)
         std::printf("  %s\n", values.substr(pos, end - pos).c_str());
         pos = end + 1;
     }
-    return 0;
+    return trace_opts.report(report);
 }

@@ -7,13 +7,14 @@
  * A single input can be split at arbitrary points for this workload
  * (Section 2); here each shard is a separate stream.
  *
- *   ./log_search [pattern] [num_pus]
+ *   ./log_search [pattern] [num_pus] [--counters] [--trace PATH]
  */
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "apps/regex.h"
+#include "example_common.h"
 #include "system/fleet_system.h"
 #include "util/rng.h"
 
@@ -22,6 +23,7 @@ using namespace fleet;
 int
 main(int argc, char **argv)
 {
+    auto trace_opts = examples::stripTraceFlags(argc, argv);
     apps::RegexParams params;
     if (argc > 1)
         params.pattern = argv[1];
@@ -38,8 +40,9 @@ main(int argc, char **argv)
         shards.push_back(app.generateStream(rng, 64 * 1024));
 
     system::SystemConfig config;
+    trace_opts.apply(config);
     system::FleetSystem fleet(app.program(), config, shards);
-    fleet.run();
+    const system::RunReport &report = fleet.run();
     auto stats = fleet.stats();
 
     uint64_t matches = 0;
@@ -65,5 +68,5 @@ main(int argc, char **argv)
         std::printf("  match ending at %llu: ...%s\n",
                     (unsigned long long)end, context.c_str());
     }
-    return 0;
+    return trace_opts.report(report);
 }

@@ -8,7 +8,7 @@
  * The unit is the paper's Figure 3 example: a 256-entry histogram
  * emitted and cleared after every block of 100 8-bit tokens.
  *
- *   ./quickstart [num_pus] [bytes_per_stream]
+ *   ./quickstart [num_pus] [bytes_per_stream] [--counters] [--trace PATH]
  */
 
 #include <cstdio>
@@ -16,6 +16,7 @@
 #include <string>
 
 #include "compile/compiler.h"
+#include "example_common.h"
 #include "lang/builder.h"
 #include "rtl/verilog.h"
 #include "sim/simulator.h"
@@ -60,6 +61,7 @@ blockFrequenciesUnit()
 int
 main(int argc, char **argv)
 {
+    auto trace_opts = examples::stripTraceFlags(argc, argv);
     int num_pus = argc > 1 ? std::atoi(argv[1]) : 128;
     uint64_t bytes = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20000;
 
@@ -106,6 +108,7 @@ main(int argc, char **argv)
         streams.push_back(std::move(s));
     }
     system::SystemConfig config;
+    trace_opts.apply(config);
     system::FleetSystem fleet(program, config, streams);
     const system::RunReport &report = fleet.run();
     auto stats = fleet.stats();
@@ -121,5 +124,5 @@ main(int argc, char **argv)
     for (int i = 0; i < 6 && uint64_t(i) * 8 < out0.sizeBits(); ++i)
         std::printf("%llu ", (unsigned long long)out0.readBits(i * 8, 8));
     std::printf("...)\n");
-    return 0;
+    return trace_opts.report(report);
 }

@@ -136,7 +136,21 @@ DramChannel::awPush(uint64_t addr, int len_beats)
         fatal("DramChannel: write address ", addr, " not beat-aligned");
     if (addr + uint64_t(len_beats) * busWidthBytes() > mem_.size())
         fatal("DramChannel: write burst past end of channel memory");
+    ++writeRequests_;
     writeQueue_.push_back(PendingWrite{addr, len_beats, 0});
+}
+
+void
+DramChannel::exportCounters(trace::CounterSet &out) const
+{
+    out.set("bus_width_bits", params_.busWidthBits);
+    out.set("cycles", cycle_);
+    out.set("beats_delivered", beatsDelivered_);
+    out.set("beats_written", beatsWritten_);
+    out.set("read_bursts_accepted", readRequests_);
+    out.set("write_bursts_accepted", writeRequests_);
+    out.set("bytes_read", beatsDelivered_ * busWidthBytes());
+    out.set("bytes_written", beatsWritten_ * busWidthBytes());
 }
 
 bool

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "trace/trace.h"
 
 namespace fleet {
 namespace dram {
@@ -119,6 +120,12 @@ class DramChannel
     {
         return static_cast<int>(writeQueue_.size());
     }
+    /** Read bursts accepted on the AR channel. */
+    uint64_t readRequests() const { return readRequests_; }
+    /** Write bursts accepted on the AW channel. */
+    uint64_t writeRequests() const { return writeRequests_; }
+    /** Dump the channel's native counters into `out` (trace layer). */
+    void exportCounters(trace::CounterSet &out) const;
     /// @}
 
   private:
@@ -144,7 +151,8 @@ class DramChannel
     const fault::ChannelFaults *faults_;
     std::vector<uint8_t> mem_;
     uint64_t cycle_ = 0;
-    uint64_t readRequests_ = 0; ///< ARs accepted (fault-event index).
+    uint64_t readRequests_ = 0;  ///< ARs accepted (fault-event index).
+    uint64_t writeRequests_ = 0; ///< AWs accepted.
 
     uint64_t busNext_ = 0;      ///< First cycle the data bus is free.
     double overheadAcc_ = 0.0;  ///< Fractional per-request overhead.

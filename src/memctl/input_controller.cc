@@ -240,5 +240,22 @@ InputController::tick()
     issueAddresses();
 }
 
+void
+InputController::exportCounters(trace::CounterSet &out) const
+{
+    out.set("bits_delivered", bitsDelivered_);
+    out.set("read_bursts_issued", arIssued_);
+    out.set("burst_bits", params_.burstBits);
+    out.set("beats_per_burst", beatsPerBurst_);
+    out.set("inflight_bursts", inflightBursts());
+    uint64_t stream_bits = 0, dead = 0;
+    for (const auto &pu : pus_) {
+        stream_bits += pu.region.streamBits;
+        dead += pu.dead ? 1 : 0;
+    }
+    out.set("stream_bits_total", stream_bits);
+    out.set("pus_contained", dead);
+}
+
 } // namespace memctl
 } // namespace fleet

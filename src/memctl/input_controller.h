@@ -77,6 +77,18 @@ class InputController
     /// @{
     uint64_t bitsDelivered() const { return bitsDelivered_; }
     uint64_t arIssued() const { return arIssued_; }
+    /** Payload bits pushed into one PU's input buffer so far. */
+    uint64_t puBitsDelivered(int pu) const
+    {
+        return pus_[pu].bitsBuffered;
+    }
+    /** Total payload bits in one PU's input stream region. */
+    uint64_t puStreamBits(int pu) const
+    {
+        return pus_[pu].region.streamBits;
+    }
+    /** Dump the controller's native counters into `out` (trace layer). */
+    void exportCounters(trace::CounterSet &out) const;
     /** Issued-but-not-fully-drained bursts across all PUs (occupancy of
      * the addressing unit's pipeline; utilization diagnostics). */
     int inflightBursts() const

@@ -233,5 +233,22 @@ OutputController::tick()
     transmit();
 }
 
+void
+OutputController::exportCounters(trace::CounterSet &out) const
+{
+    out.set("bits_collected", bitsCollected_);
+    out.set("write_bursts_issued", awIssued_);
+    out.set("burst_bits", params_.burstBits);
+    out.set("beats_per_burst", beatsPerBurst_);
+    out.set("pending_bursts", pendingBursts());
+    uint64_t accepted = 0, failed = 0;
+    for (const auto &pu : pus_) {
+        accepted += pu.bitsAccepted;
+        failed += pu.failed ? 1 : 0;
+    }
+    out.set("bits_accepted", accepted);
+    out.set("pus_contained", failed);
+}
+
 } // namespace memctl
 } // namespace fleet

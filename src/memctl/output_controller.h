@@ -72,6 +72,8 @@ class OutputController
     /// @{
     uint64_t bitsCollected() const { return bitsCollected_; }
     uint64_t awIssued() const { return awIssued_; }
+    /** Dump the controller's native counters into `out` (trace layer). */
+    void exportCounters(trace::CounterSet &out) const;
     /** Issued-but-untransmitted bursts (addressing-unit lead; utilization
      * diagnostics). */
     int pendingBursts() const

@@ -16,12 +16,18 @@ ChannelShard::ChannelShard(int channel_index,
                            std::vector<memctl::StreamRegion> input_regions,
                            std::vector<memctl::StreamRegion> output_regions,
                            uint64_t mem_bytes,
-                           const fault::FaultPlan &fault_plan)
-    : channelIndex_(channel_index)
+                           const fault::FaultPlan &fault_plan,
+                           const trace::TraceConfig &trace_config)
+    : channelIndex_(channel_index), traceConfig_(trace_config)
 {
     // A fault-free shard carries no injector at all: the DRAM model's
     // null check is the only cost, so disabled-plan runs are
-    // bit-identical to a build without the fault layer.
+    // bit-identical to a build without the fault layer. The trace
+    // collector follows the same discipline.
+    if (trace_config.enabled())
+        trace_ = std::make_unique<trace::ShardTrace>(
+            channel_index, trace_config, dram_params.maxOutstandingReads,
+            dram_params.maxOutstandingWrites);
     if (fault_plan.enabled())
         faults_.emplace(fault_plan, channel_index);
     channel_ = std::make_unique<dram::DramChannel>(
@@ -41,6 +47,8 @@ ChannelShard::addPu(std::unique_ptr<ProcessingUnit> pu, int global_index,
     slot.globalIndex = global_index;
     slot.streamBits = stream_bits;
     pus_.push_back(std::move(slot));
+    if (trace_)
+        trace_->addPu(global_index);
 }
 
 void
@@ -50,6 +58,10 @@ ChannelShard::containPu(int local, Status status)
     if (slot.failed)
         return;
     slot.failed = true;
+    if (trace_)
+        trace_->marker(local, cycles_,
+                       std::string("contained: ") +
+                           statusCodeName(status.code));
     slot.outcome.status = std::move(status);
     slot.outcome.atCycle = cycles_;
     // Kill it in both controllers so the shared burst registers and
@@ -88,8 +100,14 @@ ChannelShard::run(int input_token_width, int output_token_width,
             bool all_finished = true;
             for (size_t l = 0; l < pus_.size(); ++l) {
                 PuSlot &slot = pus_[l];
-                if (slot.failed)
-                    continue; // Contained: quarantined from the loop.
+                if (slot.failed) {
+                    // Contained: quarantined from the loop.
+                    if (trace_)
+                        trace_->puCycle(static_cast<int>(l), cycles_,
+                                        trace::PuPhase::Done);
+                    continue;
+                }
+                const bool was_finished = slot.finishedSeen;
                 auto &in_buf = inputCtrl_->buffer(static_cast<int>(l));
                 auto &out_buf = outputCtrl_->buffer(static_cast<int>(l));
 
@@ -105,13 +123,16 @@ ChannelShard::run(int input_token_width, int output_token_width,
                 slot.lastIn = in;
                 slot.lastOut = out;
 
+                bool produced = false, consumed = false;
                 if (out.outputValid && in.outputReady) {
                     out_buf.push(out.outputToken, out_width);
                     slot.emittedBits += out_width;
+                    produced = true;
                     activity = true;
                 }
                 if (out.inputReady && in.inputValid) {
                     in_buf.pop(in_width);
+                    consumed = true;
                     activity = true;
                 }
                 if (out.outputFinished && !slot.finishedSeen) {
@@ -121,11 +142,29 @@ ChannelShard::run(int input_token_width, int output_token_width,
                     activity = true;
                 }
                 if (!slot.finishedSeen) {
-                    if (out.inputReady && !in.inputValid &&
-                        !in.inputFinished)
+                    // Shared taxonomy (trace/taxonomy.h). Note these two
+                    // legacy counters are independent conditions, not
+                    // the exclusive phase partition the trace records.
+                    if (trace::inputStarved(out.inputReady, in.inputValid,
+                                            in.inputFinished))
                         ++slot.stats.inputStarvedCycles;
-                    if (out.outputValid && !in.outputReady)
+                    if (trace::outputBlocked(out.outputValid,
+                                             in.outputReady))
                         ++slot.stats.outputBlockedCycles;
+                }
+                if (trace_) {
+                    trace::PuPhase phase;
+                    if (was_finished)
+                        phase = trace::PuPhase::Done;
+                    else if (consumed || produced ||
+                             (slot.finishedSeen && !was_finished))
+                        phase = trace::PuPhase::Active;
+                    else
+                        phase = trace::phaseForStall(trace::classifyStall(
+                            out.inputReady, in.inputValid,
+                            in.inputFinished, out.outputValid,
+                            in.outputReady));
+                    trace_->puCycle(static_cast<int>(l), cycles_, phase);
                 }
                 all_finished = all_finished && slot.finishedSeen;
             }
@@ -165,6 +204,9 @@ ChannelShard::run(int input_token_width, int output_token_width,
 
             stats_.readQueueOccupancySum += channel_->outstandingReads();
             stats_.writeQueueOccupancySum += channel_->outstandingWrites();
+            if (trace_)
+                trace_->dramCycle(cycles_, channel_->outstandingReads(),
+                                  channel_->outstandingWrites());
 
             uint64_t beats =
                 channel_->beatsDelivered() + channel_->beatsWritten();
@@ -245,14 +287,59 @@ ChannelShard::stallReason(const PuSlot &slot) const
         return "contained";
     if (slot.finishedSeen)
         return "finished";
-    if (slot.lastOut.inputReady && !slot.lastIn.inputValid &&
-        !slot.lastIn.inputFinished)
-        return "input-starved";
-    if (slot.lastOut.outputValid && !slot.lastIn.outputReady)
-        return "output-blocked";
-    // Neither consuming nor producing while unfinished: the unit is
-    // spinning inside its program (e.g. a non-terminating while loop).
-    return "internal-spin";
+    // Shared classification (trace/taxonomy.h) over the last cycle's
+    // latched handshake — the same attribution the trace layer records.
+    return trace::stallCauseName(trace::classifyStall(
+        slot.lastOut.inputReady, slot.lastIn.inputValid,
+        slot.lastIn.inputFinished, slot.lastOut.outputValid,
+        slot.lastIn.outputReady));
+}
+
+trace::ChannelTrace
+ChannelShard::takeTrace()
+{
+    trace::ChannelTrace out = trace_->finish(cycles_);
+    if (!traceConfig_.counters)
+        return out;
+
+    auto component = [this](const char *suffix) {
+        trace::CounterSet set;
+        set.name = "ch" + std::to_string(channelIndex_) + "/" + suffix;
+        return set;
+    };
+
+    trace::CounterSet dram = component("dram");
+    channel_->exportCounters(dram);
+    out.counters.push_back(std::move(dram));
+
+    trace::CounterSet input = component("input_ctrl");
+    inputCtrl_->exportCounters(input);
+    out.counters.push_back(std::move(input));
+
+    trace::CounterSet output = component("output_ctrl");
+    outputCtrl_->exportCounters(output);
+    out.counters.push_back(std::move(output));
+
+    for (size_t l = 0; l < pus_.size(); ++l) {
+        const PuSlot &slot = pus_[l];
+        trace::CounterSet set = component(
+            ("pu" + std::to_string(slot.globalIndex)).c_str());
+        const int local = static_cast<int>(l);
+        for (int p = 0; p < trace::kNumPuPhases; ++p) {
+            auto phase = static_cast<trace::PuPhase>(p);
+            set.set(std::string(trace::puPhaseName(phase)) + "_cycles",
+                    trace_->phaseCycles(local, phase));
+        }
+        set.set("stream_bits", slot.streamBits);
+        set.set("delivered_bits", inputCtrl_->puBitsDelivered(local));
+        set.set("emitted_bits", slot.emittedBits);
+        set.set("flushed_payload_bits", outputCtrl_->payloadBits(local));
+        set.set("finished_at_cycle", slot.stats.finishedAtCycle);
+        set.set("contained", slot.failed ? 1 : 0);
+        slot.pu->appendCounters(set);
+        out.counters.push_back(std::move(set));
+    }
+    return out;
 }
 
 std::string

@@ -38,6 +38,7 @@
 #include "memctl/output_controller.h"
 #include "system/pu.h"
 #include "system/run_report.h"
+#include "trace/trace.h"
 
 namespace fleet {
 namespace system {
@@ -101,7 +102,8 @@ class ChannelShard
                  const memctl::ControllerParams &output_params,
                  std::vector<memctl::StreamRegion> input_regions,
                  std::vector<memctl::StreamRegion> output_regions,
-                 uint64_t mem_bytes, const fault::FaultPlan &fault_plan);
+                 uint64_t mem_bytes, const fault::FaultPlan &fault_plan,
+                 const trace::TraceConfig &trace_config = {});
 
     /** Attach the next processing unit (local index = attach order). */
     void addPu(std::unique_ptr<ProcessingUnit> pu, int global_index,
@@ -150,6 +152,16 @@ class ChannelShard
     /** Utilization counters (valid after run()). */
     const ChannelStats &stats() const { return stats_; }
 
+    /** True if this shard carries a trace collector. */
+    bool traceEnabled() const { return trace_ != nullptr; }
+
+    /**
+     * Freeze and take the channel's trace — spans closed at the final
+     * cycle, component CounterSets harvested from the DRAM model, both
+     * controllers, and every attached unit. Call once, after run().
+     */
+    trace::ChannelTrace takeTrace();
+
   private:
     struct PuSlot
     {
@@ -176,6 +188,10 @@ class ChannelShard
     const char *stallReason(const PuSlot &slot) const;
 
     int channelIndex_;
+    trace::TraceConfig traceConfig_;
+    /** Null unless tracing is enabled — the null check is the entire
+     * cost of the disabled mode, mirroring the fault layer. */
+    std::unique_ptr<trace::ShardTrace> trace_;
     std::optional<fault::ChannelFaults> faults_;
     std::unique_ptr<dram::DramChannel> channel_;
     std::unique_ptr<memctl::InputController> inputCtrl_;

@@ -174,7 +174,7 @@ FleetSystem::FleetSystem(const lang::Program &program,
             ch, config_.dram, config_.inputCtrl, config_.outputCtrl,
             layout.inputs, layout.outputs,
             std::max<uint64_t>(layout.bytes, burst_bytes),
-            config_.faults);
+            config_.faults, config_.trace);
         auto &mem = shard->channel().memory();
         for (size_t l = 0; l < layout.inputs.size(); ++l) {
             const BitBuffer &stream = streams_[layout.globalPu[l]];
@@ -248,6 +248,18 @@ FleetSystem::run()
                 Status::make(StatusCode::StreamTruncated, os.str());
         }
         report_.pus[p] = outcome;
+    }
+
+    // Assemble the observability report on the calling thread, in
+    // channel order — deterministic regardless of how many workers
+    // stepped the shards.
+    if (config_.trace.enabled()) {
+        auto trace_report = std::make_shared<trace::TraceReport>();
+        trace_report->config = config_.trace;
+        trace_report->clockMHz = config_.clockMHz;
+        for (auto &shard : shards_)
+            trace_report->channels.push_back(shard->takeTrace());
+        report_.trace = std::move(trace_report);
     }
 
     cycles_ = 0;

@@ -81,6 +81,14 @@ struct SystemConfig
      */
     uint64_t watchdogCycles = 200000;
     /**
+     * Cycle-level observability (ISSUE 3, trace/trace.h). Disabled by
+     * default; disabled tracing allocates nothing and adds no per-cycle
+     * work, and *enabled* tracing is purely observational — outputs,
+     * stats, and cycle counts are bit-identical either way. The
+     * collected TraceReport is attached to the RunReport.
+     */
+    trace::TraceConfig trace;
+    /**
      * Host worker threads used to step the channel shards (and to
      * pre-compute the fast model's functional traces). 0 = one per
      * hardware thread; 1 = legacy single-threaded path (no pool).

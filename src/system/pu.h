@@ -20,6 +20,8 @@
 
 #include <cstdint>
 
+#include "trace/trace.h"
+
 namespace fleet {
 namespace system {
 
@@ -55,6 +57,13 @@ class ProcessingUnit
 
     virtual int inputTokenWidth() const = 0;
     virtual int outputTokenWidth() const = 0;
+
+    /**
+     * Append backend-specific counters to the unit's trace CounterSet
+     * (values derived from state the backend already keeps — the trace
+     * layer adds no per-cycle work to a unit). Default: nothing.
+     */
+    virtual void appendCounters(trace::CounterSet &) const {}
 };
 
 } // namespace system

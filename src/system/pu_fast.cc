@@ -80,5 +80,17 @@ FastPu::step()
     }
 }
 
+void
+FastPu::appendCounters(trace::CounterSet &out) const
+{
+    out.set("backend_fast", 1);
+    out.set("tokens_consumed", tokensConsumed_);
+    out.set("stream_tokens", streamTokens_);
+    out.set("output_tokens", result_.emits);
+    out.set("virtual_cycles", result_.vcycles);
+    out.set("emitted_bits_functional",
+            result_.emits * uint64_t(outputTokenWidth_));
+}
+
 } // namespace system
 } // namespace fleet

@@ -35,6 +35,7 @@ class FastPu : public ProcessingUnit
     void step() override;
     int inputTokenWidth() const override { return inputTokenWidth_; }
     int outputTokenWidth() const override { return outputTokenWidth_; }
+    void appendCounters(trace::CounterSet &out) const override;
 
     /** The functional run backing this replay (outputs, counts). */
     const sim::RunResult &functionalResult() const { return result_; }

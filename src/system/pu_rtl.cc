@@ -42,5 +42,12 @@ RtlPu::step()
     sim_->step();
 }
 
+void
+RtlPu::appendCounters(trace::CounterSet &out) const
+{
+    out.set("backend_rtl", 1);
+    out.set("circuit_nodes", unit_.circuit.nodes().size());
+}
+
 } // namespace system
 } // namespace fleet

@@ -30,6 +30,7 @@ class RtlPu : public ProcessingUnit
     void step() override;
     int inputTokenWidth() const override { return unit_.inputTokenWidth; }
     int outputTokenWidth() const override { return unit_.outputTokenWidth; }
+    void appendCounters(trace::CounterSet &out) const override;
 
     const compile::CompiledUnit &unit() const { return unit_; }
 

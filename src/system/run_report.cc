@@ -74,10 +74,24 @@ operator==(const ChannelOutcome &a, const ChannelOutcome &b)
     return a.status == b.status && a.cycles == b.cycles;
 }
 
+Status
+RunReport::writeTrace(const std::string &path) const
+{
+    if (!trace)
+        return Status::make(StatusCode::InvalidArgument,
+                            "writeTrace: run was not traced (enable "
+                            "SystemConfig::trace.events)");
+    return trace->writeChromeTrace(path);
+}
+
 bool
 operator==(const RunReport &a, const RunReport &b)
 {
-    return a.channels == b.channels && a.pus == b.pus;
+    if (a.channels != b.channels || a.pus != b.pus)
+        return false;
+    if (!a.trace || !b.trace)
+        return !a.trace && !b.trace;
+    return *a.trace == *b.trace;
 }
 
 } // namespace system

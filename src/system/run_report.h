@@ -16,9 +16,11 @@
  */
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "trace/trace.h"
 #include "util/status.h"
 
 namespace fleet {
@@ -54,6 +56,20 @@ struct RunReport
 {
     std::vector<ChannelOutcome> channels;
     std::vector<PuOutcome> pus; ///< Indexed by global PU index.
+    /**
+     * Observability data, present iff SystemConfig::trace was enabled
+     * (ISSUE 3). Shared so reports stay cheap to copy; the trace itself
+     * is immutable once the run finishes. Compared by value in
+     * operator== — serial and parallel runs must collect identical
+     * traces, not just identical outcomes.
+     */
+    std::shared_ptr<const trace::TraceReport> trace;
+
+    /**
+     * Export the run as Chrome trace_event JSON for Perfetto /
+     * chrome://tracing. Requires a run traced with events enabled.
+     */
+    Status writeTrace(const std::string &path) const;
 
     /** Every channel finished and every PU completed (truncated-stream
      * completions count as ok — the short stream was an input fault, the

@@ -1,0 +1,129 @@
+#ifndef FLEET_TRACE_TAXONOMY_H
+#define FLEET_TRACE_TAXONOMY_H
+
+/**
+ * @file
+ * The one place the simulator classifies why a processing unit is not
+ * making progress. Three layers consume the same taxonomy — the
+ * per-cycle stall counters and trace phases, the forward-progress
+ * watchdog's diagnostic dump, and the tests that assert on either — so
+ * the classification cannot drift between them (ISSUE 3).
+ *
+ * A cycle in which an unfinished unit neither consumes a token nor
+ * produces one is attributed to exactly one cause, in priority order:
+ *
+ *  - input-starved: the unit wants a token but its buffer is empty and
+ *    the stream is not yet exhausted (the memory system is behind);
+ *  - output-blocked: the unit has a token to emit but its output buffer
+ *    is full (the write path is behind);
+ *  - internal-spin: neither — the unit is taking virtual cycles inside
+ *    its program (a multi-cycle `while`, or a non-terminating loop; the
+ *    watchdog cannot tell legitimate long computation from a hang, only
+ *    that the IO boundary saw no progress).
+ */
+
+namespace fleet {
+namespace trace {
+
+enum class StallCause
+{
+    InputStarved,
+    OutputBlocked,
+    InternalSpin,
+};
+
+inline const char *
+stallCauseName(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::InputStarved:
+        return "input-starved";
+      case StallCause::OutputBlocked:
+        return "output-blocked";
+      default:
+        return "internal-spin";
+    }
+}
+
+/** The unit wants a token it cannot have this cycle. */
+constexpr bool
+inputStarved(bool wants_input, bool input_valid, bool input_finished)
+{
+    return wants_input && !input_valid && !input_finished;
+}
+
+/** The unit offers a token its output buffer cannot take this cycle. */
+constexpr bool
+outputBlocked(bool output_valid, bool output_ready)
+{
+    return output_valid && !output_ready;
+}
+
+/**
+ * Attribute a no-progress cycle to its single cause. Starvation wins
+ * over blockage when both hold (the input side stalled first in the
+ * pipeline), so the three buckets partition the stalled cycles.
+ */
+constexpr StallCause
+classifyStall(bool wants_input, bool input_valid, bool input_finished,
+              bool output_valid, bool output_ready)
+{
+    if (inputStarved(wants_input, input_valid, input_finished))
+        return StallCause::InputStarved;
+    if (outputBlocked(output_valid, output_ready))
+        return StallCause::OutputBlocked;
+    return StallCause::InternalSpin;
+}
+
+/**
+ * Per-(unit, cycle) phase: every simulated cycle of every attached unit
+ * lands in exactly one bucket, so per-unit phase counters sum to the
+ * channel's cycle count — the conservation invariant the trace test
+ * harness checks. `Done` covers both cycles after output_finished and
+ * cycles a contained (failed) unit sat quarantined.
+ */
+enum class PuPhase
+{
+    Active,
+    InputStarved,
+    OutputBlocked,
+    InternalSpin,
+    Done,
+};
+
+constexpr int kNumPuPhases = 5;
+
+inline const char *
+puPhaseName(PuPhase phase)
+{
+    switch (phase) {
+      case PuPhase::Active:
+        return "active";
+      case PuPhase::InputStarved:
+        return stallCauseName(StallCause::InputStarved);
+      case PuPhase::OutputBlocked:
+        return stallCauseName(StallCause::OutputBlocked);
+      case PuPhase::InternalSpin:
+        return stallCauseName(StallCause::InternalSpin);
+      default:
+        return "done";
+    }
+}
+
+constexpr PuPhase
+phaseForStall(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::InputStarved:
+        return PuPhase::InputStarved;
+      case StallCause::OutputBlocked:
+        return PuPhase::OutputBlocked;
+      default:
+        return PuPhase::InternalSpin;
+    }
+}
+
+} // namespace trace
+} // namespace fleet
+
+#endif // FLEET_TRACE_TAXONOMY_H

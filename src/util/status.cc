@@ -20,6 +20,10 @@ statusCodeName(StatusCode code)
         return "CycleLimitExceeded";
     case StatusCode::InternalError:
         return "InternalError";
+    case StatusCode::InvalidArgument:
+        return "InvalidArgument";
+    case StatusCode::IoError:
+        return "IoError";
     }
     return "Unknown";
 }

@@ -38,6 +38,11 @@ enum class StatusCode
     CycleLimitExceeded,
     /** Unexpected framework error escaped to the channel boundary. */
     InternalError,
+    /** Caller asked for something the run cannot provide (e.g. a trace
+     * export from a run that recorded no events). */
+    InvalidArgument,
+    /** Host filesystem error while exporting a report artifact. */
+    IoError,
 };
 
 const char *statusCodeName(StatusCode code);

@@ -9,11 +9,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "apps/registry.h"
 #include "fault/fault.h"
 #include "sim/simulator.h"
 #include "system/fleet_system.h"
 #include "test_programs.h"
+#include "trace/taxonomy.h"
 #include "util/rng.h"
 
 namespace fleet {
@@ -213,6 +217,90 @@ TEST(FaultInjection, DisabledPlanBitIdenticalToFaultFree)
     EXPECT_EQ(clean.stats().cycles, gated.stats().cycles);
     for (int p = 0; p < clean.numPus(); ++p)
         EXPECT_TRUE(clean.output(p) == gated.output(p)) << "PU " << p;
+}
+
+TEST(FaultInjection, TracedRunRecordsContainmentInSharedTaxonomy)
+{
+    // Tracing a faulty run (ISSUE 3): tracing stays purely
+    // observational under containment, and the trace records the
+    // containment in the shared taxonomy — the quarantined unit's
+    // remaining cycles land in the Done phase (so the phase counters
+    // still sum to the channel cycle count), its counter set flags
+    // `contained`, and its lane carries a marker naming the status.
+    fault::FaultPlan plan;
+    plan.seed = 4242;
+    plan.corruptBeatPerMillion = 60000; // Same plan as the parity test.
+
+    auto program = testprogs::identity();
+    auto streams = randomStreams(8, 4096, 14);
+
+    SystemConfig plain_config;
+    plain_config.numChannels = 2;
+    plain_config.faults = plan;
+    FleetSystem plain(program, plain_config, streams);
+    const RunReport &plain_report = plain.run();
+    ASSERT_GT(plain_report.failedPuCount(), 0);
+
+    SystemConfig traced_config = plain_config;
+    traced_config.trace.counters = true;
+    traced_config.trace.events = true;
+    FleetSystem traced(program, traced_config, streams);
+    const RunReport &traced_report = traced.run();
+
+    // Purity under faults: same outcomes, cycles, and outputs.
+    EXPECT_EQ(plain.stats().cycles, traced.stats().cycles);
+    ASSERT_EQ(plain_report.pus.size(), traced_report.pus.size());
+    for (int p = 0; p < plain.numPus(); ++p) {
+        EXPECT_TRUE(plain_report.pus[p] == traced_report.pus[p])
+            << "PU " << p;
+        EXPECT_TRUE(plain.output(p) == traced.output(p)) << "PU " << p;
+    }
+
+    ASSERT_NE(traced_report.trace, nullptr);
+    int contained_seen = 0;
+    for (const trace::ChannelTrace &ch : traced_report.trace->channels) {
+        for (const trace::CounterSet &set : ch.counters) {
+            size_t pu_pos = set.name.find("/pu");
+            if (pu_pos == std::string::npos)
+                continue;
+            int g = std::atoi(set.name.c_str() + pu_pos + 3);
+            bool failed = !traced_report.pus[g].ok();
+            EXPECT_EQ(set.get("contained"), failed ? 1u : 0u)
+                << set.name;
+
+            uint64_t phase_sum = 0;
+            for (int ph = 0; ph < trace::kNumPuPhases; ++ph)
+                phase_sum += set.get(
+                    std::string(trace::puPhaseName(
+                        static_cast<trace::PuPhase>(ph))) +
+                    "_cycles");
+            EXPECT_EQ(phase_sum, ch.cycles) << set.name;
+            if (!failed)
+                continue;
+            ++contained_seen;
+            EXPECT_GT(set.get(std::string(trace::puPhaseName(
+                          trace::PuPhase::Done)) +
+                          "_cycles"),
+                      0u)
+                << set.name << ": quarantined cycles must count as Done";
+
+            // The unit's lane carries the containment marker, labelled
+            // with the status name the report carries.
+            std::string want =
+                std::string("contained: ") +
+                statusCodeName(traced_report.pus[g].status.code);
+            bool found = false;
+            for (const trace::Lane &lane : ch.lanes) {
+                if (lane.globalPu != g)
+                    continue;
+                for (const trace::Marker &marker : lane.markers)
+                    found = found || marker.label == want;
+            }
+            EXPECT_TRUE(found)
+                << set.name << ": missing marker \"" << want << "\"";
+        }
+    }
+    EXPECT_EQ(contained_seen, traced_report.failedPuCount());
 }
 
 TEST(FaultInjection, RegistryAppsDeterministicUnderMixedPlan)

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "lang/builder.h"
 #include "sim/simulator.h"
+#include "system/fleet_system.h"
 #include "system/pu_fast.h"
 #include "system/pu_rtl.h"
 #include "rtl/sim.h"
@@ -17,6 +19,11 @@
  * counts) across stall profiles. This is the reproduction of the paper's
  * cross-checking test infrastructure (Section 6), generalized from six
  * hand-written applications to a program family.
+ *
+ * The same program family also feeds the observability layer (ISSUE 3):
+ * random programs run under the full system with tracing enabled must
+ * satisfy the counter-conservation invariants, and tracing must never
+ * change the simulation (trace-on and trace-off runs bit-identical).
  */
 
 namespace fleet {
@@ -305,6 +312,100 @@ TEST_P(RandomProgramCrossCheck, AllBackendsAgree)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramCrossCheck,
                          ::testing::Range<uint64_t>(1, 41));
+
+class RandomProgramTraceConservation
+    : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RandomProgramTraceConservation, InvariantsHoldAndTracingIsPure)
+{
+    uint64_t seed = GetParam();
+    RandomProgramGenerator generator(seed);
+    Program program = generator.generate();
+
+    // A handful of streams of random whole tokens, unevenly sized so
+    // the channels finish at different cycles.
+    Rng rng(seed * 6271 + 5);
+    std::vector<BitBuffer> streams;
+    for (int p = 0; p < 5; ++p) {
+        BitBuffer stream;
+        int tokens = 90 + static_cast<int>(rng.nextBelow(120));
+        for (int i = 0; i < tokens; ++i)
+            stream.appendBits(rng.next(), program.inputTokenWidth);
+        streams.push_back(std::move(stream));
+    }
+
+    auto config = [](int threads, bool traced) {
+        system::SystemConfig c;
+        c.numChannels = 3;
+        c.numThreads = threads;
+        c.trace.counters = traced;
+        c.trace.events = traced;
+        // Random output widths need not divide the burst size; double
+        // the output buffer so a nearly-full FIFO can always still
+        // complete a burst (a 1-burst buffer wedges when fill is within
+        // one token of capacity but under a full burst).
+        c.outputCtrl.bufferBursts = 2;
+        return c;
+    };
+
+    system::FleetSystem traced(program, config(1, true), streams);
+    const system::RunReport &report = traced.run();
+    ASSERT_TRUE(report.allOk()) << "seed " << seed << ": "
+                                << report.summary();
+    ASSERT_NE(report.trace, nullptr);
+
+    // Conservation: every (PU, cycle) in exactly one phase; delivered
+    // bits equal stream bits at both the PU and controller level; the
+    // occupancy histograms hold one sample per cycle.
+    for (const trace::ChannelTrace &ch : report.trace->channels) {
+        uint64_t pu_delivered = 0;
+        const trace::CounterSet *input = nullptr;
+        for (const trace::CounterSet &set : ch.counters) {
+            if (set.name.ends_with("/input_ctrl"))
+                input = &set;
+            if (set.name.find("/pu") == std::string::npos)
+                continue;
+            uint64_t phase_sum = 0;
+            for (int p = 0; p < trace::kNumPuPhases; ++p)
+                phase_sum += set.get(
+                    std::string(trace::puPhaseName(
+                        static_cast<trace::PuPhase>(p))) +
+                    "_cycles");
+            EXPECT_EQ(phase_sum, ch.cycles)
+                << "seed " << seed << " " << set.name;
+            EXPECT_EQ(set.get("delivered_bits"), set.get("stream_bits"))
+                << "seed " << seed << " " << set.name;
+            pu_delivered += set.get("delivered_bits");
+        }
+        ASSERT_NE(input, nullptr) << "seed " << seed;
+        EXPECT_EQ(input->get("bits_delivered"), pu_delivered)
+            << "seed " << seed << " channel " << ch.channel;
+        for (const trace::Histogram &h : ch.histograms)
+            EXPECT_EQ(h.samples(), ch.cycles)
+                << "seed " << seed << " " << h.name;
+    }
+
+    // Determinism: the worker-pool run collects the identical trace.
+    system::FleetSystem parallel(program, config(4, true), streams);
+    const system::RunReport &parallel_report = parallel.run();
+    ASSERT_TRUE(report == parallel_report)
+        << "seed " << seed << ": traced reports diverge across threads";
+
+    // Purity: switching tracing off changes nothing observable.
+    system::FleetSystem plain(program, config(1, false), streams);
+    plain.run();
+    EXPECT_EQ(plain.stats().cycles, traced.stats().cycles)
+        << "seed " << seed;
+    for (int p = 0; p < plain.numPus(); ++p)
+        EXPECT_TRUE(plain.output(p) == traced.output(p))
+            << "seed " << seed << " PU " << p
+            << ": tracing changed the output bytes";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTraceConservation,
+                         ::testing::Range<uint64_t>(1, 17));
 
 } // namespace
 } // namespace fleet

@@ -9,10 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "apps/registry.h"
 #include "lang/builder.h"
 #include "system/fleet_system.h"
 #include "test_programs.h"
+#include "trace/taxonomy.h"
 #include "util/rng.h"
 
 namespace fleet {
@@ -54,11 +57,14 @@ TEST(Watchdog, InfiniteWhileProgramTripsWatchdog)
     ASSERT_EQ(report.channels.size(), 1u);
     const Status &status = report.channels[0].status;
     EXPECT_EQ(status.code, StatusCode::WatchdogStall);
-    // The dump names the stuck unit and classifies its stall: the unit
-    // neither consumes nor produces, i.e. it spins internally.
+    // The dump names the stuck unit and classifies its stall with the
+    // shared taxonomy (trace/taxonomy.h): the unit neither consumes
+    // nor produces, i.e. it spins internally.
     EXPECT_NE(status.message.find("PU 0"), std::string::npos)
         << status.message;
-    EXPECT_NE(status.message.find("internal-spin"), std::string::npos)
+    EXPECT_NE(status.message.find(std::string(trace::stallCauseName(
+                  trace::StallCause::InternalSpin))),
+              std::string::npos)
         << status.message;
     EXPECT_NE(status.message.find("no forward progress"),
               std::string::npos)
