@@ -38,6 +38,11 @@
  *  --trace PREFIX smoke only: also record span events and write one
  *                 Chrome trace_event JSON per app (PREFIX_<app>.json,
  *                 openable in Perfetto). Implies counter collection.
+ *  --backend B    PU backend: fast (default), rtl (batched tape engine),
+ *                 rtl-tape (scalar tape per PU), rtl-interp (per-node
+ *                 interpreter). All are bit-identical, so every reported
+ *                 number except wall-clock must match across backends —
+ *                 combine with --baseline to prove it in CI.
  */
 
 #include <algorithm>
@@ -70,7 +75,30 @@ struct RunOptions
     std::string baselinePath;
     bool counters = false;
     std::string tracePrefix;
+    /** PU backend for the cycle-accurate runs. The fast model and every
+     * RTL engine are bit-identical (compile_crosscheck_test), so
+     * switching backends must not change any reported number — only the
+     * simulation wall-clock. `rtl` is the batched tape engine, which
+     * makes full-PU-count RTL runs practical. */
+    system::PuBackend backend = system::PuBackend::Fast;
+    std::string backendName = "fast";
 };
+
+bool
+parseBackend(const std::string &name, system::PuBackend *out)
+{
+    if (name == "fast")
+        *out = system::PuBackend::Fast;
+    else if (name == "rtl")
+        *out = system::PuBackend::Rtl;
+    else if (name == "rtl-tape")
+        *out = system::PuBackend::RtlTape;
+    else if (name == "rtl-interp")
+        *out = system::PuBackend::RtlInterp;
+    else
+        return false;
+    return true;
+}
 
 struct AppResult
 {
@@ -113,6 +141,7 @@ evaluateAppSmoke(const apps::Application &app, const RunOptions &opts)
 
     system::SystemConfig config;
     config.numChannels = channels;
+    config.backend = opts.backend;
     if (opts.faults)
         config.faults = fault::FaultPlan::fromSeed(opts.faultSeed);
     // Observability is purely observational: enabling it changes no
@@ -152,7 +181,8 @@ evaluateAppSmoke(const apps::Application &app, const RunOptions &opts)
 
 AppResult
 evaluateApp(const apps::Application &app, const model::Device &device,
-            const model::PowerParams &power, int cpu_threads)
+            const model::PowerParams &power, int cpu_threads,
+            system::PuBackend backend)
 {
     AppResult result;
     result.name = app.name();
@@ -189,6 +219,7 @@ evaluateApp(const apps::Application &app, const model::Device &device,
                                    1000 + range);
         system::SystemConfig config;
         config.numChannels = 1;
+        config.backend = backend;
         auto run = bench::runFleet(use->program(), streams, config,
                                    device.memoryChannels);
         fleet_sum += run.gbps;
@@ -323,6 +354,7 @@ writeJson(const std::string &path, const std::vector<AppResult> &results,
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"fig7_main_results\",\n");
     std::fprintf(f, "  \"smoke\": %s,\n", opts.smoke ? "true" : "false");
+    std::fprintf(f, "  \"backend\": \"%s\",\n", opts.backendName.c_str());
     std::fprintf(f, "  \"host_hardware_threads\": %u,\n",
                  std::thread::hardware_concurrency());
     std::fprintf(f, "  \"total_sim_wall_s\": %.6f,\n", total_wall);
@@ -414,12 +446,23 @@ main(int argc, char **argv)
             opts.counters = true;
         } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             opts.tracePrefix = argv[++i];
+        } else if (std::strcmp(argv[i], "--backend") == 0 &&
+                   i + 1 < argc) {
+            opts.backendName = argv[++i];
+            if (!parseBackend(opts.backendName, &opts.backend)) {
+                std::fprintf(stderr,
+                             "unknown backend '%s' (want fast, rtl, "
+                             "rtl-tape, or rtl-interp)\n",
+                             opts.backendName.c_str());
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--json PATH] "
                          "[--threads N] [--faults SEED] "
                          "[--baseline PATH] [--counters] "
-                         "[--trace PREFIX]\n",
+                         "[--trace PREFIX] "
+                         "[--backend fast|rtl|rtl-tape|rtl-interp]\n",
                          argv[0]);
             return 2;
         }
@@ -451,6 +494,7 @@ main(int argc, char **argv)
         if (opts.faults)
             std::printf("fault plan: FaultPlan::fromSeed(%llu)\n\n",
                         static_cast<unsigned long long>(opts.faultSeed));
+        std::printf("PU backend: %s\n\n", opts.backendName.c_str());
         Table table({"App", "Streams", "GB/s", "B/cycle", "wall 1T (s)",
                      "wall NT (s)", "speedup", "threads"});
         for (auto &app : apps::allApplications()) {
@@ -533,7 +577,8 @@ main(int argc, char **argv)
                  "CPU GB/s", "CPU Perf/W", "GPU GB/s", "GPU Perf/W",
                  "vs CPU", "vs GPU"});
     for (auto &app : apps::allApplications()) {
-        AppResult r = evaluateApp(*app, device, power, cpu_threads);
+        AppResult r =
+            evaluateApp(*app, device, power, cpu_threads, opts.backend);
         const auto &paper = bench::paperRowFor(r.name);
         table.row()
             .cell(r.name)

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Microbenchmark of the three RTL simulation engines on the six paper
+ * applications: the per-node interpreter (rtl/sim.h), the compiled
+ * scalar tape (rtl/tape.h), and the PU-batched structure-of-arrays
+ * evaluator (rtl/batch_sim.h). Each engine is driven through the same
+ * port-level stimulus — random tokens, always-valid input,
+ * always-ready output — and its outputs are folded into a running hash,
+ * so the benchmark doubles as an engine-equivalence check: all engines
+ * (and every batch lane against its own scalar replay) must produce the
+ * same hash or the run fails.
+ *
+ * Reported speedups:
+ *  - tape:  interpreter time / scalar-tape time, one PU.
+ *  - batch: per-PU speedup at `lanes` PUs per group, i.e.
+ *           (interpreter time x lanes) / batched time — the ratio of
+ *           simulating `lanes` units with the interpreter vs. one
+ *           vectorized batch.
+ *
+ * Modes:
+ *  --smoke       short CI configuration; also *gates*: exits non-zero on
+ *                any equivalence failure, and (in NDEBUG builds, where
+ *                timing is meaningful) on tape speedup < 1.3x or batched
+ *                per-PU speedup < 5x — regression floors ~30% under the
+ *                measured minima (tape 1.8-2.4x, batch 8.4-19x per PU) —
+ *                so a performance regression fails the bench job the
+ *                same way a correctness one does.
+ *  --json PATH   write per-app results as JSON.
+ *  --lanes N     batch width (default 64, the paper's PUs-per-group
+ *                order of magnitude).
+ *  --cycles N    simulated cycles per engine (default 20000; smoke 3000).
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+#include "compile/compiler.h"
+#include "rtl/batch_sim.h"
+#include "rtl/sim.h"
+#include "rtl/tape.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace fleet;
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** FNV-1a fold of one observed output tuple. */
+inline uint64_t
+fold(uint64_t h, uint64_t v)
+{
+    return (h ^ v) * 0x100000001b3ull;
+}
+
+struct Stimulus
+{
+    const compile::CompiledUnit &unit;
+    int tokenWidth;
+};
+
+/**
+ * Drive `cycles` cycles of seeded random stimulus through any engine
+ * with the Simulator cycle contract, hashing the four output ports each
+ * cycle. The template keeps one driver for all three engines (the
+ * batched engine is adapted below).
+ */
+template <typename Sim>
+uint64_t
+drive(Sim &sim, const Stimulus &st, uint64_t seed, int cycles)
+{
+    Rng rng(seed);
+    sim.reset();
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+        sim.setInput(st.unit.inInputToken,
+                     rng.next() & mask64(st.tokenWidth));
+        sim.setInput(st.unit.inInputValid, 1);
+        sim.setInput(st.unit.inInputFinished, 0);
+        sim.setInput(st.unit.inOutputReady, 1);
+        sim.evalComb();
+        h = fold(h, sim.value(st.unit.outInputReady));
+        h = fold(h, sim.value(st.unit.outOutputToken));
+        h = fold(h, sim.value(st.unit.outOutputValid));
+        h = fold(h, sim.value(st.unit.outOutputFinished));
+        sim.step();
+    }
+    return h;
+}
+
+/** Same stimulus and hash, all lanes advancing through one evalAll()
+ * and one step() per cycle; lane l replays the scalar run with seed
+ * base_seed + l. Returns the per-lane hashes. */
+std::vector<uint64_t>
+driveBatch(rtl::BatchSimulator &batch, const Stimulus &st,
+           uint64_t base_seed, int cycles)
+{
+    const int lanes = batch.lanes();
+    std::vector<Rng> rngs;
+    for (int l = 0; l < lanes; ++l)
+        rngs.emplace_back(base_seed + l);
+    batch.reset();
+    std::vector<uint64_t> h(lanes, 0xcbf29ce484222325ull);
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+        for (int l = 0; l < lanes; ++l) {
+            batch.setInput(l, st.unit.inInputToken,
+                           rngs[l].next() & mask64(st.tokenWidth));
+            batch.setInput(l, st.unit.inInputValid, 1);
+            batch.setInput(l, st.unit.inInputFinished, 0);
+            batch.setInput(l, st.unit.inOutputReady, 1);
+        }
+        batch.evalAll();
+        for (int l = 0; l < lanes; ++l) {
+            h[l] = fold(h[l], batch.value(l, st.unit.outInputReady));
+            h[l] = fold(h[l], batch.value(l, st.unit.outOutputToken));
+            h[l] = fold(h[l], batch.value(l, st.unit.outOutputValid));
+            h[l] = fold(h[l], batch.value(l, st.unit.outOutputFinished));
+        }
+        batch.step();
+    }
+    return h;
+}
+
+struct AppResult
+{
+    std::string name;
+    uint64_t circuitNodes = 0;
+    uint64_t tapeOps = 0;
+    uint64_t nodesEliminated = 0;
+    int lanes = 0;
+    int cycles = 0;
+    double interpS = 0;
+    double tapeS = 0;
+    double batchS = 0;
+    double tapeSpeedup = 0;
+    double batchPerPuSpeedup = 0;
+    bool equivalent = false;
+};
+
+AppResult
+evaluateApp(const apps::Application &app, int lanes, int cycles,
+            uint64_t seed)
+{
+    AppResult r;
+    r.name = app.name();
+    r.lanes = lanes;
+    r.cycles = cycles;
+
+    lang::Program program = app.program();
+    auto unit = compile::compileProgram(program);
+    Stimulus st{unit, program.inputTokenWidth};
+    r.circuitNodes = unit.circuit.nodes().size();
+
+    auto tape_program = std::make_shared<const rtl::TapeProgram>(
+        rtl::TapeProgram::compile(unit.circuit));
+    r.tapeOps = tape_program->ops.size();
+    r.nodesEliminated = tape_program->nodesEliminated;
+
+    // Engine equivalence first (untimed): the interpreter, the tape, and
+    // batch lane 0 replay seed `seed`; every other batch lane replays
+    // its own scalar-tape run.
+    rtl::Simulator interp(unit.circuit);
+    rtl::TapeSimulator tape(tape_program);
+    rtl::BatchSimulator batch(tape_program, lanes);
+    const int check_cycles = std::min(cycles, 2000);
+    uint64_t h_interp = drive(interp, st, seed, check_cycles);
+    uint64_t h_tape = drive(tape, st, seed, check_cycles);
+    auto h_lanes = driveBatch(batch, st, seed, check_cycles);
+    r.equivalent = h_interp == h_tape && h_lanes[0] == h_interp;
+    for (int l = 1; l < lanes && r.equivalent; ++l) {
+        rtl::TapeSimulator replay(tape_program);
+        r.equivalent = h_lanes[l] == drive(replay, st, seed + l,
+                                           check_cycles);
+    }
+
+    // Timed runs, identical stimulus volume per engine per PU.
+    double t0 = now();
+    uint64_t sink = drive(interp, st, seed, cycles);
+    double t1 = now();
+    sink = fold(sink, drive(tape, st, seed, cycles));
+    double t2 = now();
+    sink = fold(sink, driveBatch(batch, st, seed, cycles)[lanes - 1]);
+    double t3 = now();
+    if (sink == 0) // Keep the measured work observable.
+        std::printf("(hash sink collision)\n");
+
+    r.interpS = t1 - t0;
+    r.tapeS = t2 - t1;
+    r.batchS = t3 - t2;
+    r.tapeSpeedup = r.tapeS > 0 ? r.interpS / r.tapeS : 0;
+    r.batchPerPuSpeedup =
+        r.batchS > 0 ? r.interpS * lanes / r.batchS : 0;
+    return r;
+}
+
+bool
+writeJson(const std::string &path, const std::vector<AppResult> &results,
+          bool smoke)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"micro_rtl_engines\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+#ifdef NDEBUG
+    std::fprintf(f, "  \"release_build\": true,\n");
+#else
+    std::fprintf(f, "  \"release_build\": false,\n");
+#endif
+    std::fprintf(f, "  \"apps\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const AppResult &r = results[i];
+        std::fprintf(f, "    {\n");
+        std::fprintf(f, "      \"app\": \"%s\",\n", r.name.c_str());
+        std::fprintf(f, "      \"circuit_nodes\": %llu,\n",
+                     static_cast<unsigned long long>(r.circuitNodes));
+        std::fprintf(f, "      \"tape_ops\": %llu,\n",
+                     static_cast<unsigned long long>(r.tapeOps));
+        std::fprintf(f, "      \"nodes_eliminated\": %llu,\n",
+                     static_cast<unsigned long long>(r.nodesEliminated));
+        std::fprintf(f, "      \"lanes\": %d,\n", r.lanes);
+        std::fprintf(f, "      \"cycles\": %d,\n", r.cycles);
+        std::fprintf(f, "      \"interp_s\": %.6f,\n", r.interpS);
+        std::fprintf(f, "      \"tape_s\": %.6f,\n", r.tapeS);
+        std::fprintf(f, "      \"batch_s\": %.6f,\n", r.batchS);
+        std::fprintf(f, "      \"tape_speedup\": %.3f,\n", r.tapeSpeedup);
+        std::fprintf(f, "      \"batch_per_pu_speedup\": %.3f,\n",
+                     r.batchPerPuSpeedup);
+        std::fprintf(f, "      \"equivalent\": %s\n",
+                     r.equivalent ? "true" : "false");
+        std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string json_path;
+    int lanes = 64;
+    int cycles = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--lanes") == 0 && i + 1 < argc) {
+            lanes = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--cycles") == 0 &&
+                   i + 1 < argc) {
+            cycles = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--json PATH] [--lanes N] "
+                         "[--cycles N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (lanes < 1) {
+        std::fprintf(stderr, "--lanes must be >= 1\n");
+        return 2;
+    }
+    if (cycles == 0)
+        cycles = smoke ? 3000 : 20000;
+
+    std::printf("\n==== RTL engines: interpreter vs tape vs batched "
+                "(x%d) ====\n"
+                "Same stimulus per engine; outputs hashed for "
+                "equivalence.\n\n",
+                lanes);
+
+    std::vector<AppResult> results;
+    Table table({"App", "nodes", "tape ops", "elim", "interp (s)",
+                 "tape (s)", "batch (s)", "tape x", "batch x/PU", "equiv"});
+    bool all_equivalent = true;
+    double min_tape = 1e300, min_batch = 1e300;
+    for (auto &app : apps::allApplications()) {
+        AppResult r = evaluateApp(*app, lanes, cycles, 42);
+        all_equivalent = all_equivalent && r.equivalent;
+        min_tape = std::min(min_tape, r.tapeSpeedup);
+        min_batch = std::min(min_batch, r.batchPerPuSpeedup);
+        char ti[32], tt[32], tb[32], st[32], sb[32];
+        std::snprintf(ti, sizeof(ti), "%.3f", r.interpS);
+        std::snprintf(tt, sizeof(tt), "%.3f", r.tapeS);
+        std::snprintf(tb, sizeof(tb), "%.3f", r.batchS);
+        std::snprintf(st, sizeof(st), "%.1fx", r.tapeSpeedup);
+        std::snprintf(sb, sizeof(sb), "%.1fx", r.batchPerPuSpeedup);
+        table.row()
+            .cell(r.name)
+            .cell(std::to_string(r.circuitNodes))
+            .cell(std::to_string(r.tapeOps))
+            .cell(std::to_string(r.nodesEliminated))
+            .cell(ti)
+            .cell(tt)
+            .cell(tb)
+            .cell(st)
+            .cell(sb)
+            .cell(r.equivalent ? "yes" : "NO");
+        std::fflush(stdout);
+        results.push_back(std::move(r));
+    }
+    std::printf("%s\n", table.str().c_str());
+
+    if (!json_path.empty() && !writeJson(json_path, results, smoke))
+        return 1;
+
+    if (!all_equivalent) {
+        std::fprintf(stderr,
+                     "FAIL: engine outputs diverged (see table)\n");
+        return 1;
+    }
+    if (smoke) {
+#ifdef NDEBUG
+        // Regression floors, set with ~30% headroom under the measured
+        // minima across the six apps on the CI reference host (tape
+        // 1.8-2.4x, batch 8.4-19x per PU at 64 lanes; see
+        // DESIGN.md). They catch a real engine regression — e.g. losing
+        // vectorization or the 32-bit lane path — without flaking on
+        // machine-to-machine timing variance.
+        if (min_tape < 1.3) {
+            std::fprintf(stderr,
+                         "FAIL: tape speedup regressed below 1.3x "
+                         "(min %.2fx)\n",
+                         min_tape);
+            return 1;
+        }
+        if (min_batch < 5.0) {
+            std::fprintf(stderr,
+                         "FAIL: batched per-PU speedup regressed below "
+                         "5x (min %.2fx)\n",
+                         min_batch);
+            return 1;
+        }
+        std::printf("gates passed: tape >= 1.3x (min %.1fx), batch >= 5x "
+                    "per PU (min %.1fx)\n",
+                    min_tape, min_batch);
+#else
+        std::printf("speedup gates skipped (debug build; timing not "
+                    "meaningful)\n");
+#endif
+    }
+    return 0;
+}

@@ -157,10 +157,23 @@ concatExpr(Expr hi, Expr lo)
 int64_t
 exprEvalId(const ExprNode *node)
 {
+    // Simulators for independent units share AST nodes and may be
+    // constructed concurrently (FleetSystem builds PUs on its worker
+    // pool), so the lazy assignment must be atomic. Losers of the CAS
+    // waste a counter value; ids only need to be unique and stable per
+    // node, not dense.
     static std::atomic<int64_t> counter{0};
-    if (node->evalId < 0)
-        node->evalId = counter.fetch_add(1);
-    return node->evalId;
+    std::atomic_ref<int64_t> id(node->evalId);
+    int64_t v = id.load(std::memory_order_acquire);
+    if (v >= 0)
+        return v;
+    int64_t fresh = counter.fetch_add(1);
+    int64_t expected = -1;
+    if (id.compare_exchange_strong(expected, fresh,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire))
+        return fresh;
+    return expected;
 }
 
 bool
@@ -204,8 +217,13 @@ containsBramRead(const Expr &e)
 {
     if (!e)
         return false;
-    if (e->hasBramReadMemo >= 0)
-        return e->hasBramReadMemo != 0;
+    // Same sharing story as exprEvalId: nodes may be queried from
+    // concurrent threads. The answer is deterministic, so racing
+    // writers store the same value; atomics make that well-defined.
+    std::atomic_ref<int8_t> memo(e->hasBramReadMemo);
+    int8_t m = memo.load(std::memory_order_acquire);
+    if (m >= 0)
+        return m != 0;
     bool result;
     if (e->kind == ExprKind::BramRead) {
         result = true;
@@ -213,7 +231,7 @@ containsBramRead(const Expr &e)
         result = containsBramRead(e->a) || containsBramRead(e->b) ||
                  containsBramRead(e->c);
     }
-    e->hasBramReadMemo = result ? 1 : 0;
+    memo.store(result ? 1 : 0, std::memory_order_release);
     return result;
 }
 

@@ -18,9 +18,18 @@ InputController::InputController(dram::DramChannel &channel,
     }
     beatsPerBurst_ = params_.burstBits / (channel_.busWidthBytes() * 8);
 
+    // One-token skid, mirroring the output controller: with a
+    // non-dividing token width the buffer can hold a sub-token residue
+    // (< tokenBits bits) the PU cannot pop, and creditAvailable() then
+    // never clears residue + burstBits <= capacity. The extra
+    // tokenBits-1 bits absorb the residue so the next burst's credit is
+    // always reachable.
+    uint64_t capacity =
+        uint64_t(params_.burstBits) * std::max(1, params_.bufferBursts);
+    if (params_.tokenBits > 0 && params_.burstBits % params_.tokenBits != 0)
+        capacity += uint64_t(params_.tokenBits) - 1;
     for (auto &region : regions) {
-        PuState pu{region, BitFifo(uint64_t(params_.burstBits) *
-                            std::max(1, params_.bufferBursts))};
+        PuState pu{region, BitFifo(capacity)};
         pu.totalBursts = ceilDiv(region.streamBits, params_.burstBits);
         if (pu.totalBursts * (params_.burstBits / 8) > region.regionBytes)
             fatal("InputController: stream exceeds its region");

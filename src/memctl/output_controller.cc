@@ -18,10 +18,17 @@ OutputController::OutputController(dram::DramChannel &channel,
     }
     beatsPerBurst_ = params_.burstBits / bus_bits;
 
+    // One-token skid: when the token width does not divide the burst
+    // size, a buffer of exactly N bursts wedges — it fills to within
+    // tokenBits-1 bits of a burst boundary, too full for the PU to push
+    // and not full enough for the addressing unit to issue. The skid
+    // keeps freeBits >= tokenBits whenever a burst is still short.
+    uint64_t capacity =
+        uint64_t(params_.burstBits) * std::max(1, params_.bufferBursts);
+    if (params_.tokenBits > 0 && params_.burstBits % params_.tokenBits != 0)
+        capacity += uint64_t(params_.tokenBits) - 1;
     for (auto &region : regions)
-        pus_.push_back(PuState{
-            region, BitFifo(uint64_t(params_.burstBits) *
-                            std::max(1, params_.bufferBursts))});
+        pus_.push_back(PuState{region, BitFifo(capacity)});
     slots_.resize(params_.numBurstRegs);
     for (auto &slot : slots_)
         slot.data.resize(params_.burstBits / 8);

@@ -44,6 +44,19 @@ struct ControllerParams
      * extra BRAM-sized buffer per unit (see bench/ablation_memctl).
      */
     int bufferBursts = 1;
+    /**
+     * Token width of the attached processing units, in bits (0 =
+     * unknown). When the token width does not divide the burst size, a
+     * per-PU buffer sized to a whole number of bursts can wedge at
+     * bufferBursts = 1: the output buffer fills to within tokenBits-1
+     * bits of a burst — too full for the PU to push another token, not
+     * full enough for the addressing unit to issue — and the input
+     * buffer's sub-token residue blocks the next burst's credit. Setting
+     * tokenBits lets the controllers add a one-token skid (tokenBits - 1
+     * bits) to each buffer. Dividing widths get no skid, so their runs
+     * are bit-identical with the field left at 0.
+     */
+    int tokenBits = 0;
 };
 
 /** Placement of one processing unit's stream within channel memory. */

@@ -1,0 +1,361 @@
+#include "rtl/opt.h"
+
+#include <bit>
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace rtl {
+
+namespace {
+
+/**
+ * Rebuilds the source circuit bottom-up into `out`, simplifying each
+ * node as it is constructed. Operands handed to the build* methods are
+ * NodeIds in `out` and are already fully simplified, so one forward pass
+ * reaches a fixpoint. Every build* method returns a node whose width
+ * equals the source node's width (checked by the caller).
+ */
+class Rebuilder
+{
+  public:
+    explicit Rebuilder(Circuit &out) : out_(out) {}
+
+    NodeId buildBin(BinOp op, NodeId a, NodeId b);
+    NodeId buildUn(UnOp op, NodeId a);
+    NodeId buildMux(NodeId cond, NodeId a, NodeId b);
+    NodeId buildSlice(NodeId a, int lo, int width);
+    NodeId buildConcat(NodeId hi, NodeId lo);
+
+  private:
+    // Node copies (not references): the make* calls below can grow the
+    // node vector and invalidate references.
+    Node node(NodeId id) const { return out_.nodes()[id]; }
+    bool isConst(NodeId id) const
+    {
+        return out_.nodes()[id].kind == NodeKind::Const;
+    }
+    uint64_t cval(NodeId id) const { return out_.nodes()[id].value; }
+    int width(NodeId id) const { return out_.width(id); }
+
+    /** Non-zero test of a node, as a 1-bit value. */
+    NodeId boolOf(NodeId a)
+    {
+        if (width(a) == 1)
+            return a;
+        return out_.makeBin(BinOp::Ne, a, out_.makeConst(0, width(a)));
+    }
+
+    Circuit &out_;
+};
+
+NodeId
+Rebuilder::buildBin(BinOp op, NodeId a, NodeId b)
+{
+    const int wa = width(a), wb = width(b);
+    const int w = binOpWidth(op, wa, wb);
+
+    // Same-operand algebra (CSE makes shared subexpressions a single id,
+    // so x - x genuinely arrives with a == b).
+    if (a == b) {
+        switch (op) {
+          case BinOp::Sub:
+          case BinOp::Xor:
+            return out_.makeConst(0, w);
+          case BinOp::And:
+          case BinOp::Or:
+            return out_.makeResize(a, w);
+          case BinOp::Eq:
+          case BinOp::Ule:
+          case BinOp::Uge:
+          case BinOp::Sle:
+          case BinOp::Sge:
+            return out_.makeConst(1, 1);
+          case BinOp::Ne:
+          case BinOp::Ult:
+          case BinOp::Ugt:
+          case BinOp::Slt:
+          case BinOp::Sgt:
+            return out_.makeConst(0, 1);
+          case BinOp::LAnd:
+          case BinOp::LOr:
+            return boolOf(a);
+          default:
+            break;
+        }
+    }
+
+    // Identities / strength reduction with one constant side. (Both
+    // sides constant is folded by makeBin itself.)
+    for (int swap = 0; swap < 2; ++swap) {
+        NodeId k = swap ? a : b;
+        NodeId x = swap ? b : a;
+        if (!isConst(k) || isConst(x))
+            continue;
+        const uint64_t c = cval(k);
+        const bool k_is_rhs = !swap;
+        switch (op) {
+          case BinOp::Add:
+            if (c == 0)
+                return out_.makeResize(x, w);
+            break;
+          case BinOp::Sub:
+            if (c == 0 && k_is_rhs)
+                return out_.makeResize(x, w);
+            break;
+          case BinOp::Or:
+            if (c == 0)
+                return out_.makeResize(x, w);
+            if (c == mask64(w))
+                return out_.makeConst(mask64(w), w);
+            break;
+          case BinOp::Xor:
+            if (c == 0)
+                return out_.makeResize(x, w);
+            if (c == mask64(w) && width(x) == w)
+                return out_.makeUn(UnOp::Not, x);
+            break;
+          case BinOp::And:
+            if (c == 0)
+                return out_.makeConst(0, w);
+            if (c == mask64(w))
+                return out_.makeResize(x, w);
+            break;
+          case BinOp::Mul:
+            if (c == 0)
+                return out_.makeConst(0, w);
+            if (c == 1)
+                return out_.makeResize(x, w);
+            if (std::has_single_bit(c)) {
+                // x * 2^s == (x << s) at the product width.
+                int s = std::countr_zero(c);
+                return out_.makeBin(BinOp::Shl, out_.makeResize(x, w),
+                                    out_.makeConst(uint64_t(s),
+                                                   bitsToRepresent(s)));
+            }
+            break;
+          case BinOp::Shl:
+            if (k_is_rhs && c == 0)
+                return out_.makeResize(x, w);
+            if (k_is_rhs && c >= uint64_t(w))
+                return out_.makeConst(0, w);
+            break;
+          case BinOp::Shr:
+            if (k_is_rhs && c == 0)
+                return out_.makeResize(x, w);
+            if (k_is_rhs && c >= uint64_t(wa))
+                return out_.makeConst(0, w);
+            break;
+          case BinOp::Ult:
+            if (k_is_rhs && c == 0)
+                return out_.makeConst(0, 1); // nothing is < 0 unsigned
+            break;
+          case BinOp::Uge:
+            if (k_is_rhs && c == 0)
+                return out_.makeConst(1, 1);
+            break;
+          case BinOp::Ugt:
+            if (k_is_rhs && c >= mask64(width(x)))
+                return out_.makeConst(0, 1); // x can't exceed its max
+            break;
+          case BinOp::Ule:
+            if (k_is_rhs && c >= mask64(width(x)))
+                return out_.makeConst(1, 1);
+            break;
+          default:
+            break;
+        }
+    }
+
+    return out_.makeBin(op, a, b);
+}
+
+NodeId
+Rebuilder::buildUn(UnOp op, NodeId a)
+{
+    const Node na = node(a);
+    if (na.kind == NodeKind::Un && na.unOp == op) {
+        switch (op) {
+          case UnOp::Not:
+          case UnOp::Neg:
+            return na.a; // involutions at a fixed width
+          case UnOp::LNot:
+            // LNot(LNot(x)) == (x != 0).
+            return boolOf(na.a);
+        }
+    }
+    return out_.makeUn(op, a);
+}
+
+NodeId
+Rebuilder::buildMux(NodeId cond, NodeId a, NodeId b)
+{
+    if (a == b)
+        return a;
+    // Boolean materialization: mux(c, 1, 0) at width 1 is just bool(c).
+    if (width(a) == 1 && isConst(a) && isConst(b)) {
+        if (cval(a) == 1 && cval(b) == 0)
+            return boolOf(cond);
+        if (cval(a) == 0 && cval(b) == 1)
+            return out_.makeUn(UnOp::LNot, cond);
+    }
+    return out_.makeMux(cond, a, b);
+}
+
+NodeId
+Rebuilder::buildSlice(NodeId a, int lo, int w)
+{
+    if (lo == 0 && w == width(a))
+        return a;
+    const Node na = node(a);
+    if (na.kind == NodeKind::Slice)
+        return buildSlice(na.a, na.index + lo, w);
+    if (na.kind == NodeKind::Concat) {
+        int wlo = width(na.b);
+        if (lo + w <= wlo)
+            return buildSlice(na.b, lo, w);
+        if (lo >= wlo)
+            return buildSlice(na.a, lo - wlo, w);
+    }
+    return out_.makeSlice(a, lo + w - 1, lo);
+}
+
+NodeId
+Rebuilder::buildConcat(NodeId hi, NodeId lo)
+{
+    const int w = width(hi) + width(lo);
+    if (isConst(hi) && isConst(lo))
+        return out_.makeConst(shl64(cval(hi), width(lo)) | cval(lo), w);
+    // Merge stacked zero-extensions: {0, {0, x}} -> {0, x}.
+    if (isConst(hi) && cval(hi) == 0) {
+        const Node nlo = node(lo);
+        if (nlo.kind == NodeKind::Concat && isConst(nlo.a) &&
+            cval(nlo.a) == 0)
+            return out_.makeConcat(out_.makeConst(0, w - width(nlo.b)),
+                                   nlo.b);
+    }
+    // Rejoin adjacent slices of the same source: {x[h:m+1], x[m:l]}.
+    {
+        const Node nhi = node(hi), nlo = node(lo);
+        if (nhi.kind == NodeKind::Slice && nlo.kind == NodeKind::Slice &&
+            nhi.a == nlo.a && nhi.index == nlo.index + nlo.width)
+            return buildSlice(nhi.a, nlo.index, w);
+    }
+    return out_.makeConcat(hi, lo);
+}
+
+} // namespace
+
+OptResult
+optimize(const Circuit &in)
+{
+    in.validate();
+    const auto &nodes = in.nodes();
+
+    // Liveness: walk backwards from every observable root.
+    std::vector<char> live(nodes.size(), 0);
+    std::vector<NodeId> stack;
+    auto mark = [&](NodeId id) {
+        if (id != kNoNode && !live[id]) {
+            live[id] = 1;
+            stack.push_back(id);
+        }
+    };
+    for (const auto &o : in.outputs())
+        mark(o.node);
+    for (const auto &r : in.regs()) {
+        mark(r.next);
+        mark(r.enable);
+    }
+    for (const auto &b : in.brams()) {
+        mark(b.rdAddr);
+        mark(b.wrEn);
+        mark(b.wrAddr);
+        mark(b.wrData);
+    }
+    while (!stack.empty()) {
+        const Node &n = nodes[stack.back()];
+        stack.pop_back();
+        mark(n.a);
+        mark(n.b);
+        mark(n.c);
+    }
+
+    OptResult res{Circuit(in.name()),
+                  std::vector<NodeId>(nodes.size(), kNoNode),
+                  {}};
+    Circuit &out = res.circuit;
+    auto &map = res.nodeMap;
+
+    // Structural elements first, in source order, so port/reg/BRAM
+    // indices are identical in the optimized circuit.
+    for (const auto &p : in.inputs())
+        map[p.node] = out.addInput(p.name, p.width);
+    for (const auto &r : in.regs())
+        map[r.out] = out.regOut(out.addReg(r.name, r.width, r.init));
+    for (const auto &b : in.brams())
+        map[b.rdData] =
+            out.bramRdData(out.addBram(b.name, b.elements, b.width));
+
+    Rebuilder rb(out);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        if (map[i] != kNoNode)
+            continue; // structural node, mapped above
+        if (!live[i]) {
+            ++res.stats.deadNodes;
+            continue;
+        }
+        const Node &n = nodes[i];
+        NodeId r = kNoNode;
+        switch (n.kind) {
+          case NodeKind::Const:
+            r = out.makeConst(n.value, n.width);
+            break;
+          case NodeKind::Bin:
+            r = rb.buildBin(n.binOp, map[n.a], map[n.b]);
+            break;
+          case NodeKind::Un:
+            r = rb.buildUn(n.unOp, map[n.a]);
+            break;
+          case NodeKind::Mux:
+            r = rb.buildMux(map[n.c], map[n.a], map[n.b]);
+            break;
+          case NodeKind::Slice:
+            r = rb.buildSlice(map[n.a], n.index, n.width);
+            break;
+          case NodeKind::Concat:
+            r = rb.buildConcat(map[n.a], map[n.b]);
+            break;
+          case NodeKind::Input:
+          case NodeKind::RegOut:
+          case NodeKind::BramRdData:
+            panic("rtl: opt: unmapped structural node");
+        }
+        if (out.width(r) != n.width)
+            panic("rtl: opt: width changed for node ", NodeId(i), " (",
+                  n.width, " -> ", out.width(r), ")");
+        map[i] = r;
+    }
+
+    for (size_t i = 0; i < in.regs().size(); ++i) {
+        const RegInfo &r = in.regs()[i];
+        out.setRegNext(static_cast<int>(i), map[r.next],
+                       r.enable == kNoNode ? kNoNode : map[r.enable]);
+    }
+    for (size_t i = 0; i < in.brams().size(); ++i) {
+        const BramInfo &b = in.brams()[i];
+        out.setBramPorts(static_cast<int>(i), map[b.rdAddr], map[b.wrEn],
+                         map[b.wrAddr], map[b.wrData]);
+    }
+    for (const auto &o : in.outputs())
+        out.addOutput(o.name, map[o.node]);
+
+    out.validate();
+    res.stats.sourceNodes = nodes.size();
+    res.stats.resultNodes = out.nodes().size();
+    return res;
+}
+
+} // namespace rtl
+} // namespace fleet

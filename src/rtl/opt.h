@@ -1,0 +1,66 @@
+#ifndef FLEET_RTL_OPT_H
+#define FLEET_RTL_OPT_H
+
+/**
+ * @file
+ * Simulation-side circuit optimizer. Rebuilds a Circuit through the
+ * public construction API, applying:
+ *
+ *   - dead-node elimination from the observable roots (outputs, register
+ *     next/enable, BRAM ports);
+ *   - constant folding (the make* constructors already fold; rebuilding
+ *     re-runs them over operands that *became* constant);
+ *   - identity simplification (x+0, x&0, x^x, mux(c,a,a), double
+ *     negation, slice-of-slice / slice-of-concat flattening, ...);
+ *   - width-aware strength reduction (multiply by a power of two becomes
+ *     a shift at the product width, oversized constant shifts become 0).
+ *
+ * Every rewrite preserves the exact width and per-cycle value of the
+ * node it replaces, so the optimized circuit is observably equivalent to
+ * the source: same outputs, same register values, same BRAM contents on
+ * every cycle (tests/rtl_opt_test.cc enforces this against the
+ * interpreter on randomized circuits).
+ *
+ * The optimizer exists purely for simulation speed (rtl/tape.h compiles
+ * the optimized DAG). Verilog emission and the structural-hash area
+ * model always read the *unoptimized* circuit — the area accounting must
+ * reflect what synthesis sees, not what the simulator shortcuts.
+ * Structural elements (input ports, registers, BRAMs) are recreated in
+ * source order, so port/reg/BRAM indices are stable across optimization.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/circuit.h"
+
+namespace fleet {
+namespace rtl {
+
+struct OptResult
+{
+    Circuit circuit;
+
+    /**
+     * Source NodeId -> optimized NodeId. kNoNode for eliminated (dead)
+     * nodes. Mapped nodes have identical width and identical value on
+     * every cycle.
+     */
+    std::vector<NodeId> nodeMap;
+
+    struct Stats
+    {
+        uint64_t sourceNodes = 0;
+        uint64_t resultNodes = 0;
+        uint64_t deadNodes = 0; ///< Source nodes unreachable from roots.
+    };
+    Stats stats;
+};
+
+/** Optimize a validated circuit. The input circuit is not modified. */
+OptResult optimize(const Circuit &in);
+
+} // namespace rtl
+} // namespace fleet
+
+#endif // FLEET_RTL_OPT_H

@@ -68,7 +68,7 @@ Simulator::evalComb()
             v = bitsOf(values_[n.a], n.index, n.width);
             break;
           case NodeKind::Concat:
-            v = (values_[n.a] << nodes[n.b].width) | values_[n.b];
+            v = shl64(values_[n.a], nodes[n.b].width) | values_[n.b];
             break;
         }
         values_[i] = v;

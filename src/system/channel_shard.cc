@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "system/pu_rtl_batch.h"
 #include "util/bits.h"
 #include "util/logging.h"
 #include "util/status.h"
@@ -52,6 +53,12 @@ ChannelShard::addPu(std::unique_ptr<ProcessingUnit> pu, int global_index,
 }
 
 void
+ChannelShard::attachBatch(std::shared_ptr<RtlBatch> batch)
+{
+    batch_ = std::move(batch);
+}
+
+void
 ChannelShard::containPu(int local, Status status)
 {
     PuSlot &slot = pus_[local];
@@ -94,10 +101,43 @@ ChannelShard::run(int input_token_width, int output_token_width,
     uint64_t last_activity_cycle = 0;
     uint64_t last_beats = 0;
 
+    if (batch_ && batch_->lanes() != numPus())
+        panic("system: batched RTL engine has ", batch_->lanes(),
+              " lanes for ", numPus(), " PUs");
+    cycleIn_.assign(pus_.size(), PuInputs{});
+
     try {
         for (cycles_ = 0; cycles_ < max_cycles; ++cycles_) {
             bool activity = false;
             bool all_finished = true;
+
+            // Phase 1: latch every live PU's view of its controller
+            // buffers. These are pure reads of per-PU state, so
+            // gathering them all before any handshake acts is identical
+            // to the interleaved order — and lets the batched engine
+            // evaluate every lane in one vectorized sweep.
+            for (size_t l = 0; l < pus_.size(); ++l) {
+                PuSlot &slot = pus_[l];
+                if (slot.failed)
+                    continue;
+                auto &in_buf = inputCtrl_->buffer(static_cast<int>(l));
+                auto &out_buf = outputCtrl_->buffer(static_cast<int>(l));
+                PuInputs in;
+                in.inputValid = in_buf.sizeBits() >= uint64_t(in_width);
+                in.inputToken = in.inputValid ? in_buf.peek(in_width) : 0;
+                in.inputFinished =
+                    inputCtrl_->streamExhausted(static_cast<int>(l)) &&
+                    in_buf.empty();
+                in.outputReady = out_buf.freeBits() >= uint64_t(out_width);
+                cycleIn_[l] = in;
+                if (batch_)
+                    batch_->setLaneInputs(static_cast<int>(l), in);
+            }
+            if (batch_)
+                batch_->evalAll();
+
+            // Phase 2: act on each PU's outputs (handshakes mutate only
+            // that PU's buffers), classify the cycle, track completion.
             for (size_t l = 0; l < pus_.size(); ++l) {
                 PuSlot &slot = pus_[l];
                 if (slot.failed) {
@@ -111,15 +151,10 @@ ChannelShard::run(int input_token_width, int output_token_width,
                 auto &in_buf = inputCtrl_->buffer(static_cast<int>(l));
                 auto &out_buf = outputCtrl_->buffer(static_cast<int>(l));
 
-                PuInputs in;
-                in.inputValid = in_buf.sizeBits() >= uint64_t(in_width);
-                in.inputToken = in.inputValid ? in_buf.peek(in_width) : 0;
-                in.inputFinished =
-                    inputCtrl_->streamExhausted(static_cast<int>(l)) &&
-                    in_buf.empty();
-                in.outputReady = out_buf.freeBits() >= uint64_t(out_width);
-
-                PuOutputs out = slot.pu->eval(in);
+                const PuInputs &in = cycleIn_[l];
+                PuOutputs out = batch_
+                                    ? batch_->laneOutputs(static_cast<int>(l))
+                                    : slot.pu->eval(in);
                 slot.lastIn = in;
                 slot.lastOut = out;
 
@@ -172,9 +207,15 @@ ChannelShard::run(int input_token_width, int output_token_width,
             inputCtrl_->tick();
             outputCtrl_->tick();
             channel_->tick();
-            for (auto &slot : pus_)
-                if (!slot.failed)
-                    slot.pu->step();
+            if (batch_) {
+                // One vectorized clock edge for the whole group. Failed
+                // lanes advance too, but nothing observes them again.
+                batch_->step();
+            } else {
+                for (auto &slot : pus_)
+                    if (!slot.failed)
+                        slot.pu->step();
+            }
 
             // Containment events raised by this cycle's ticks. Polled
             // after the ticks so the kill takes effect from the next

@@ -43,6 +43,8 @@
 namespace fleet {
 namespace system {
 
+class RtlBatch;
+
 /** Per-PU stall breakdown (valid after the shard has run). */
 struct PuStats
 {
@@ -108,6 +110,15 @@ class ChannelShard
     /** Attach the next processing unit (local index = attach order). */
     void addPu(std::unique_ptr<ProcessingUnit> pu, int global_index,
                uint64_t stream_bits);
+
+    /**
+     * Attach the batched RTL engine whose lane l is the PU with local
+     * index l. When present, run() evaluates and steps all PUs through
+     * the batch's vectorized group calls instead of per-unit
+     * eval()/step() — observably identical, since phase 1 of the cycle
+     * loop only reads per-PU controller state.
+     */
+    void attachBatch(std::shared_ptr<RtlBatch> batch);
 
     /**
      * Run this channel until all attached PUs are finished or contained
@@ -197,6 +208,10 @@ class ChannelShard
     std::unique_ptr<memctl::InputController> inputCtrl_;
     std::unique_ptr<memctl::OutputController> outputCtrl_;
     std::vector<PuSlot> pus_;
+    /** Non-null = group-evaluate all PUs through the batched engine. */
+    std::shared_ptr<RtlBatch> batch_;
+    /** Per-cycle scratch: every live PU's gathered input ports. */
+    std::vector<PuInputs> cycleIn_;
     uint64_t cycles_ = 0;
     ChannelStats stats_;
 };

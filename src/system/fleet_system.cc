@@ -12,6 +12,7 @@
 #include "compile/compiler.h"
 #include "system/pu_fast.h"
 #include "system/pu_rtl.h"
+#include "system/pu_rtl_batch.h"
 #include "util/bits.h"
 #include "util/logging.h"
 
@@ -89,6 +90,12 @@ FleetSystem::FleetSystem(const lang::Program &program,
 
     const uint64_t burst_bytes = config_.inputCtrl.burstBits / 8;
     const int channels = config_.numChannels;
+
+    // Tell the controllers the PU token widths so the per-PU buffers
+    // can carry the one-token skid space that keeps non-dividing token
+    // widths from wedging at bufferBursts = 1 (memctl/params.h).
+    config_.inputCtrl.tokenBits = program_.inputTokenWidth;
+    config_.outputCtrl.tokenBits = program_.outputTokenWidth;
 
     // Fault injection: stream truncation models a short or interrupted
     // upload. It must happen before memory layout *and* before FastPu
@@ -186,21 +193,55 @@ FleetSystem::FleetSystem(const lang::Program &program,
         shards_.push_back(std::move(shard));
     }
 
-    // Instantiate the processing units. FastPu construction pre-runs the
-    // functional simulator over the unit's whole stream — the dominant
-    // construction cost — and units are independent, so build them on
-    // the worker pool too.
+    // Instantiate the processing units. The RTL program is compiled
+    // exactly once (circuit, and for the tape engines the optimizer +
+    // tape) and shared by every replica. FastPu construction pre-runs
+    // the functional simulator over the unit's whole stream — the
+    // dominant construction cost — and units are independent, so build
+    // them on the worker pool.
     std::optional<compile::CompiledUnit> compiled;
-    if (config_.backend == PuBackend::Rtl)
+    std::shared_ptr<const RtlTapeEngine> engine;
+    std::vector<std::shared_ptr<RtlBatch>> batches(channels);
+    switch (config_.backend) {
+      case PuBackend::Fast:
+        break;
+      case PuBackend::RtlInterp:
         compiled.emplace(compile::compileProgram(program_));
+        break;
+      case PuBackend::RtlTape:
+        engine = std::make_shared<const RtlTapeEngine>(program_);
+        break;
+      case PuBackend::Rtl:
+        engine = std::make_shared<const RtlTapeEngine>(program_);
+        // One SoA batch per channel: lane l = the PU with local index l.
+        for (int ch = 0; ch < channels; ++ch) {
+            int lanes = static_cast<int>(layouts[ch].globalPu.size());
+            if (lanes == 0)
+                continue;
+            batches[ch] = std::make_shared<RtlBatch>(engine, lanes);
+            shards_[ch]->attachBatch(batches[ch]);
+        }
+        break;
+    }
     std::vector<std::unique_ptr<ProcessingUnit>> pus(streams_.size());
     parallelFor(resolveThreads(static_cast<int>(streams_.size())),
                 static_cast<int>(streams_.size()), [&](int p) {
-                    if (config_.backend == PuBackend::Rtl)
-                        pus[p] = std::make_unique<RtlPu>(*compiled);
-                    else
+                    switch (config_.backend) {
+                      case PuBackend::Fast:
                         pus[p] = std::make_unique<FastPu>(program_,
                                                           streams_[p]);
+                        break;
+                      case PuBackend::RtlInterp:
+                        pus[p] = std::make_unique<RtlPu>(*compiled);
+                        break;
+                      case PuBackend::RtlTape:
+                        pus[p] = std::make_unique<TapeRtlPu>(engine);
+                        break;
+                      case PuBackend::Rtl:
+                        pus[p] = std::make_unique<RtlBatchLane>(
+                            batches[puShard_[p]], puLocal_[p]);
+                        break;
+                    }
                 });
     for (size_t p = 0; p < streams_.size(); ++p)
         shards_[puShard_[p]]->addPu(std::move(pus[p]),

@@ -51,8 +51,13 @@ namespace system {
 
 enum class PuBackend
 {
-    Fast, ///< Functional-trace replay (cross-checked against Rtl).
-    Rtl,  ///< Interpreted compiled RTL.
+    Fast, ///< Functional-trace replay (cross-checked against the RTL
+          ///< engines).
+    Rtl,  ///< Compiled RTL: optimizer + op tape, evaluated batched
+          ///< (structure-of-arrays) across each channel's PUs. The
+          ///< default cycle-accurate backend.
+    RtlTape,   ///< Compiled RTL, one scalar tape evaluator per PU.
+    RtlInterp, ///< Per-node RTL interpreter (the reference engine).
 };
 
 struct SystemConfig

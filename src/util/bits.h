@@ -51,6 +51,23 @@ signExtend64(uint64_t value, int width)
     return static_cast<int64_t>((value ^ sign) - sign);
 }
 
+/**
+ * Left shift guarded against shift counts >= 64 (undefined behaviour on
+ * uint64_t in C++): the hardware answer for an oversized shift is 0.
+ */
+constexpr uint64_t
+shl64(uint64_t value, uint64_t n)
+{
+    return n >= 64 ? 0 : value << n;
+}
+
+/** Right shift guarded against shift counts >= 64; see shl64. */
+constexpr uint64_t
+shr64(uint64_t value, uint64_t n)
+{
+    return n >= 64 ? 0 : value >> n;
+}
+
 /** Number of bits needed to represent `value` (ceil(log2(value+1)), min 1). */
 constexpr int
 bitsToRepresent(uint64_t value)

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "lang/builder.h"
 #include "sim/simulator.h"
 #include "system/pu_fast.h"
 #include "system/pu_rtl.h"
+#include "system/pu_rtl_batch.h"
 #include "system/pu_testbench.h"
 #include "test_programs.h"
 #include "util/rng.h"
@@ -18,7 +21,11 @@ using lang::Value;
 using lang::VecReg;
 using lang::mux;
 using system::FastPu;
+using system::RtlBatch;
+using system::RtlBatchLane;
 using system::RtlPu;
+using system::RtlTapeEngine;
+using system::TapeRtlPu;
 using system::TestbenchOptions;
 using system::TestbenchResult;
 using system::runPu;
@@ -35,8 +42,9 @@ randomStream(int token_width, int tokens, uint64_t seed)
 
 /**
  * The core cross-check of the paper's testing infrastructure: the
- * functional simulator, the compiled-RTL cycle simulation, and the fast
- * replay model must produce identical outputs, and the two cycle models
+ * functional simulator, all three compiled-RTL engines (per-node
+ * interpreter, scalar op tape, batched SoA evaluator), and the fast
+ * replay model must produce identical outputs, and every cycle model
  * must agree on the exact cycle count, under every stall profile.
  */
 void
@@ -47,6 +55,12 @@ crossCheck(const Program &program, const BitBuffer &input)
 
     RtlPu rtl_pu(program);
     FastPu fast_pu(program, input);
+    auto engine = std::make_shared<const RtlTapeEngine>(program);
+    TapeRtlPu tape_pu(engine);
+    // Exercise the batched engine at an interior lane so slot striding
+    // (values[node][pu]) is actually tested, not just lane 0.
+    auto batch = std::make_shared<RtlBatch>(engine, 3);
+    RtlBatchLane batch_pu(batch, 1);
 
     const TestbenchOptions profiles[] = {
         {1.0, 1.0, 1, 1ULL << 28},   // no stalls
@@ -57,15 +71,33 @@ crossCheck(const Program &program, const BitBuffer &input)
     for (const auto &profile : profiles) {
         TestbenchResult rtl_result = runPu(rtl_pu, input, profile);
         TestbenchResult fast_result = runPu(fast_pu, input, profile);
+        TestbenchResult tape_result = runPu(tape_pu, input, profile);
+        TestbenchResult batch_result = runPu(batch_pu, input, profile);
         ASSERT_TRUE(rtl_result.output == golden.output)
             << program.name << ": RTL output mismatch (validProb="
             << profile.inputValidProb << ")";
         ASSERT_TRUE(fast_result.output == golden.output)
             << program.name << ": fast-model output mismatch";
+        ASSERT_TRUE(tape_result.output == golden.output)
+            << program.name << ": tape-engine output mismatch (validProb="
+            << profile.inputValidProb << ")";
+        ASSERT_TRUE(batch_result.output == golden.output)
+            << program.name << ": batched-engine output mismatch "
+            << "(validProb=" << profile.inputValidProb << ")";
         ASSERT_EQ(rtl_result.cycles, fast_result.cycles)
             << program.name << ": cycle-count mismatch between RTL and "
             << "fast model (validProb=" << profile.inputValidProb
             << ", readyProb=" << profile.outputReadyProb << ")";
+        ASSERT_EQ(rtl_result.cycles, tape_result.cycles)
+            << program.name << ": cycle-count mismatch between "
+            << "interpreter and tape engine";
+        ASSERT_EQ(rtl_result.cycles, batch_result.cycles)
+            << program.name << ": cycle-count mismatch between "
+            << "interpreter and batched engine";
+        ASSERT_EQ(rtl_result.inputTokens, tape_result.inputTokens);
+        ASSERT_EQ(rtl_result.outputTokens, tape_result.outputTokens);
+        ASSERT_EQ(rtl_result.inputTokens, batch_result.inputTokens);
+        ASSERT_EQ(rtl_result.outputTokens, batch_result.outputTokens);
     }
 }
 

@@ -263,6 +263,121 @@ TEST(OutputController, CollectsAndFlushesAllOutput)
     }
 }
 
+TEST(OutputController, NonDividingTokenWidthNeedsNoDoubleBuffer)
+{
+    // Regression for the bufferBursts = 1 wedge: with 12-bit tokens and
+    // 1024-bit bursts (1024 % 12 = 4), an exactly-one-burst buffer fills
+    // to 1020 bits — too full to accept another token, not full enough
+    // for the addressing unit to issue — and the system deadlocks. The
+    // tokenBits skid (one token minus one bit of extra capacity) is the
+    // fix; doubling the buffer is not required.
+    const int kTokenBits = 12;
+    const uint64_t kTokens = 400;
+
+    auto run = [&](int token_bits_param) {
+        dram::DramChannel ch(fastDram(), 1 << 20);
+        ControllerParams params;
+        params.blockingAddressing = false;
+        params.bufferBursts = 1;
+        params.tokenBits = token_bits_param;
+        std::vector<StreamRegion> regions = {{0, 8192, 0}};
+        OutputController ctrl(ch, params, regions);
+
+        uint64_t emitted = 0;
+        bool done = false;
+        for (int cycle = 0; cycle < 30000 && !done; ++cycle) {
+            if (emitted < kTokens &&
+                ctrl.buffer(0).freeBits() >= kTokenBits) {
+                ctrl.buffer(0).push((emitted * 5 + 3) & mask64(kTokenBits),
+                                    kTokenBits);
+                if (++emitted == kTokens)
+                    ctrl.setPuFinished(0);
+            }
+            ctrl.tick();
+            ch.tick();
+            done = ctrl.done() && emitted == kTokens;
+        }
+        return std::make_pair(done, ch.memory()); // memory copied out
+    };
+
+    // Without the skid the controller wedges (this is the bug)...
+    auto [wedged_done, wedged_mem] = run(0);
+    EXPECT_FALSE(wedged_done);
+
+    // ... and with it every token flushes to memory, bit-exact.
+    auto [done, mem] = run(kTokenBits);
+    ASSERT_TRUE(done);
+    for (uint64_t t = 0; t < kTokens; ++t) {
+        uint64_t expect = (t * 5 + 3) & mask64(kTokenBits);
+        uint64_t got = 0;
+        for (int bit = 0; bit < kTokenBits; ++bit) {
+            uint64_t i = t * kTokenBits + bit;
+            got |= uint64_t((mem[i / 8] >> (i % 8)) & 1) << bit;
+        }
+        ASSERT_EQ(got, expect) << "token " << t;
+    }
+}
+
+TEST(InputController, NonDividingTokenWidthNeedsNoDoubleBuffer)
+{
+    // Input-side analogue of the wedge: after a burst drains, the buffer
+    // holds a sub-token residue (1024 = 85 * 12 + 4 bits) the PU cannot
+    // pop, and without the skid creditAvailable() never clears
+    // residue + burstBits <= capacity, so the stream stalls after the
+    // first burst.
+    const int kTokenBits = 12;
+    const uint64_t kTokens = 3000; // 36000 bits ≈ 35.2 bursts
+
+    auto run = [&](int token_bits_param) {
+        dram::DramChannel ch(fastDram(), 1 << 20);
+        ControllerParams params;
+        params.bufferBursts = 1;
+        params.tokenBits = token_bits_param;
+        std::vector<StreamRegion> regions = {
+            {0, 8192, kTokens * kTokenBits}};
+        fillPattern(ch.memory(), regions[0]);
+        InputController ctrl(ch, params, regions);
+
+        std::vector<uint64_t> tokens;
+        for (int cycle = 0; cycle < 60000; ++cycle) {
+            if (ctrl.buffer(0).sizeBits() >= kTokenBits)
+                tokens.push_back(ctrl.buffer(0).pop(kTokenBits));
+            ctrl.tick();
+            ch.tick();
+            if (ctrl.done() && tokens.size() == kTokens)
+                break;
+        }
+        return std::make_pair(std::move(tokens), ch.memory());
+    };
+
+    auto [wedged_tokens, wedged_mem] = run(0);
+    EXPECT_LT(wedged_tokens.size(), kTokens); // the bug: stalls early
+
+    auto [tokens, mem] = run(kTokenBits);
+    ASSERT_EQ(tokens.size(), kTokens);
+    for (uint64_t t = 0; t < kTokens; ++t) {
+        uint64_t expect = 0;
+        for (int bit = 0; bit < kTokenBits; ++bit) {
+            uint64_t i = t * kTokenBits + bit;
+            expect |= uint64_t((mem[i / 8] >> (i % 8)) & 1) << bit;
+        }
+        ASSERT_EQ(tokens[t], expect) << "token " << t;
+    }
+}
+
+TEST(OutputController, DividingTokenWidthGetsNoSkid)
+{
+    // Setting tokenBits must not change behaviour when the token width
+    // divides the burst: the buffer capacity stays exactly one burst, so
+    // dividing-width runs remain bit-identical to the field left at 0.
+    dram::DramChannel ch(fastDram(), 1 << 16);
+    ControllerParams params;
+    params.tokenBits = 8; // 1024 % 8 == 0
+    std::vector<StreamRegion> regions = {{0, 4096, 0}};
+    OutputController ctrl(ch, params, regions);
+    EXPECT_EQ(ctrl.buffer(0).capacityBits(), uint64_t(params.burstBits));
+}
+
 TEST(OutputController, ZeroOutputPuCompletesImmediately)
 {
     dram::DramChannel ch(fastDram(), 1 << 16);

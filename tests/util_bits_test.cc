@@ -22,6 +22,22 @@ TEST(Bits, TruncTo)
     EXPECT_EQ(truncTo(~uint64_t(0), 1), 1u);
 }
 
+TEST(Bits, GuardedShifts)
+{
+    // Shifting a uint64_t by >= 64 is undefined behaviour in C++; the
+    // guarded helpers define it as 0 (the hardware-width semantics the
+    // RTL engines need, e.g. for a Concat whose low part is 64 bits
+    // wide). Regression for the former raw `<<` in the Concat eval.
+    EXPECT_EQ(shl64(0xff, 0), 0xffu);
+    EXPECT_EQ(shl64(1, 63), uint64_t(1) << 63);
+    EXPECT_EQ(shl64(0xff, 64), 0u);
+    EXPECT_EQ(shl64(~uint64_t(0), 65), 0u);
+    EXPECT_EQ(shr64(0xff00, 8), 0xffu);
+    EXPECT_EQ(shr64(uint64_t(1) << 63, 63), 1u);
+    EXPECT_EQ(shr64(~uint64_t(0), 64), 0u);
+    EXPECT_EQ(shr64(~uint64_t(0), 100), 0u);
+}
+
 TEST(Bits, BitsOf)
 {
     EXPECT_EQ(bitsOf(0xabcd, 4, 8), 0xbcu);
