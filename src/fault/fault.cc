@@ -115,13 +115,18 @@ ChannelFaults::beatCorrupted(uint64_t beat_index) const
 uint64_t
 truncatedStreamTokens(const FaultPlan &plan, int global_pu, uint64_t tokens)
 {
+    return truncatedJobTokens(plan, uint64_t(global_pu), tokens);
+}
+
+uint64_t
+truncatedJobTokens(const FaultPlan &plan, uint64_t job_id, uint64_t tokens)
+{
     if (tokens == 0 || plan.truncatePermille == 0)
         return tokens;
-    uint64_t h = hashEvent(plan.seed, kTruncate, uint64_t(global_pu));
+    uint64_t h = hashEvent(plan.seed, kTruncate, job_id);
     if (!chance(h, plan.truncatePermille, 1000))
         return tokens;
-    uint64_t keep =
-        hashEvent(plan.seed, kTruncateLen, uint64_t(global_pu)) % tokens;
+    uint64_t keep = hashEvent(plan.seed, kTruncateLen, job_id) % tokens;
     return keep == 0 ? 1 : keep;
 }
 

@@ -115,6 +115,17 @@ class ChannelFaults
 uint64_t truncatedStreamTokens(const FaultPlan &plan, int global_pu,
                                uint64_t tokens);
 
+/**
+ * Stream truncation decision keyed by a job id instead of a PU index
+ * (the multi-stream job runtime, runtime/session.h). Keying by job makes
+ * a given job's fault independent of which processing unit the scheduler
+ * happens to re-arm with it. For job_id == the global PU index this is
+ * exactly truncatedStreamTokens, so the one-shot path's decisions are
+ * unchanged.
+ */
+uint64_t truncatedJobTokens(const FaultPlan &plan, uint64_t job_id,
+                            uint64_t tokens);
+
 } // namespace fault
 } // namespace fleet
 

@@ -90,6 +90,32 @@ InputController::takeParityEvent()
     return event;
 }
 
+bool
+InputController::puIdle(int pu_index) const
+{
+    const PuState &pu = pus_[pu_index];
+    return pu.burstsIssued == pu.totalBursts && pu.inflightBursts == 0;
+}
+
+void
+InputController::rearmPu(int pu_index, uint64_t stream_bits)
+{
+    PuState &pu = pus_[pu_index];
+    if (!puIdle(pu_index))
+        panic("InputController: rearmPu(", pu_index,
+              ") with bursts still in flight");
+    pu.region.streamBits = stream_bits;
+    pu.totalBursts = ceilDiv(stream_bits, params_.burstBits);
+    if (pu.totalBursts * (params_.burstBits / 8) > pu.region.regionBytes)
+        panic("InputController: re-armed stream exceeds its region");
+    pu.burstsIssued = 0;
+    pu.burstsReceived = 0;
+    pu.burstsDrained = 0;
+    pu.bitsBuffered = 0;
+    pu.buffer.clear();
+    pu.dead = false;
+}
+
 void
 InputController::killPu(int pu_index)
 {

@@ -73,6 +73,27 @@ class InputController
      */
     void killPu(int pu);
 
+    /**
+     * True once the PU's lane holds no controller-side work: every burst
+     * of its (possibly shortened by killPu) stream has been issued and
+     * fully drained or discarded. A lane must be idle before it can be
+     * re-armed.
+     */
+    bool puIdle(int pu) const;
+
+    /**
+     * Re-arm one PU's lane with a fresh stream of `stream_bits` payload
+     * bits (the caller has already written them at the lane's fixed
+     * region base). Resets the per-PU issue/drain/credit state, clears
+     * the buffer (including any sub-token residue of the previous
+     * stream), and clears a killPu() quarantine — the input_finished
+     * protocol starts over for the new stream. The lane must be idle
+     * (puIdle); shared structures (burst registers, order queue,
+     * round-robin pointer) are untouched, so channel-mates are
+     * unaffected mid-flight.
+     */
+    void rearmPu(int pu, uint64_t stream_bits);
+
     /// @name Statistics.
     /// @{
     uint64_t bitsDelivered() const { return bitsDelivered_; }

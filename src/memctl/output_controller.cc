@@ -51,6 +51,38 @@ OutputController::takeOverflowEvent()
 }
 
 bool
+OutputController::puFlushed(int pu_index) const
+{
+    const PuState &pu = pus_[pu_index];
+    if (!pu.finished)
+        return false;
+    if (pu.failed ? pu.bitsPendingFill != 0 : !pu.buffer.empty())
+        return false;
+    // Committed bursts stay in the order queue until every beat has been
+    // transmitted (and thereby committed to channel memory).
+    for (const auto &pending : orderQueue_)
+        if (pending.pu == pu_index)
+            return false;
+    return true;
+}
+
+void
+OutputController::rearmPu(int pu_index)
+{
+    PuState &pu = pus_[pu_index];
+    if (!puFlushed(pu_index))
+        panic("OutputController: rearmPu(", pu_index,
+              ") with output still in flight");
+    pu.buffer.clear();
+    pu.burstsIssued = 0;
+    pu.bitsAccepted = 0;
+    pu.bitsPendingFill = 0;
+    pu.finished = false;
+    pu.flushIssued = false;
+    pu.failed = false;
+}
+
+bool
 OutputController::done() const
 {
     if (!orderQueue_.empty())

@@ -59,6 +59,27 @@ class OutputController
     /** True once the PU was contained for output-region overflow. */
     bool puFailed(int pu) const { return pus_[pu].failed; }
 
+    /**
+     * True once the PU has finished (or been contained) and every bit it
+     * committed has left the controller: no uncommitted output remains
+     * (for a contained PU the uncommitted remainder was dropped), no
+     * burst of its is still filling or awaiting transmission, so its
+     * payloadBits() are all in channel memory (writes commit to memory
+     * as their beats are pushed). The gate for re-arming the lane.
+     */
+    bool puFlushed(int pu) const;
+
+    /**
+     * Re-arm one PU's lane for the next job's output stream: resets the
+     * finished / flushIssued / failed protocol state (all one-way within
+     * a single job), the burst and payload accounting, and the buffer.
+     * The lane must be flushed (puFlushed); the fixed output region is
+     * reused, so the caller must read back the previous job's output
+     * first. Shared structures (burst registers, order queue,
+     * round-robin pointer) are untouched.
+     */
+    void rearmPu(int pu);
+
     /** All output flushed to channel memory for every finished PU. */
     bool done() const;
 

@@ -1,0 +1,84 @@
+#ifndef FLEET_RUNTIME_JOB_QUEUE_H
+#define FLEET_RUNTIME_JOB_QUEUE_H
+
+/**
+ * @file
+ * FIFO of pending jobs for the multi-stream runtime (ISSUE 5). A job is
+ * one independent input stream plus an optional completion callback; the
+ * queue assigns sequential ids at push time, so Session::report(id)
+ * indexes its report table directly and the fault plan's per-job stream
+ * truncation (fault::truncatedJobTokens) is keyed stably no matter which
+ * processing-unit slot the job eventually lands on.
+ *
+ * The queue itself is deliberately dumb — strict FIFO, no priorities —
+ * because the scheduler's determinism argument (DESIGN.md §5e) rests on
+ * the dispatch order being a pure function of simulated state. Anything
+ * cleverer belongs in a layer above, reordering pushes.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "util/bitbuf.h"
+#include "util/logging.h"
+
+namespace fleet {
+namespace runtime {
+
+struct JobReport;
+
+/** Invoked by Session when the job's report is final. */
+using JobCallback = std::function<void(const JobReport &)>;
+
+/** One pending job: a stream awaiting a processing-unit slot. */
+struct PendingJob
+{
+    uint64_t id = 0;
+    BitBuffer stream;
+    JobCallback callback; ///< May be empty.
+};
+
+class JobQueue
+{
+  public:
+    /** Enqueue a stream; returns the job's id (sequential from 0). */
+    uint64_t push(BitBuffer stream, JobCallback callback = nullptr)
+    {
+        uint64_t id = nextId_++;
+        jobs_.push_back(PendingJob{id, std::move(stream),
+                                   std::move(callback)});
+        return id;
+    }
+
+    bool empty() const { return jobs_.empty(); }
+    size_t size() const { return jobs_.size(); }
+    /** Total jobs ever pushed (== the next id to be assigned). */
+    uint64_t pushed() const { return nextId_; }
+
+    const PendingJob &front() const
+    {
+        if (jobs_.empty())
+            panic("JobQueue::front on an empty queue");
+        return jobs_.front();
+    }
+
+    PendingJob pop()
+    {
+        if (jobs_.empty())
+            panic("JobQueue::pop on an empty queue");
+        PendingJob job = std::move(jobs_.front());
+        jobs_.pop_front();
+        return job;
+    }
+
+  private:
+    std::deque<PendingJob> jobs_;
+    uint64_t nextId_ = 0;
+};
+
+} // namespace runtime
+} // namespace fleet
+
+#endif // FLEET_RUNTIME_JOB_QUEUE_H

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Session scheduler implementation. The three-phase round (harvest →
+ * arm → advance) and its fixed iteration order are the entire
+ * determinism argument — see the header and DESIGN.md §5e. Nothing
+ * here reads host time, thread ids, or any other nondeterministic
+ * input; the underlying FleetSystem::stepEpoch is itself bit-identical
+ * at every worker count.
+ */
+
+#include "runtime/session.h"
+
+#include <sstream>
+#include <utility>
+
+namespace fleet {
+namespace runtime {
+
+bool
+operator==(const JobReport &a, const JobReport &b)
+{
+    return a.jobId == b.jobId && a.status == b.status && a.pu == b.pu &&
+           a.channel == b.channel && a.armCycle == b.armCycle &&
+           a.retireCycle == b.retireCycle &&
+           a.streamBits == b.streamBits &&
+           a.emittedBits == b.emittedBits &&
+           a.outputBits == b.outputBits &&
+           a.inputStarvedCycles == b.inputStarvedCycles &&
+           a.outputBlockedCycles == b.outputBlockedCycles &&
+           a.keptTokens == b.keptTokens &&
+           a.originalTokens == b.originalTokens && a.output == b.output;
+}
+
+Session::Session(const lang::Program &program,
+                 const SessionConfig &config)
+    : config_(config), system_(program, config.system, config.numSlots),
+      slots_(system_.numPus())
+{
+    if (config_.epochCycles == 0)
+        panic("SessionConfig::epochCycles must be nonzero");
+    system_.beginSession();
+}
+
+uint64_t
+Session::submit(BitBuffer stream, JobCallback callback)
+{
+    if (finished_)
+        throw StatusError(Status::make(
+            StatusCode::InvalidState,
+            "submit: session already finished"));
+    uint64_t id = queue_.push(std::move(stream), std::move(callback));
+    reports_.emplace_back();
+    reported_.push_back(false);
+    return id;
+}
+
+void
+Session::record(JobReport report, JobCallback &callback)
+{
+    uint64_t id = report.jobId;
+    reports_[id] = std::move(report);
+    reported_[id] = true;
+    ++jobsFinished_;
+    if (callback)
+        callback(reports_[id]);
+}
+
+void
+Session::finishJobEarly(uint64_t job_id, int pu, Status status,
+                        JobCallback &callback)
+{
+    JobReport report;
+    report.jobId = job_id;
+    report.status = std::move(status);
+    report.pu = pu;
+    report.channel = pu >= 0 ? system_.puChannel(pu) : -1;
+    record(std::move(report), callback);
+}
+
+void
+Session::harvest()
+{
+    for (int pu = 0; pu < system_.numPus(); ++pu) {
+        Slot &slot = slots_[pu];
+        if (!slot.busy)
+            continue;
+        if (system_.puDrained(pu)) {
+            // Read the output region before retiring: retireJob parks
+            // the slot and the next arm reuses the region.
+            BitBuffer output = system_.jobOutput(pu);
+            system::RetiredJob retired = system_.retireJob(pu);
+            JobReport report;
+            report.jobId = retired.jobId;
+            report.status = retired.outcome.status;
+            report.pu = pu;
+            report.channel = system_.puChannel(pu);
+            report.armCycle = retired.armCycle;
+            report.retireCycle = retired.retireCycle;
+            report.streamBits = retired.streamBits;
+            report.emittedBits = retired.emittedBits;
+            report.outputBits = retired.outcome.outputBits;
+            report.inputStarvedCycles =
+                retired.stats.inputStarvedCycles;
+            report.outputBlockedCycles =
+                retired.stats.outputBlockedCycles;
+            report.keptTokens = retired.keptTokens;
+            report.originalTokens = retired.originalTokens;
+            report.output = std::move(output);
+            slot.busy = false;
+            record(std::move(report), slot.callback);
+            slot.callback = nullptr;
+        } else if (system_.puShardState(pu) ==
+                   system::ShardState::Halted) {
+            // The channel died under this job (watchdog, cycle limit,
+            // exception): the slot will never drain. Report the job
+            // with the channel's status and retire the slot for good —
+            // its channel-mates' jobs are stranded the same way, but
+            // every other channel keeps serving.
+            std::ostringstream os;
+            os << "job " << slot.jobId << " stranded on halted channel "
+               << system_.puChannel(pu) << ": "
+               << system_.puShardStatus(pu).toString();
+            JobReport report;
+            report.jobId = slot.jobId;
+            report.status =
+                Status::make(system_.puShardStatus(pu).code, os.str());
+            report.pu = pu;
+            report.channel = system_.puChannel(pu);
+            report.retireCycle =
+                system_.shard(system_.puChannel(pu)).cycles();
+            slot.busy = false;
+            slot.dead = true;
+            record(std::move(report), slot.callback);
+            slot.callback = nullptr;
+        }
+    }
+}
+
+void
+Session::armFromQueue()
+{
+    for (int pu = 0; pu < system_.numPus() && !queue_.empty(); ++pu) {
+        Slot &slot = slots_[pu];
+        if (slot.busy || slot.dead)
+            continue;
+        if (system_.puShardState(pu) == system::ShardState::Halted) {
+            slot.dead = true;
+            continue;
+        }
+        while (!queue_.empty()) {
+            PendingJob job = queue_.pop();
+            Status armed =
+                system_.armJob(pu, std::move(job.stream), job.id);
+            if (!armed.ok()) {
+                // A malformed job (bad alignment, oversized stream)
+                // fails alone; the slot takes the next one.
+                finishJobEarly(job.id, pu, std::move(armed),
+                               job.callback);
+                continue;
+            }
+            slot.busy = true;
+            slot.jobId = job.id;
+            slot.callback = std::move(job.callback);
+            break;
+        }
+    }
+}
+
+bool
+Session::step()
+{
+    if (finished_)
+        throw StatusError(Status::make(
+            StatusCode::InvalidState, "step: session already finished"));
+    harvest();
+    armFromQueue();
+    bool in_flight = false;
+    for (const Slot &slot : slots_)
+        in_flight |= slot.busy;
+    if (!in_flight) {
+        if (queue_.empty())
+            return false;
+        // Jobs remain but every slot is dead: report them stranded
+        // rather than spinning.
+        while (!queue_.empty()) {
+            PendingJob job = queue_.pop();
+            finishJobEarly(
+                job.id, -1,
+                Status::make(StatusCode::InvalidState,
+                             "no live processing-unit slots remain "
+                             "(every channel halted)"),
+                job.callback);
+        }
+        return false;
+    }
+    system_.stepEpoch(config_.epochCycles);
+    return true;
+}
+
+void
+Session::drain()
+{
+    while (step()) {
+    }
+}
+
+const system::RunReport &
+Session::finish()
+{
+    drain();
+    finished_ = true;
+    return system_.finishSession();
+}
+
+const JobReport &
+Session::report(uint64_t job_id) const
+{
+    if (!done(job_id))
+        throw StatusError(Status::make(
+            StatusCode::InvalidState,
+            "report: job has not finished (queued or in flight)"));
+    return reports_[job_id];
+}
+
+bool
+Session::done(uint64_t job_id) const
+{
+    return job_id < reported_.size() && reported_[job_id];
+}
+
+uint64_t
+Session::cycles() const
+{
+    uint64_t max_cycles = 0;
+    for (int c = 0; c < system_.numShards(); ++c)
+        max_cycles = std::max(max_cycles, system_.shard(c).cycles());
+    return max_cycles;
+}
+
+} // namespace runtime
+} // namespace fleet

@@ -1,0 +1,192 @@
+#ifndef FLEET_RUNTIME_SESSION_H
+#define FLEET_RUNTIME_SESSION_H
+
+/**
+ * @file
+ * The multi-stream job runtime (ISSUE 5): accept many independent jobs
+ * — far more than there are processing units — and multiplex them onto
+ * the fixed PU pool, re-arming each slot the moment its stream drains.
+ * This is the paper's host runtime shape (Fleet §6): the FPGA's units
+ * are a fixed resource that a server keeps continuously fed, not a
+ * batch device that runs one stream set to completion.
+ *
+ * A Session owns a session-mode FleetSystem (one program, numSlots
+ * parked units) and drives it in scheduler rounds:
+ *
+ *   1. *Harvest*, in global PU order: every drained slot's job is read
+ *      back, retired into a JobReport, and its callback fired; jobs
+ *      stranded on a halted channel are reported with the channel's
+ *      status and the slot is marked dead.
+ *   2. *Arm*, in global PU order: parked live slots take the queue's
+ *      next jobs (strict FIFO).
+ *   3. *Advance*: every channel shard steps up to epochCycles cycles
+ *      on the worker pool (shards park early when they go idle).
+ *
+ * Determinism: harvesting and arming happen only at round boundaries,
+ * in a fixed order, and the queue is FIFO — so the job→slot schedule is
+ * a pure function of simulated state, and every result (JobReports and
+ * the final RunReport, traces included) is bit-identical at any host
+ * thread count and across PU backends. The determinism suite asserts
+ * exactly this.
+ *
+ * Jobs for different programs need different circuits: run one Session
+ * per program, or partition the slot pool across several Sessions.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/job_queue.h"
+#include "system/fleet_system.h"
+
+namespace fleet {
+namespace runtime {
+
+struct SessionConfig
+{
+    /** Channel/DRAM/backends/fault/trace config for the underlying
+     * session-mode FleetSystem (system::SystemConfig::inputRegionBytes
+     * bounds the largest acceptable job stream). */
+    system::SystemConfig system;
+    /** Processing-unit slots in the pool. */
+    int numSlots = 8;
+    /**
+     * Cycles each shard advances per scheduler round. Smaller epochs
+     * re-arm drained slots sooner (less idle tail per job) but cross
+     * the host barrier more often; results are bit-identical for any
+     * value — only wall-clock and slot idle time change.
+     */
+    uint64_t epochCycles = 2048;
+};
+
+/** Final, per-job result — the runtime's analogue of a PuOutcome. */
+struct JobReport
+{
+    uint64_t jobId = 0;
+    /** Ok; StreamTruncated (completed over an injected short stream);
+     * a containment code (Parity, OutputOverflow); or the channel
+     * status for a job stranded by a halted channel. */
+    Status status;
+    int pu = -1;      ///< Slot the job ran on (-1: never armed).
+    int channel = -1; ///< Channel owning that slot.
+    uint64_t armCycle = 0;
+    uint64_t retireCycle = 0;
+    uint64_t streamBits = 0;  ///< Input bits actually armed.
+    uint64_t emittedBits = 0; ///< Bits the unit emitted.
+    uint64_t outputBits = 0;  ///< Bits flushed to channel memory.
+    /** This job's slice of the slot's stall counters. */
+    uint64_t inputStarvedCycles = 0;
+    uint64_t outputBlockedCycles = 0;
+    /** Tokens kept / original when fault truncation applied (equal
+     * when the stream ran whole). */
+    uint64_t keptTokens = 0;
+    uint64_t originalTokens = 0;
+    /** The job's flushed output (partial for contained/stranded jobs —
+     * empty when the channel halted before the slot drained). */
+    BitBuffer output;
+
+    /** Completed — possibly on a truncated stream. */
+    bool ok() const
+    {
+        return status.code == StatusCode::Ok ||
+               status.code == StatusCode::StreamTruncated;
+    }
+};
+
+bool operator==(const JobReport &a, const JobReport &b);
+inline bool
+operator!=(const JobReport &a, const JobReport &b)
+{
+    return !(a == b);
+}
+
+class Session
+{
+  public:
+    Session(const lang::Program &program, const SessionConfig &config);
+
+    /**
+     * Enqueue a job; returns its id (sequential from 0). The stream
+     * must be a whole number of input tokens and fit the configured
+     * input region — violations surface in the job's report
+     * (InvalidArgument), not as exceptions, so one bad job cannot take
+     * down the queue behind it. Submitting after finish() throws
+     * StatusError(InvalidState).
+     */
+    uint64_t submit(BitBuffer stream, JobCallback callback = nullptr);
+
+    /**
+     * One scheduler round: harvest drained jobs, arm queued jobs onto
+     * parked slots, advance every shard one epoch. Returns true while
+     * jobs remain queued or in flight — `while (session.step());` is
+     * the serving loop, with submit() legal between rounds.
+     */
+    bool step();
+
+    /** Run rounds until every submitted job has a report. */
+    void drain();
+
+    /**
+     * Drain, then settle the underlying system: every shard's
+     * ChannelOutcome and the session trace are assembled into the
+     * returned RunReport (which the determinism fences compare across
+     * thread counts). Call once, last.
+     */
+    const system::RunReport &finish();
+
+    /** A finished job's report. Throws StatusError(InvalidState) while
+     * the job is still queued or in flight. */
+    const JobReport &report(uint64_t job_id) const;
+
+    /** True once `job_id` has a final report. */
+    bool done(uint64_t job_id) const;
+
+    /** Reports of all finished jobs, indexed by job id (ids with no
+     * final report yet are default-constructed placeholders). */
+    const std::vector<JobReport> &reports() const { return reports_; }
+
+    uint64_t jobsSubmitted() const { return queue_.pushed(); }
+    uint64_t jobsFinished() const { return jobsFinished_; }
+    /** Queued + armed jobs without a final report. */
+    uint64_t jobsPending() const
+    {
+        return queue_.pushed() - jobsFinished_;
+    }
+    /** Simulated cycle count (max over channels so far). */
+    uint64_t cycles() const;
+
+    system::FleetSystem &system() { return system_; }
+    const system::FleetSystem &system() const { return system_; }
+
+  private:
+    /** Slot bookkeeping: which job a slot holds, if any. */
+    struct Slot
+    {
+        bool busy = false;
+        bool dead = false; ///< Channel halted; never re-armed.
+        uint64_t jobId = 0;
+        JobCallback callback;
+    };
+
+    void harvest();
+    void armFromQueue();
+    /** Report a job that never produced a RetiredJob (arm rejection or
+     * a halted channel) and fire its callback. */
+    void finishJobEarly(uint64_t job_id, int pu, Status status,
+                        JobCallback &callback);
+    void record(JobReport report, JobCallback &callback);
+
+    SessionConfig config_;
+    system::FleetSystem system_;
+    JobQueue queue_;
+    std::vector<Slot> slots_; ///< Indexed by global PU index.
+    std::vector<JobReport> reports_; ///< Indexed by job id.
+    std::vector<bool> reported_;     ///< Indexed by job id.
+    uint64_t jobsFinished_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace runtime
+} // namespace fleet
+
+#endif // FLEET_RUNTIME_SESSION_H

@@ -47,6 +47,9 @@ ChannelShard::addPu(std::unique_ptr<ProcessingUnit> pu, int global_index,
     slot.pu = std::move(pu);
     slot.globalIndex = global_index;
     slot.streamBits = stream_bits;
+    // One-shot runs arm one stream per unit: its job id is the global
+    // PU index. Session arms overwrite this per job (rearmPu).
+    slot.jobId = static_cast<uint64_t>(global_index);
     pus_.push_back(std::move(slot));
     if (trace_)
         trace_->addPu(global_index);
@@ -83,12 +86,22 @@ ChannelOutcome
 ChannelShard::run(int input_token_width, int output_token_width,
                   uint64_t max_cycles, uint64_t watchdog_cycles)
 {
-    const int in_width = input_token_width;
-    const int out_width = output_token_width;
+    beginRun(input_token_width, output_token_width, max_cycles,
+             watchdog_cycles);
+    // The budget never binds before max_cycles does, so this is the
+    // legacy single uninterrupted loop.
+    step(UINT64_MAX);
+    return finishRun();
+}
 
-    ChannelOutcome channel_outcome;
-    bool completed = false;
-
+void
+ChannelShard::beginRun(int input_token_width, int output_token_width,
+                       uint64_t max_cycles, uint64_t watchdog_cycles)
+{
+    inWidth_ = input_token_width;
+    outWidth_ = output_token_width;
+    maxCycles_ = max_cycles;
+    watchdogCycles_ = watchdog_cycles;
     // Forward-progress watchdog: a configuration can genuinely hang
     // (e.g. blocking output addressing with divergent filter rates, the
     // pathology Section 5's non-blocking default avoids — or a PU
@@ -98,16 +111,28 @@ ChannelShard::run(int input_token_width, int output_token_width,
     // instead of spinning to maxCycles. Per-shard, the watchdog is
     // stricter than a global one: a stuck channel cannot hide behind
     // another channel's activity.
-    uint64_t last_activity_cycle = 0;
-    uint64_t last_beats = 0;
+    lastActivityCycle_ = 0;
+    lastBeats_ = 0;
+    haltStatus_ = Status::make(StatusCode::Ok);
+    cycles_ = 0;
 
     if (batch_ && batch_->lanes() != numPus())
         panic("system: batched RTL engine has ", batch_->lanes(),
               " lanes for ", numPus(), " PUs");
     cycleIn_.assign(pus_.size(), PuInputs{});
+    state_ = ShardState::Active;
+}
+
+ShardState
+ChannelShard::step(uint64_t budget)
+{
+    if (state_ != ShardState::Active)
+        return state_;
+    const int in_width = inWidth_;
+    const int out_width = outWidth_;
 
     try {
-        for (cycles_ = 0; cycles_ < max_cycles; ++cycles_) {
+        for (; budget > 0 && cycles_ < maxCycles_; ++cycles_, --budget) {
             bool activity = false;
             bool all_finished = true;
 
@@ -118,7 +143,7 @@ ChannelShard::run(int input_token_width, int output_token_width,
             // evaluate every lane in one vectorized sweep.
             for (size_t l = 0; l < pus_.size(); ++l) {
                 PuSlot &slot = pus_[l];
-                if (slot.failed)
+                if (slot.failed || slot.parked)
                     continue;
                 auto &in_buf = inputCtrl_->buffer(static_cast<int>(l));
                 auto &out_buf = outputCtrl_->buffer(static_cast<int>(l));
@@ -140,8 +165,9 @@ ChannelShard::run(int input_token_width, int output_token_width,
             // that PU's buffers), classify the cycle, track completion.
             for (size_t l = 0; l < pus_.size(); ++l) {
                 PuSlot &slot = pus_[l];
-                if (slot.failed) {
-                    // Contained: quarantined from the loop.
+                if (slot.failed || slot.parked) {
+                    // Contained or awaiting a job: quarantined from the
+                    // loop until retired / re-armed.
                     if (trace_)
                         trace_->puCycle(static_cast<int>(l), cycles_,
                                         trace::PuPhase::Done);
@@ -213,7 +239,7 @@ ChannelShard::run(int input_token_width, int output_token_width,
                 batch_->step();
             } else {
                 for (auto &slot : pus_)
-                    if (!slot.failed)
+                    if (!slot.failed && !slot.parked)
                         slot.pu->step();
             }
 
@@ -251,37 +277,65 @@ ChannelShard::run(int input_token_width, int output_token_width,
 
             uint64_t beats =
                 channel_->beatsDelivered() + channel_->beatsWritten();
-            if (activity || beats != last_beats) {
-                last_activity_cycle = cycles_;
-                last_beats = beats;
-            } else if (cycles_ - last_activity_cycle > watchdog_cycles) {
-                channel_outcome.status = Status::make(
+            if (activity || beats != lastBeats_) {
+                lastActivityCycle_ = cycles_;
+                lastBeats_ = beats;
+            } else if (cycles_ - lastActivityCycle_ > watchdogCycles_) {
+                haltStatus_ = Status::make(
                     StatusCode::WatchdogStall,
-                    watchdogDump(cycles_ - last_activity_cycle));
-                break;
+                    watchdogDump(cycles_ - lastActivityCycle_));
+                state_ = ShardState::Halted;
+                return state_;
             }
 
-            if (all_finished && outputCtrl_->done()) {
+            // Idle also waits for discarded in-flight bursts of
+            // contained lanes to drain: a lane with reads still in
+            // flight is not puIdle, so retiring its job (and re-arming
+            // the slot) would be impossible once step() short-circuits.
+            if (all_finished && outputCtrl_->done() &&
+                inputCtrl_->inflightBursts() == 0) {
                 ++cycles_;
-                completed = true;
-                break;
+                state_ = ShardState::Idle;
+                return state_;
             }
         }
-        if (!completed && channel_outcome.status.ok()) {
+        if (cycles_ >= maxCycles_) {
             std::ostringstream os;
             os << "channel " << channelIndex_ << " did not finish within "
-               << max_cycles << " cycles";
-            channel_outcome.status =
+               << maxCycles_ << " cycles";
+            haltStatus_ =
                 Status::make(StatusCode::CycleLimitExceeded, os.str());
+            state_ = ShardState::Halted;
         }
     } catch (const StatusError &error) {
-        channel_outcome.status = error.status();
+        haltStatus_ = error.status();
+        state_ = ShardState::Halted;
     } catch (const std::exception &error) {
-        channel_outcome.status =
+        haltStatus_ =
             Status::make(StatusCode::InternalError, error.what());
+        state_ = ShardState::Halted;
+    }
+    return state_;
+}
+
+ChannelOutcome
+ChannelShard::finishRun()
+{
+    ChannelOutcome channel_outcome;
+    channel_outcome.status = haltStatus_;
+    channel_outcome.cycles = cycles_;
+
+    // Close any job spans still open (jobs left armed at session end —
+    // on a halted channel they inherit the channel status below).
+    if (trace_) {
+        for (size_t l = 0; l < pus_.size(); ++l) {
+            PuSlot &slot = pus_[l];
+            if (slot.hasJob)
+                trace_->jobSpan(static_cast<int>(l), slot.jobId,
+                                slot.armCycle, cycles_);
+        }
     }
 
-    channel_outcome.cycles = cycles_;
     finalizeStats();
 
     // Settle per-PU outcomes: contained units keep the status recorded
@@ -302,8 +356,114 @@ ChannelShard::run(int input_token_width, int output_token_width,
         }
         slot.outcome.outputBits =
             outputCtrl_->payloadBits(static_cast<int>(l));
+        slot.outcome.jobId = slot.jobId;
     }
     return channel_outcome;
+}
+
+bool
+ChannelShard::puDrained(int local) const
+{
+    const PuSlot &slot = pus_[local];
+    if (slot.parked || !slot.hasJob)
+        return false;
+    if (!slot.finishedSeen && !slot.failed)
+        return false;
+    return inputCtrl_->puIdle(local) && outputCtrl_->puFlushed(local);
+}
+
+RetiredJob
+ChannelShard::retireJob(int local)
+{
+    PuSlot &slot = pus_[local];
+    if (!puDrained(local))
+        panic("ChannelShard: retireJob(", local,
+              ") before the job drained");
+
+    RetiredJob job;
+    job.jobId = slot.jobId;
+    job.armCycle = slot.armCycle;
+    job.retireCycle = cycles_;
+    job.streamBits = slot.streamBits;
+    job.emittedBits = slot.emittedBits;
+    job.stats.inputStarvedCycles = slot.stats.inputStarvedCycles -
+                                   slot.statsAtArm.inputStarvedCycles;
+    job.stats.outputBlockedCycles = slot.stats.outputBlockedCycles -
+                                    slot.statsAtArm.outputBlockedCycles;
+    job.stats.finishedAtCycle = slot.stats.finishedAtCycle;
+    if (slot.failed) {
+        job.outcome = slot.outcome; // Status recorded at containment.
+    } else {
+        job.outcome.status = Status::make(StatusCode::Ok);
+        job.outcome.atCycle = slot.stats.finishedAtCycle;
+    }
+    job.outcome.outputBits = outputCtrl_->payloadBits(local);
+    job.outcome.jobId = slot.jobId;
+
+    if (trace_)
+        trace_->jobSpan(local, slot.jobId, slot.armCycle, cycles_);
+
+    // Roll the finished job into the cumulative channel accounting,
+    // then park the slot. The controller lanes keep their drained
+    // state (idle input, finished-and-flushed output) so the channel's
+    // completion check and channel-mates are unaffected; the next
+    // rearmPu resets them.
+    slot.pastInputBytes += ceilDiv(slot.streamBits, 8);
+    slot.pastOutputBytes += ceilDiv(slot.emittedBits, 8);
+    ++slot.jobsRetired;
+    slot.parked = true;
+    slot.hasJob = false;
+    slot.failed = false;
+    slot.finishedSeen = false;
+    slot.streamBits = 0;
+    slot.emittedBits = 0;
+    return job;
+}
+
+void
+ChannelShard::parkPu(int local)
+{
+    PuSlot &slot = pus_[local];
+    slot.parked = true;
+    slot.hasJob = false;
+    slot.streamBits = 0;
+    // A parked lane counts as finished-and-flushed so it never blocks
+    // the channel's completion check.
+    outputCtrl_->setPuFinished(local);
+}
+
+void
+ChannelShard::rearmPu(int local, uint64_t stream_bits, uint64_t job_id)
+{
+    PuSlot &slot = pus_[local];
+    if (state_ == ShardState::Unstarted || state_ == ShardState::Halted)
+        panic("ChannelShard: rearmPu(", local,
+              ") outside an active run");
+    if (!slot.parked)
+        panic("ChannelShard: rearmPu(", local,
+              ") on a slot that still holds a job");
+
+    inputCtrl_->rearmPu(local, stream_bits);
+    outputCtrl_->rearmPu(local);
+    slot.pu->reset();
+    slot.parked = false;
+    slot.hasJob = true;
+    slot.jobId = job_id;
+    slot.armCycle = cycles_;
+    slot.streamBits = stream_bits;
+    slot.emittedBits = 0;
+    slot.finishedSeen = false;
+    slot.failed = false;
+    slot.statsAtArm = slot.stats;
+    slot.stats.finishedAtCycle = 0;
+    slot.outcome = PuOutcome{};
+    slot.lastIn = PuInputs{};
+    slot.lastOut = PuOutputs{};
+    // Fresh work: the stretch the slot sat parked must not count
+    // against the forward-progress watchdog.
+    lastActivityCycle_ = cycles_;
+    lastBeats_ = channel_->beatsDelivered() + channel_->beatsWritten();
+    state_ = ShardState::Active;
 }
 
 void
@@ -314,8 +474,11 @@ ChannelShard::finalizeStats()
     stats_.beatsDelivered = channel_->beatsDelivered();
     stats_.beatsWritten = channel_->beatsWritten();
     for (const auto &slot : pus_) {
-        stats_.inputBytes += ceilDiv(slot.streamBits, 8);
-        stats_.outputBytes += ceilDiv(slot.emittedBits, 8);
+        // Past* are the retired jobs' roll-ups (always 0 one-shot).
+        stats_.inputBytes += slot.pastInputBytes +
+                             ceilDiv(slot.streamBits, 8);
+        stats_.outputBytes += slot.pastOutputBytes +
+                              ceilDiv(slot.emittedBits, 8);
         stats_.inputStarvedCycles += slot.stats.inputStarvedCycles;
         stats_.outputBlockedCycles += slot.stats.outputBlockedCycles;
     }
@@ -326,6 +489,8 @@ ChannelShard::stallReason(const PuSlot &slot) const
 {
     if (slot.failed)
         return "contained";
+    if (slot.parked)
+        return "parked";
     if (slot.finishedSeen)
         return "finished";
     // Shared classification (trace/taxonomy.h) over the last cycle's
@@ -377,6 +542,7 @@ ChannelShard::takeTrace()
         set.set("flushed_payload_bits", outputCtrl_->payloadBits(local));
         set.set("finished_at_cycle", slot.stats.finishedAtCycle);
         set.set("contained", slot.failed ? 1 : 0);
+        set.set("jobs_retired", slot.jobsRetired);
         slot.pu->appendCounters(set);
         out.counters.push_back(std::move(set));
     }

@@ -25,6 +25,17 @@
  * the cycle limit, an unexpected exception) end this shard's run with a
  * diagnostic ChannelOutcome; other shards are unaffected. run() never
  * throws for simulation failures — it reports.
+ *
+ * Incremental stepping (ISSUE 5): run() is the one-shot wrapper over a
+ * resumable three-phase protocol — beginRun() initializes the loop
+ * state, step(budget) advances up to `budget` cycles and parks at the
+ * budget, on completion (Idle), or on a channel-level failure (Halted),
+ * and finishRun() settles the ChannelOutcome. Between step() slices a
+ * caller may retire a drained unit's job (retireJob) and re-arm the
+ * slot with a fresh stream (rearmPu) without disturbing channel-mates
+ * mid-flight — the multi-stream job runtime (runtime/session.h) is
+ * built on exactly this seam. run() == beginRun + step(unbounded) +
+ * finishRun, so the one-shot path is bit-identical by construction.
  */
 
 #include <cstdint>
@@ -89,6 +100,35 @@ struct ChannelStats
     }
 };
 
+/** Where a shard's incremental run currently stands. */
+enum class ShardState
+{
+    Unstarted, ///< beginRun() not yet called.
+    Active,    ///< Work pending; step() advances the simulation.
+    Idle, ///< Every armed slot drained and flushed; step() is a no-op
+          ///< until a slot is re-armed.
+    Halted, ///< Channel-level failure (watchdog, cycle limit,
+            ///< exception); terminal.
+};
+
+/** Everything the job runtime needs to report one drained job. */
+struct RetiredJob
+{
+    uint64_t jobId = 0;
+    /** Ok / containment status, decided-at cycle, flushed output bits. */
+    PuOutcome outcome;
+    uint64_t armCycle = 0;
+    uint64_t retireCycle = 0;
+    uint64_t streamBits = 0;
+    uint64_t emittedBits = 0;
+    /** This job's slice of the slot's stall counters. */
+    PuStats stats;
+    /** Tokens kept / original when fault truncation applied (filled by
+     * the system layer; equal when the stream ran whole). */
+    uint64_t keptTokens = 0;
+    uint64_t originalTokens = 0;
+};
+
 class ChannelShard
 {
   public:
@@ -126,10 +166,74 @@ class ChannelShard
      * touches no state outside the shard, so shards may run
      * concurrently. Simulation failures (watchdog stall, cycle-limit
      * overrun, escaped exceptions) are returned as the ChannelOutcome,
-     * never thrown.
+     * never thrown. Exactly beginRun + step(unbounded) + finishRun.
      */
     ChannelOutcome run(int input_token_width, int output_token_width,
                        uint64_t max_cycles, uint64_t watchdog_cycles);
+
+    /// @name Incremental stepping (the job runtime's driving seam).
+    /// @{
+
+    /** Initialize the cycle loop; the shard becomes Active. */
+    void beginRun(int input_token_width, int output_token_width,
+                  uint64_t max_cycles, uint64_t watchdog_cycles);
+
+    /**
+     * Advance up to `budget` cycles. Returns the state afterwards:
+     * Active (budget exhausted, work remains), Idle (every armed slot
+     * drained and all output flushed — re-arm or finish), or Halted
+     * (watchdog / cycle limit / exception; the status is settled by
+     * finishRun). Stepping a non-Active shard is a no-op.
+     */
+    ShardState step(uint64_t budget);
+
+    /** Settle the ChannelOutcome (Ok when Idle). Call once, last. */
+    ChannelOutcome finishRun();
+
+    ShardState state() const { return state_; }
+    /** The failure recorded when the shard halted (Ok otherwise). */
+    const Status &haltStatus() const { return haltStatus_; }
+
+    /**
+     * Park a slot: it holds no job, is skipped by the cycle loop, and
+     * never blocks channel completion. Session-mode construction parks
+     * every slot; retireJob() parks the slot it retires. Arm with
+     * rearmPu(). Call only before beginRun() or on a retired slot.
+     */
+    void parkPu(int local);
+
+    /**
+     * True once `local`'s armed job has fully drained: the unit
+     * finished (or was contained), its input lane is idle, and every
+     * output bit has been flushed to channel memory — so the output
+     * region is readable and the slot is safe to retire + re-arm.
+     */
+    bool puDrained(int local) const;
+
+    /**
+     * Capture a drained job's outcome and park the slot. Closes the
+     * job's trace span at the current cycle. The caller reads the
+     * output region *before* the next rearmPu (the region is reused).
+     */
+    RetiredJob retireJob(int local);
+
+    /**
+     * Arm a parked slot with a fresh stream of `stream_bits` payload
+     * bits (already written at the lane's region base by the caller,
+     * who also re-targeted a stream-specialized unit — FastPu::rearm).
+     * Resets both controller lanes and the unit, starts the job's trace
+     * span, and re-bases the forward-progress watchdog. Channel-mates
+     * are untouched mid-flight. The shard becomes Active.
+     */
+    void rearmPu(int local, uint64_t stream_bits, uint64_t job_id);
+
+    /** The attached unit (the system layer re-targets FastPu here). */
+    ProcessingUnit &processingUnit(int local) { return *pus_[local].pu; }
+
+    /** True when the slot holds no job and can be armed. */
+    bool puParked(int local) const { return pus_[local].parked; }
+
+    /// @}
 
     int channelIndex() const { return channelIndex_; }
     int numPus() const { return static_cast<int>(pus_.size()); }
@@ -181,8 +285,20 @@ class ChannelShard
         uint64_t streamBits = 0;
         uint64_t emittedBits = 0;
         bool finishedSeen = false;
-        bool failed = false; ///< Contained: skipped for the rest of run.
+        bool failed = false; ///< Contained: skipped until re-armed.
+        bool parked = false; ///< No job: skipped, never blocks finish.
+        /** Armed via rearmPu (job runtime) — a trace job span is open.
+         * One-shot slots armed by addPu stay false: no job spans. */
+        bool hasJob = false;
+        uint64_t jobId = 0;
+        uint64_t armCycle = 0;
+        /** Retired jobs' bytes, rolled up for the channel stats. */
+        uint64_t pastInputBytes = 0;
+        uint64_t pastOutputBytes = 0;
+        uint64_t jobsRetired = 0;
         PuStats stats;
+        /** Snapshot at arm — per-job stall slices are deltas. */
+        PuStats statsAtArm;
         PuOutcome outcome;
         /** Last cycle's handshake, for the watchdog's stall diagnosis. */
         PuInputs lastIn;
@@ -214,6 +330,16 @@ class ChannelShard
     std::vector<PuInputs> cycleIn_;
     uint64_t cycles_ = 0;
     ChannelStats stats_;
+
+    // Resumable-run state, persisted across step() slices.
+    ShardState state_ = ShardState::Unstarted;
+    int inWidth_ = 0;
+    int outWidth_ = 0;
+    uint64_t maxCycles_ = 0;
+    uint64_t watchdogCycles_ = 0;
+    uint64_t lastActivityCycle_ = 0;
+    uint64_t lastBeats_ = 0;
+    Status haltStatus_;
 };
 
 } // namespace system

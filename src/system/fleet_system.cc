@@ -85,6 +85,21 @@ FleetSystem::FleetSystem(const lang::Program &program,
 {
     if (streams_.empty())
         fatal("FleetSystem: needs at least one stream");
+    build(static_cast<int>(streams_.size()));
+}
+
+FleetSystem::FleetSystem(const lang::Program &program,
+                         const SystemConfig &config, int num_slots)
+    : program_(program), config_(config), sessionMode_(true)
+{
+    if (num_slots < 1)
+        fatal("FleetSystem: session needs at least one slot");
+    build(num_slots);
+}
+
+void
+FleetSystem::build(int num_slots)
+{
     if (config_.numChannels < 1)
         fatal("FleetSystem: needs at least one channel");
 
@@ -100,9 +115,15 @@ FleetSystem::FleetSystem(const lang::Program &program,
     // Fault injection: stream truncation models a short or interrupted
     // upload. It must happen before memory layout *and* before FastPu
     // construction (the fast model pre-computes its trace over the
-    // exact stream), so it is the very first transformation.
-    truncation_.resize(streams_.size());
-    for (size_t p = 0; p < streams_.size(); ++p) {
+    // exact stream), so it is the very first transformation. Session
+    // mode truncates per job at armJob() instead — same hash, keyed by
+    // job id.
+    truncation_.resize(num_slots);
+    for (int p = 0; p < num_slots; ++p) {
+        if (sessionMode_) {
+            truncation_[p] = {0, 0};
+            continue;
+        }
         const BitBuffer &stream = streams_[p];
         if (stream.sizeBits() % program_.inputTokenWidth != 0)
             fatal("FleetSystem: stream ", p,
@@ -119,6 +140,12 @@ FleetSystem::FleetSystem(const lang::Program &program,
         }
     }
 
+    // Session slots get a fixed-size input region every job must fit
+    // (the stream is re-uploaded to the region base at each arm).
+    const uint64_t session_region_bytes = roundUp(
+        config_.inputRegionBytes ? config_.inputRegionBytes : 256 * 1024,
+        burst_bytes);
+
     // Lay out each channel's memory: all of its PUs' input regions,
     // then their output regions.
     struct Layout
@@ -130,21 +157,23 @@ FleetSystem::FleetSystem(const lang::Program &program,
     };
     std::vector<Layout> layouts(channels);
 
-    outputRegions_.resize(streams_.size());
-    puShard_.resize(streams_.size());
-    puLocal_.resize(streams_.size());
-    for (size_t p = 0; p < streams_.size(); ++p) {
-        const BitBuffer &stream = streams_[p];
-        int ch = static_cast<int>(p) % channels;
+    inputRegions_.resize(num_slots);
+    outputRegions_.resize(num_slots);
+    puShard_.resize(num_slots);
+    puLocal_.resize(num_slots);
+    for (int p = 0; p < num_slots; ++p) {
+        int ch = p % channels;
         Layout &layout = layouts[ch];
         puShard_[p] = ch;
         puLocal_[p] = static_cast<int>(layout.globalPu.size());
 
         memctl::StreamRegion in;
         in.baseAddr = layout.bytes;
-        in.streamBits = stream.sizeBits();
-        in.regionBytes = roundUp(ceilDiv(stream.sizeBits(), 8),
-                                 burst_bytes);
+        in.streamBits = sessionMode_ ? 0 : streams_[p].sizeBits();
+        in.regionBytes =
+            sessionMode_ ? session_region_bytes
+                         : roundUp(ceilDiv(streams_[p].sizeBits(), 8),
+                                   burst_bytes);
         layout.bytes += in.regionBytes;
 
         memctl::StreamRegion out;
@@ -164,7 +193,7 @@ FleetSystem::FleetSystem(const lang::Program &program,
 
         layout.inputs.push_back(in);
         layout.outputs.push_back(out);
-        layout.globalPu.push_back(static_cast<int>(p));
+        layout.globalPu.push_back(p);
     }
     for (auto &layout : layouts) {
         for (auto &out : layout.outputs) {
@@ -174,7 +203,7 @@ FleetSystem::FleetSystem(const lang::Program &program,
     }
 
     // Instantiate one self-contained shard per channel and copy its
-    // streams into channel memory.
+    // streams into channel memory (session jobs upload at arm time).
     for (int ch = 0; ch < channels; ++ch) {
         Layout &layout = layouts[ch];
         auto shard = std::make_unique<ChannelShard>(
@@ -184,10 +213,13 @@ FleetSystem::FleetSystem(const lang::Program &program,
             config_.faults, config_.trace);
         auto &mem = shard->channel().memory();
         for (size_t l = 0; l < layout.inputs.size(); ++l) {
-            const BitBuffer &stream = streams_[layout.globalPu[l]];
-            auto bytes = stream.toBytes();
-            std::copy(bytes.begin(), bytes.end(),
-                      mem.begin() + layout.inputs[l].baseAddr);
+            if (!sessionMode_) {
+                const BitBuffer &stream = streams_[layout.globalPu[l]];
+                auto bytes = stream.toBytes();
+                std::copy(bytes.begin(), bytes.end(),
+                          mem.begin() + layout.inputs[l].baseAddr);
+            }
+            inputRegions_[layout.globalPu[l]] = layout.inputs[l];
             outputRegions_[layout.globalPu[l]] = layout.outputs[l];
         }
         shards_.push_back(std::move(shard));
@@ -198,7 +230,8 @@ FleetSystem::FleetSystem(const lang::Program &program,
     // tape) and shared by every replica. FastPu construction pre-runs
     // the functional simulator over the unit's whole stream — the
     // dominant construction cost — and units are independent, so build
-    // them on the worker pool.
+    // them on the worker pool. Session slots start with an empty
+    // stream; armJob re-targets the unit per job.
     std::optional<compile::CompiledUnit> compiled;
     std::shared_ptr<const RtlTapeEngine> engine;
     std::vector<std::shared_ptr<RtlBatch>> batches(channels);
@@ -223,30 +256,32 @@ FleetSystem::FleetSystem(const lang::Program &program,
         }
         break;
     }
-    std::vector<std::unique_ptr<ProcessingUnit>> pus(streams_.size());
-    parallelFor(resolveThreads(static_cast<int>(streams_.size())),
-                static_cast<int>(streams_.size()), [&](int p) {
-                    switch (config_.backend) {
-                      case PuBackend::Fast:
-                        pus[p] = std::make_unique<FastPu>(program_,
-                                                          streams_[p]);
-                        break;
-                      case PuBackend::RtlInterp:
-                        pus[p] = std::make_unique<RtlPu>(*compiled);
-                        break;
-                      case PuBackend::RtlTape:
-                        pus[p] = std::make_unique<TapeRtlPu>(engine);
-                        break;
-                      case PuBackend::Rtl:
-                        pus[p] = std::make_unique<RtlBatchLane>(
-                            batches[puShard_[p]], puLocal_[p]);
-                        break;
-                    }
-                });
-    for (size_t p = 0; p < streams_.size(); ++p)
-        shards_[puShard_[p]]->addPu(std::move(pus[p]),
-                                    static_cast<int>(p),
-                                    streams_[p].sizeBits());
+    std::vector<std::unique_ptr<ProcessingUnit>> pus(num_slots);
+    parallelFor(resolveThreads(num_slots), num_slots, [&](int p) {
+        switch (config_.backend) {
+          case PuBackend::Fast:
+            pus[p] = std::make_unique<FastPu>(
+                program_, sessionMode_ ? BitBuffer{} : streams_[p]);
+            break;
+          case PuBackend::RtlInterp:
+            pus[p] = std::make_unique<RtlPu>(*compiled);
+            break;
+          case PuBackend::RtlTape:
+            pus[p] = std::make_unique<TapeRtlPu>(engine);
+            break;
+          case PuBackend::Rtl:
+            pus[p] = std::make_unique<RtlBatchLane>(batches[puShard_[p]],
+                                                    puLocal_[p]);
+            break;
+        }
+    });
+    for (int p = 0; p < num_slots; ++p) {
+        shards_[puShard_[p]]->addPu(
+            std::move(pus[p]), p,
+            sessionMode_ ? 0 : streams_[p].sizeBits());
+        if (sessionMode_)
+            shards_[puShard_[p]]->parkPu(puLocal_[p]);
+    }
 }
 
 FleetSystem::~FleetSystem() = default;
@@ -254,6 +289,20 @@ FleetSystem::~FleetSystem() = default;
 const RunReport &
 FleetSystem::run()
 {
+    // Protocol misuse is a structured error, not a silent re-run: the
+    // report and the DRAM output regions still hold the first run's
+    // results, and re-running in place would clobber them. Re-use of a
+    // system across many streams is what session mode is for.
+    if (sessionMode_)
+        throw StatusError(Status::make(
+            StatusCode::InvalidState,
+            "FleetSystem::run() on a session-mode system; arm jobs and "
+            "step epochs instead (runtime/session.h)"));
+    if (ran_)
+        throw StatusError(Status::make(
+            StatusCode::InvalidState,
+            "FleetSystem::run() called twice; construct a fresh system "
+            "or serve many streams through runtime::Session"));
     auto start = std::chrono::steady_clock::now();
     const int in_width = program_.inputTokenWidth;
     const int out_width = program_.outputTokenWidth;
@@ -313,21 +362,20 @@ FleetSystem::run()
     return report_;
 }
 
-BitBuffer
-FleetSystem::output(int pu) const
+const RunReport &
+FleetSystem::report() const
 {
     if (!ran_)
-        fatal("FleetSystem: output() before run()");
-    const ChannelShard &shard = *shards_[puShard_[pu]];
-    int local = puLocal_[pu];
-    uint64_t bits = shard.flushedPayloadBits(local);
-    // A contained or stranded unit legitimately flushed less than it
-    // emitted — its output is the partial prefix. Only a *successful*
-    // unit losing bits would be a framework bug.
-    if (report_.pus[pu].ok() && bits != shard.emittedBits(local))
-        panic("FleetSystem: controller flushed ", bits,
-              " bits but the unit emitted ", shard.emittedBits(local));
-    const auto &mem = shard.channel().memory();
+        throw StatusError(Status::make(
+            StatusCode::InvalidState,
+            "FleetSystem::report() before a run produced one"));
+    return report_;
+}
+
+BitBuffer
+FleetSystem::readOutput(int pu, uint64_t bits) const
+{
+    const auto &mem = shards_[puShard_[pu]]->channel().memory();
     const auto &region = outputRegions_[pu];
     BitBuffer out;
     for (uint64_t offset = 0; offset < bits;) {
@@ -350,6 +398,195 @@ FleetSystem::output(int pu) const
     return out;
 }
 
+BitBuffer
+FleetSystem::output(int pu) const
+{
+    if (!ran_)
+        throw StatusError(Status::make(
+            StatusCode::InvalidState,
+            "FleetSystem::output() before a run produced one"));
+    const ChannelShard &shard = *shards_[puShard_[pu]];
+    int local = puLocal_[pu];
+    uint64_t bits = shard.flushedPayloadBits(local);
+    // A contained or stranded unit legitimately flushed less than it
+    // emitted — its output is the partial prefix. Only a *successful*
+    // unit losing bits would be a framework bug.
+    if (report_.pus[pu].ok() && bits != shard.emittedBits(local))
+        panic("FleetSystem: controller flushed ", bits,
+              " bits but the unit emitted ", shard.emittedBits(local));
+    return readOutput(pu, bits);
+}
+
+// ---------------------------------------------------------------------------
+// Session mode (driven by runtime::Session)
+
+void
+FleetSystem::beginSession()
+{
+    if (!sessionMode_ || sessionBegun_)
+        return;
+    const int in_width = program_.inputTokenWidth;
+    const int out_width = program_.outputTokenWidth;
+    for (auto &shard : shards_)
+        shard->beginRun(in_width, out_width, config_.maxCycles,
+                        config_.watchdogCycles);
+    sessionBegun_ = true;
+}
+
+Status
+FleetSystem::armJob(int pu, BitBuffer stream, uint64_t job_id)
+{
+    if (!sessionMode_)
+        return Status::make(StatusCode::InvalidState,
+                            "armJob: system was built one-shot; use the "
+                            "session constructor");
+    if (pu < 0 || pu >= numPus())
+        return Status::make(StatusCode::InvalidArgument,
+                            "armJob: no such slot");
+    beginSession();
+    ChannelShard &shard = *shards_[puShard_[pu]];
+    const int local = puLocal_[pu];
+    if (shard.state() == ShardState::Halted) {
+        std::ostringstream os;
+        os << "armJob: channel " << puShard_[pu]
+           << " halted: " << shard.haltStatus().toString();
+        return Status::make(StatusCode::InvalidState, os.str());
+    }
+    if (!shard.puParked(local)) {
+        std::ostringstream os;
+        os << "armJob: slot " << pu << " still holds job "
+           << shard.puOutcome(local).jobId
+           << " (retire the drained job first)";
+        return Status::make(StatusCode::InvalidState, os.str());
+    }
+    if (stream.sizeBits() % program_.inputTokenWidth != 0) {
+        std::ostringstream os;
+        os << "armJob: job " << job_id
+           << "'s stream is not a whole number of tokens";
+        return Status::make(StatusCode::InvalidArgument, os.str());
+    }
+
+    // Per-job stream truncation — the same upload-fault hash the
+    // one-shot path applies, keyed by job id instead of PU index, so a
+    // job's fate is independent of which slot it lands on.
+    uint64_t tokens = stream.sizeBits() / program_.inputTokenWidth;
+    truncation_[pu] = {tokens, tokens};
+    if (config_.faults.enabled()) {
+        uint64_t keep =
+            fault::truncatedJobTokens(config_.faults, job_id, tokens);
+        if (keep != tokens) {
+            stream.resizeBits(keep * program_.inputTokenWidth);
+            truncation_[pu].first = keep;
+        }
+    }
+
+    if (ceilDiv(stream.sizeBits(), 8) > inputRegions_[pu].regionBytes) {
+        std::ostringstream os;
+        os << "armJob: job " << job_id << "'s stream ("
+           << ceilDiv(stream.sizeBits(), 8) << " bytes) exceeds the "
+           << inputRegions_[pu].regionBytes
+           << "-byte input region (raise "
+              "SystemConfig::inputRegionBytes)";
+        return Status::make(StatusCode::InvalidArgument, os.str());
+    }
+
+    // Upload the stream to the slot's region base, re-target the
+    // stream-specialized unit, then re-arm the controller lanes.
+    auto bytes = stream.toBytes();
+    auto &mem = shard.channel().memory();
+    std::copy(bytes.begin(), bytes.end(),
+              mem.begin() + inputRegions_[pu].baseAddr);
+    if (config_.backend == PuBackend::Fast)
+        static_cast<FastPu &>(shard.processingUnit(local)).rearm(stream);
+    shard.rearmPu(local, stream.sizeBits(), job_id);
+    return Status::make(StatusCode::Ok);
+}
+
+void
+FleetSystem::stepEpoch(uint64_t epoch_cycles)
+{
+    auto start = std::chrono::steady_clock::now();
+    threadsUsed_ = resolveThreads(numShards());
+    parallelFor(threadsUsed_, numShards(),
+                [&](int s) { shards_[s]->step(epoch_cycles); });
+    wallSeconds_ += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+}
+
+bool
+FleetSystem::puDrained(int pu) const
+{
+    return shards_[puShard_[pu]]->puDrained(puLocal_[pu]);
+}
+
+BitBuffer
+FleetSystem::jobOutput(int pu) const
+{
+    if (!puDrained(pu))
+        throw StatusError(Status::make(
+            StatusCode::InvalidState,
+            "jobOutput: read before the slot's job drained"));
+    return readOutput(pu,
+                      shards_[puShard_[pu]]->flushedPayloadBits(
+                          puLocal_[pu]));
+}
+
+RetiredJob
+FleetSystem::retireJob(int pu)
+{
+    RetiredJob job = shards_[puShard_[pu]]->retireJob(puLocal_[pu]);
+    auto [kept, original] = truncation_[pu];
+    job.keptTokens = kept;
+    job.originalTokens = original;
+    if (job.outcome.status.code == StatusCode::Ok && kept != original) {
+        // The job completed, but over an injected short stream:
+        // surface that so callers don't mistake partial coverage for a
+        // full run — mirroring the one-shot report remap.
+        std::ostringstream os;
+        os << "job " << job.jobId << ": input stream truncated to "
+           << kept << " of " << original << " tokens";
+        job.outcome.status =
+            Status::make(StatusCode::StreamTruncated, os.str());
+    }
+    return job;
+}
+
+const RunReport &
+FleetSystem::finishSession()
+{
+    if (!sessionMode_)
+        throw StatusError(Status::make(
+            StatusCode::InvalidState,
+            "finishSession: system was built one-shot; use run()"));
+    if (ran_)
+        throw StatusError(Status::make(
+            StatusCode::InvalidState, "finishSession() called twice"));
+    beginSession();
+    report_ = RunReport{};
+    report_.channels.resize(numShards());
+    report_.pus.resize(numPus());
+    for (int s = 0; s < numShards(); ++s)
+        report_.channels[s] = shards_[s]->finishRun();
+    for (int p = 0; p < numPus(); ++p)
+        report_.pus[p] = shards_[puShard_[p]]->puOutcome(puLocal_[p]);
+
+    if (config_.trace.enabled()) {
+        auto trace_report = std::make_shared<trace::TraceReport>();
+        trace_report->config = config_.trace;
+        trace_report->clockMHz = config_.clockMHz;
+        for (auto &shard : shards_)
+            trace_report->channels.push_back(shard->takeTrace());
+        report_.trace = std::move(trace_report);
+    }
+
+    cycles_ = 0;
+    for (const auto &shard : shards_)
+        cycles_ = std::max(cycles_, shard->cycles());
+    ran_ = true;
+    return report_;
+}
+
 SystemStats
 FleetSystem::stats() const
 {
@@ -358,11 +595,20 @@ FleetSystem::stats() const
     stats.clockMHz = config_.clockMHz;
     stats.threadsUsed = threadsUsed_;
     stats.wallSeconds = wallSeconds_;
-    for (const auto &stream : streams_)
-        stats.inputBytes += ceilDiv(stream.sizeBits(), 8);
-    for (size_t p = 0; p < streams_.size(); ++p)
-        stats.outputBytes += ceilDiv(
-            shards_[puShard_[p]]->emittedBits(puLocal_[p]), 8);
+    if (sessionMode_) {
+        // Cumulative across every job served (finalized per shard by
+        // finishSession; zeros before it).
+        for (const auto &shard : shards_) {
+            stats.inputBytes += shard->stats().inputBytes;
+            stats.outputBytes += shard->stats().outputBytes;
+        }
+    } else {
+        for (const auto &stream : streams_)
+            stats.inputBytes += ceilDiv(stream.sizeBits(), 8);
+        for (size_t p = 0; p < streams_.size(); ++p)
+            stats.outputBytes += ceilDiv(
+                shards_[puShard_[p]]->emittedBits(puLocal_[p]), 8);
+    }
     if (ran_)
         for (const auto &shard : shards_)
             stats.channels.push_back(shard->stats());

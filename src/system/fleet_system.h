@@ -72,6 +72,12 @@ struct SystemConfig
     /** Per-PU output region; 0 = auto, sized from the program's declared
      * maxOutputExpansion (at least 2x input) plus 8 KiB of slack. */
     uint64_t outputRegionBytes = 0;
+    /**
+     * Session mode only (runtime/session.h): fixed per-slot input
+     * region size. Every job's stream must fit in one region — armJob
+     * rejects longer streams with InvalidArgument. 0 = 256 KiB.
+     */
+    uint64_t inputRegionBytes = 0;
     uint64_t maxCycles = 1ULL << 40;
     /**
      * Deterministic fault-injection plan (fault/fault.h). Disabled by
@@ -139,6 +145,16 @@ class FleetSystem
      */
     FleetSystem(const lang::Program &program, const SystemConfig &config,
                 std::vector<BitBuffer> streams);
+
+    /**
+     * Session mode (the multi-stream job runtime, runtime/session.h):
+     * build `num_slots` parked units with fixed-size input regions
+     * (SystemConfig::inputRegionBytes) and no streams. Jobs attach to
+     * slots with armJob() and the simulation advances in stepEpoch()
+     * slices; run() is unavailable (InvalidState).
+     */
+    FleetSystem(const lang::Program &program, const SystemConfig &config,
+                int num_slots);
     ~FleetSystem();
 
     /**
@@ -146,20 +162,80 @@ class FleetSystem
      * is flushed. Simulation failures (parity errors, output overflow,
      * watchdog stalls, cycle-limit overruns) are *contained* — recorded
      * in the returned RunReport at per-channel / per-PU granularity —
-     * not thrown.
+     * not thrown. Protocol misuse is not contained: calling run() twice
+     * or on a session-mode system throws StatusError(InvalidState).
      */
     const RunReport &run();
 
-    /** The last run's report (valid after run()). */
-    const RunReport &report() const { return report_; }
+    /** The last run's report. Throws StatusError(InvalidState) before a
+     * run has produced one. */
+    const RunReport &report() const;
 
     /**
      * Output stream of one processing unit (valid after run()). For a
      * contained unit this is the partial output flushed before the
      * failure; for a unit on a truncated stream, the full output over
-     * the truncated prefix.
+     * the truncated prefix. Throws StatusError(InvalidState) before a
+     * run.
      */
     BitBuffer output(int pu) const;
+
+    /// @name Session mode (driven by runtime::Session).
+    /// @{
+
+    bool sessionMode() const { return sessionMode_; }
+
+    /** Start the session clock: beginRun on every shard. */
+    void beginSession();
+
+    /**
+     * Arm a parked slot with a job: applies the fault plan's per-job
+     * stream truncation (keyed by job id), copies the stream into the
+     * slot's input region, re-targets a stream-specialized unit
+     * (FastPu), and re-arms the slot's controller lanes. Errors are
+     * returned, not thrown: InvalidState when the system is not in
+     * session mode / the slot is busy / its channel halted;
+     * InvalidArgument when the stream is not whole tokens or exceeds
+     * the input region.
+     */
+    Status armJob(int pu, BitBuffer stream, uint64_t job_id);
+
+    /** Step every Active shard up to `epoch_cycles` cycles (worker
+     * pool). Shards park early when they drain; the schedule depends
+     * only on simulated state, so any thread count is bit-identical. */
+    void stepEpoch(uint64_t epoch_cycles);
+
+    /** True once `pu`'s armed job drained (finished or contained, input
+     * lane idle, every output bit flushed — the region is readable). */
+    bool puDrained(int pu) const;
+
+    /** Shard state of the channel owning `pu`. */
+    ShardState puShardState(int pu) const
+    {
+        return shards_[puShard_[pu]]->state();
+    }
+    /** The halt status of the channel owning `pu` (Ok if healthy). */
+    const Status &puShardStatus(int pu) const
+    {
+        return shards_[puShard_[pu]]->haltStatus();
+    }
+
+    /**
+     * A drained job's flushed output. Read *before* retireJob +
+     * re-arm: the slot's output region is reused by the next job.
+     */
+    BitBuffer jobOutput(int pu) const;
+
+    /** Retire a drained job: capture its outcome (with the truncation
+     * surfaced as StreamTruncated, as in one-shot runs) and park the
+     * slot for the next armJob. */
+    RetiredJob retireJob(int pu);
+
+    /** Settle every shard and assemble the session's RunReport (channel
+     * outcomes, last-job PU outcomes, trace). Call once, last. */
+    const RunReport &finishSession();
+
+    /// @}
 
     SystemStats stats() const;
 
@@ -169,8 +245,10 @@ class FleetSystem
         return shards_[puShard_[pu]]->puStats(puLocal_[pu]);
     }
 
-    int numPus() const { return static_cast<int>(streams_.size()); }
+    int numPus() const { return static_cast<int>(puShard_.size()); }
     int numShards() const { return static_cast<int>(shards_.size()); }
+    /** The memory channel that owns `pu`. */
+    int puChannel(int pu) const { return puShard_[pu]; }
     const dram::DramChannel &channel(int c) const
     {
         return shards_[c]->channel();
@@ -180,21 +258,29 @@ class FleetSystem
   private:
     /** Worker threads to use for `jobs` independent jobs. */
     int resolveThreads(int jobs) const;
+    /** Shared tail of both constructors: layout, shards, units. */
+    void build(int num_slots);
+    /** Read `bits` payload bits from `pu`'s output region. */
+    BitBuffer readOutput(int pu, uint64_t bits) const;
 
     lang::Program program_;
     SystemConfig config_;
-    std::vector<BitBuffer> streams_;
+    std::vector<BitBuffer> streams_; ///< Empty in session mode.
     std::vector<std::unique_ptr<ChannelShard>> shards_;
     std::vector<int> puShard_; ///< Global PU index -> owning shard.
     std::vector<int> puLocal_; ///< Global PU index -> local index.
+    std::vector<memctl::StreamRegion> inputRegions_;  ///< Global PU index.
     std::vector<memctl::StreamRegion> outputRegions_; ///< Global PU index.
-    /** Tokens kept / original per PU when fault truncation applied. */
+    /** Tokens kept / original per PU when fault truncation applied; in
+     * session mode, the per-slot values for the currently armed job. */
     std::vector<std::pair<uint64_t, uint64_t>> truncation_;
     RunReport report_;
     uint64_t cycles_ = 0;
     int threadsUsed_ = 1;
     double wallSeconds_ = 0.0;
     bool ran_ = false;
+    bool sessionMode_ = false;
+    bool sessionBegun_ = false;
 };
 
 } // namespace system

@@ -7,11 +7,17 @@ namespace system {
 
 FastPu::FastPu(const lang::Program &program, const BitBuffer &stream)
     : inputTokenWidth_(program.inputTokenWidth),
-      outputTokenWidth_(program.outputTokenWidth)
+      outputTokenWidth_(program.outputTokenWidth), program_(&program)
+{
+    rearm(stream);
+}
+
+void
+FastPu::rearm(const BitBuffer &stream)
 {
     sim::SimOptions options;
     options.recordTrace = true;
-    sim::FunctionalSimulator simulator(program, options);
+    sim::FunctionalSimulator simulator(*program_, options);
     result_ = simulator.run(stream);
     streamTokens_ = result_.tokens;
     reset();

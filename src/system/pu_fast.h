@@ -30,6 +30,15 @@ class FastPu : public ProcessingUnit
      */
     FastPu(const lang::Program &program, const BitBuffer &stream);
 
+    /**
+     * Re-target the replay model at a new stream (job runtime re-arm):
+     * re-runs the functional simulator over `stream` and resets the
+     * handshake state machine, exactly as constructing a fresh
+     * FastPu(program, stream) would — construction is just rearm() over
+     * the first stream.
+     */
+    void rearm(const BitBuffer &stream);
+
     void reset() override;
     PuOutputs eval(const PuInputs &inputs) override;
     void step() override;
@@ -43,6 +52,8 @@ class FastPu : public ProcessingUnit
   private:
     int inputTokenWidth_;
     int outputTokenWidth_;
+    /** Not owned; must outlive the unit (rearm() re-simulates it). */
+    const lang::Program *program_;
     sim::RunResult result_;
     uint64_t streamTokens_;
 

@@ -65,7 +65,7 @@ bool
 operator==(const PuOutcome &a, const PuOutcome &b)
 {
     return a.status == b.status && a.atCycle == b.atCycle &&
-           a.outputBits == b.outputBits;
+           a.outputBits == b.outputBits && a.jobId == b.jobId;
 }
 
 bool

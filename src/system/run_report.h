@@ -34,6 +34,14 @@ struct PuOutcome
     uint64_t atCycle = 0;
     /** Payload bits flushed to channel memory (partial on failure). */
     uint64_t outputBits = 0;
+    /**
+     * The job whose outcome this is. One-shot runs arm exactly one
+     * stream per unit, so the job id is the global PU index; under the
+     * multi-stream runtime (runtime/session.h) it is the id of the last
+     * job the slot ran, and per-job outcomes are reported through
+     * runtime::JobReport instead.
+     */
+    uint64_t jobId = 0;
 
     /** Completed — possibly on a truncated stream. */
     bool ok() const

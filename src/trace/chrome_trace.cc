@@ -67,7 +67,32 @@ TraceReport::writeChromeTrace(const std::string &path) const
             const int tid = static_cast<int>(l) + 1;
             std::snprintf(name, sizeof(name), "PU %d", lane.globalPu);
             writeMeta(f, pid, tid, "thread_name", name, first);
-            for (const Span &span : lane.spans) {
+            // Merge job spans (runtime/session.h) with phase spans by
+            // begin cycle — a job span opens at its arm cycle, before
+            // any phase span it enclosed — to keep timestamps
+            // non-decreasing within the lane.
+            size_t si = 0, ji = 0;
+            while (si < lane.spans.size() || ji < lane.jobs.size()) {
+                bool take_job =
+                    ji < lane.jobs.size() &&
+                    (si >= lane.spans.size() ||
+                     lane.jobs[ji].beginCycle <= lane.spans[si].beginCycle);
+                if (take_job) {
+                    const JobSpan &job = lane.jobs[ji++];
+                    std::fprintf(
+                        f,
+                        ",\n  {\"ph\":\"X\",\"pid\":%d,\"tid\":%d,"
+                        "\"name\":\"job %llu\",\"ts\":%llu,\"dur\":%llu,"
+                        "\"args\":{\"job\":%llu}}",
+                        pid, tid,
+                        static_cast<unsigned long long>(job.jobId),
+                        static_cast<unsigned long long>(job.beginCycle),
+                        static_cast<unsigned long long>(job.endCycle -
+                                                        job.beginCycle),
+                        static_cast<unsigned long long>(job.jobId));
+                    continue;
+                }
+                const Span &span = lane.spans[si++];
                 std::fprintf(
                     f,
                     ",\n  {\"ph\":\"X\",\"pid\":%d,\"tid\":%d,"

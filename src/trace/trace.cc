@@ -107,10 +107,18 @@ operator==(const Marker &a, const Marker &b)
 }
 
 bool
+operator==(const JobSpan &a, const JobSpan &b)
+{
+    return a.jobId == b.jobId && a.beginCycle == b.beginCycle &&
+           a.endCycle == b.endCycle;
+}
+
+bool
 operator==(const Lane &a, const Lane &b)
 {
     return a.globalPu == b.globalPu && a.spans == b.spans &&
-           a.markers == b.markers && a.droppedSpans == b.droppedSpans;
+           a.markers == b.markers && a.jobs == b.jobs &&
+           a.droppedSpans == b.droppedSpans;
 }
 
 bool
@@ -252,6 +260,16 @@ ShardTrace::puCycle(int local, uint64_t cycle, PuPhase phase)
     pu.openPhase = phase;
     pu.openBegin = cycle;
     pu.hasOpen = true;
+}
+
+void
+ShardTrace::jobSpan(int local, uint64_t job_id, uint64_t begin_cycle,
+                    uint64_t end_cycle)
+{
+    if (!config_.events)
+        return;
+    pus_[local].lane.jobs.push_back(
+        JobSpan{job_id, begin_cycle, end_cycle});
 }
 
 void

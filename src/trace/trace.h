@@ -130,12 +130,30 @@ struct Marker
 
 bool operator==(const Marker &a, const Marker &b);
 
+/**
+ * One job's residency on a unit's lane (the multi-stream job runtime,
+ * runtime/session.h): [beginCycle, endCycle) covers arm-to-re-arm, so a
+ * job's span encloses every phase span of its execution plus the idle
+ * tail until the scheduler re-armed the slot. One-shot runs record no
+ * job spans.
+ */
+struct JobSpan
+{
+    uint64_t jobId = 0;
+    uint64_t beginCycle = 0;
+    uint64_t endCycle = 0;
+};
+
+bool operator==(const JobSpan &a, const JobSpan &b);
+
 /** One processing unit's timeline within its channel. */
 struct Lane
 {
     int globalPu = -1; ///< Global PU index (Chrome tid = local + 1).
     std::vector<Span> spans;
     std::vector<Marker> markers;
+    /** Job runtime only: one enclosing span per job the slot ran. */
+    std::vector<JobSpan> jobs;
     uint64_t droppedSpans = 0; ///< Spans past TraceConfig::maxSpansPerLane.
 };
 
@@ -227,6 +245,10 @@ class ShardTrace
 
     /** A point event on a unit's lane (containment, watchdog trip). */
     void marker(int local, uint64_t cycle, std::string label);
+
+    /** Record one job's [begin, end) residency on a unit's lane. */
+    void jobSpan(int local, uint64_t job_id, uint64_t begin_cycle,
+                 uint64_t end_cycle);
 
     /** Sample the DRAM queues for this cycle. */
     void dramCycle(uint64_t cycle, int outstanding_reads,

@@ -24,6 +24,8 @@ statusCodeName(StatusCode code)
         return "InvalidArgument";
     case StatusCode::IoError:
         return "IoError";
+    case StatusCode::InvalidState:
+        return "InvalidState";
     }
     return "Unknown";
 }

@@ -43,6 +43,9 @@ enum class StatusCode
     InvalidArgument,
     /** Host filesystem error while exporting a report artifact. */
     IoError,
+    /** API used out of protocol order (run() called twice, results read
+     * before a run, a job armed on a busy unit). */
+    InvalidState,
 };
 
 const char *statusCodeName(StatusCode code);

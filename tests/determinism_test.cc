@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include "apps/registry.h"
+#include "fault/fault.h"
+#include "runtime/session.h"
 #include "system/fleet_system.h"
 #include "test_programs.h"
 #include "util/rng.h"
@@ -195,6 +197,58 @@ TEST(Determinism, ShardStatsAggregateConsistently)
     EXPECT_EQ(pus, system.numPus());
     EXPECT_EQ(stats.threadsUsed, 2);
     EXPECT_GT(stats.wallSeconds, 0.0);
+}
+
+TEST(Determinism, SessionJobMixTracedThreadCountInvariant)
+{
+    // ISSUE 5 extension of the fence: a multi-job mix served through
+    // the incremental runtime — mixed stream lengths, more jobs than
+    // slots, tracing enabled, with and without a fault plan — must
+    // produce identical JobReports and an identical RunReport (trace
+    // included, job spans and all) at 1 and 4 host threads.
+    auto program = testprogs::blockFrequencies(32);
+    Rng stream_rng(21);
+    std::vector<BitBuffer> streams;
+    for (int j = 0; j < 20; ++j) {
+        BitBuffer s;
+        uint64_t bytes = 40 + stream_rng.nextBelow(400);
+        for (uint64_t i = 0; i < bytes; ++i)
+            s.appendBits(stream_rng.next(), 8);
+        streams.push_back(std::move(s));
+    }
+
+    for (bool faulty : {false, true}) {
+        auto runSession = [&](int threads) {
+            runtime::SessionConfig config;
+            config.system.numChannels = 3;
+            config.system.numThreads = threads;
+            config.system.trace.counters = true;
+            config.system.trace.events = true;
+            config.system.inputRegionBytes = 4096;
+            if (faulty)
+                config.system.faults =
+                    fault::FaultPlan::fromSeed(0xf1ee7);
+            config.numSlots = 6;
+            config.epochCycles = 512;
+            runtime::Session session(program, config);
+            for (const auto &stream : streams)
+                session.submit(stream);
+            RunReport report = session.finish();
+            return std::make_pair(session.reports(), std::move(report));
+        };
+        const std::string label = faulty ? "faulty" : "clean";
+        auto [serial_jobs, serial_report] = runSession(1);
+        auto [parallel_jobs, parallel_report] = runSession(4);
+        ASSERT_TRUE(serial_report == parallel_report)
+            << label << ": session RunReport (with trace) diverges "
+                        "across thread counts";
+        ASSERT_EQ(serial_jobs.size(), parallel_jobs.size());
+        for (size_t j = 0; j < serial_jobs.size(); ++j)
+            ASSERT_TRUE(serial_jobs[j] == parallel_jobs[j])
+                << label << ": job " << j
+                << " diverges across thread counts";
+        ASSERT_NE(serial_report.trace, nullptr);
+    }
 }
 
 } // namespace

@@ -459,6 +459,243 @@ TEST(OutputController, OverflowingRegionContained)
     EXPECT_TRUE(ctrl.done());
 }
 
+// ---------------------------------------------------------------------------
+// Controller re-arm (ISSUE 5): per-PU stream state must fully reset
+// between consecutive streams on the same lane.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Pop whole tokens until the controller drains `want` of them (or the
+ * cycle budget runs out); returns the tokens in arrival order. */
+std::vector<uint64_t>
+drainTokens(InputController &ctrl, dram::DramChannel &ch, int token_bits,
+            uint64_t want)
+{
+    std::vector<uint64_t> tokens;
+    for (int cycle = 0; cycle < 120000; ++cycle) {
+        if (ctrl.buffer(0).sizeBits() >= uint64_t(token_bits))
+            tokens.push_back(ctrl.buffer(0).pop(token_bits));
+        ctrl.tick();
+        ch.tick();
+        if (ctrl.done() && tokens.size() == want && ctrl.puIdle(0))
+            break;
+    }
+    return tokens;
+}
+
+/** Token `t` of the bit-packed stream at `base` in `mem`. */
+uint64_t
+memoryToken(const std::vector<uint8_t> &mem, uint64_t base, int token_bits,
+            uint64_t t)
+{
+    uint64_t value = 0;
+    for (int bit = 0; bit < token_bits; ++bit) {
+        uint64_t i = t * uint64_t(token_bits) + bit;
+        value |= uint64_t((mem[base + i / 8] >> (i % 8)) & 1) << bit;
+    }
+    return value;
+}
+
+} // namespace
+
+TEST(InputController, RearmDeliversConsecutiveStreamsBitExact)
+{
+    // The re-arm seam the job runtime rides on: run stream A to
+    // completion, re-arm the lane, run a *longer* stream B from the
+    // same region base — with the non-power-of-two token width from
+    // PR 4 (12 bits, 1024 % 12 != 0), so the skid/residue path resets
+    // too. Both streams must arrive bit-exact.
+    const int kTokenBits = 12;
+    const uint64_t kTokensA = 2000, kTokensB = 3333;
+    dram::DramChannel ch(fastDram(), 1 << 20);
+    ControllerParams params;
+    params.tokenBits = kTokenBits;
+    params.bufferBursts = 1;
+    std::vector<StreamRegion> regions = {{0, 8192, kTokensA * kTokenBits}};
+    fillPattern(ch.memory(), regions[0]);
+    InputController ctrl(ch, params, regions);
+
+    auto tokens_a = drainTokens(ctrl, ch, kTokenBits, kTokensA);
+    ASSERT_EQ(tokens_a.size(), kTokensA);
+    ASSERT_TRUE(ctrl.done());
+    ASSERT_TRUE(ctrl.streamExhausted(0));
+    ASSERT_TRUE(ctrl.puIdle(0));
+    for (uint64_t t = 0; t < kTokensA; ++t)
+        ASSERT_EQ(tokens_a[t], memoryToken(ch.memory(), 0, kTokenBits, t))
+            << "stream A token " << t;
+
+    // Overwrite the region with stream B's payload, then re-arm: the
+    // input_finished protocol must start over.
+    for (uint64_t i = 0; i < ceilDiv(kTokensB * kTokenBits, 8); ++i)
+        ch.memory()[i] = uint8_t(i * 13 + 5);
+    ctrl.rearmPu(0, kTokensB * kTokenBits);
+    EXPECT_FALSE(ctrl.done());
+    EXPECT_FALSE(ctrl.streamExhausted(0));
+    EXPECT_TRUE(ctrl.buffer(0).empty());
+
+    auto tokens_b = drainTokens(ctrl, ch, kTokenBits, kTokensB);
+    ASSERT_EQ(tokens_b.size(), kTokensB);
+    EXPECT_TRUE(ctrl.streamExhausted(0));
+    for (uint64_t t = 0; t < kTokensB; ++t)
+        ASSERT_EQ(tokens_b[t], memoryToken(ch.memory(), 0, kTokenBits, t))
+            << "stream B token " << t;
+}
+
+TEST(InputController, RearmAfterKillDiscardsOldStream)
+{
+    // Containment then reuse: kill the lane mid-stream (undrained
+    // bursts discard, the buffer still holds stale bits), wait for
+    // idle, re-arm. None of stream A's bits may leak into stream B.
+    const int kTokenBits = 12;
+    const uint64_t kTokensA = 4000, kTokensB = 500;
+    dram::DramChannel ch(fastDram(), 1 << 20);
+    ControllerParams params;
+    params.tokenBits = kTokenBits;
+    std::vector<StreamRegion> regions = {{0, 8192, kTokensA * kTokenBits}};
+    fillPattern(ch.memory(), regions[0]);
+    InputController ctrl(ch, params, regions);
+
+    // Let the first burst drain but kill while later bursts are still
+    // in flight (32 bits/cycle drain → burst 1 is mid-drain at 40).
+    for (int cycle = 0; cycle < 40; ++cycle) {
+        ctrl.tick();
+        ch.tick();
+    }
+    EXPECT_GT(ctrl.buffer(0).sizeBits(), 0u);
+    ASSERT_GT(ctrl.inflightBursts(), 0);
+    ctrl.killPu(0);
+    EXPECT_THROW(ctrl.rearmPu(0, 8), PanicError); // not yet idle
+    for (int cycle = 0; cycle < 5000 && !ctrl.puIdle(0); ++cycle) {
+        ctrl.tick();
+        ch.tick();
+    }
+    ASSERT_TRUE(ctrl.puIdle(0));
+
+    for (uint64_t i = 0; i < ceilDiv(kTokensB * kTokenBits, 8); ++i)
+        ch.memory()[i] = uint8_t(i * 31 + 7);
+    ctrl.rearmPu(0, kTokensB * kTokenBits);
+    EXPECT_TRUE(ctrl.buffer(0).empty()); // stale bits discarded
+
+    auto tokens_b = drainTokens(ctrl, ch, kTokenBits, kTokensB);
+    ASSERT_EQ(tokens_b.size(), kTokensB);
+    for (uint64_t t = 0; t < kTokensB; ++t)
+        ASSERT_EQ(tokens_b[t], memoryToken(ch.memory(), 0, kTokenBits, t))
+            << "stream B token " << t;
+}
+
+TEST(OutputController, RearmFlushesConsecutiveStreamsBitExact)
+{
+    // Output side: finished / flushIssued were one-way within a job;
+    // re-arm must reset them so a second stream (different length,
+    // 12-bit tokens → partial final burst + skid) flushes cleanly over
+    // the same region.
+    const int kTokenBits = 12;
+    dram::DramChannel ch(fastDram(), 1 << 20);
+    ControllerParams params;
+    params.blockingAddressing = false;
+    params.bufferBursts = 1;
+    params.tokenBits = kTokenBits;
+    std::vector<StreamRegion> regions = {{0, 8192, 0}};
+    OutputController ctrl(ch, params, regions);
+
+    auto emitStream = [&](uint64_t tokens, uint64_t mult, uint64_t add) {
+        uint64_t emitted = 0;
+        for (int cycle = 0; cycle < 60000; ++cycle) {
+            if (emitted < tokens &&
+                ctrl.buffer(0).freeBits() >= uint64_t(kTokenBits)) {
+                ctrl.buffer(0).push((emitted * mult + add) &
+                                        mask64(kTokenBits),
+                                    kTokenBits);
+                if (++emitted == tokens)
+                    ctrl.setPuFinished(0);
+            }
+            ctrl.tick();
+            ch.tick();
+            if (emitted == tokens && ctrl.done() && ctrl.puFlushed(0))
+                break;
+        }
+        return emitted == tokens && ctrl.puFlushed(0);
+    };
+
+    const uint64_t kTokensA = 700;
+    ASSERT_TRUE(emitStream(kTokensA, 5, 3));
+    EXPECT_EQ(ctrl.payloadBits(0), kTokensA * kTokenBits);
+    for (uint64_t t = 0; t < kTokensA; ++t)
+        ASSERT_EQ(memoryToken(ch.memory(), 0, kTokenBits, t),
+                  (t * 5 + 3) & mask64(kTokenBits))
+            << "stream A token " << t;
+
+    ctrl.rearmPu(0);
+    EXPECT_EQ(ctrl.payloadBits(0), 0u);
+    EXPECT_FALSE(ctrl.puFlushed(0)); // protocol restarted
+
+    const uint64_t kTokensB = 1100;
+    ASSERT_TRUE(emitStream(kTokensB, 11, 9));
+    EXPECT_EQ(ctrl.payloadBits(0), kTokensB * kTokenBits);
+    for (uint64_t t = 0; t < kTokensB; ++t)
+        ASSERT_EQ(memoryToken(ch.memory(), 0, kTokenBits, t),
+                  (t * 11 + 9) & mask64(kTokenBits))
+            << "stream B token " << t;
+}
+
+TEST(OutputController, RearmAfterOverflowClearsContainment)
+{
+    // An overflow-contained lane (failed, uncommitted remainder
+    // dropped) must re-arm into a fully healthy lane.
+    dram::DramChannel ch(fastDram(), 1 << 16);
+    ControllerParams params;
+    params.blockingAddressing = false;
+    std::vector<StreamRegion> regions = {{0, 128, 0}};
+    OutputController ctrl(ch, params, regions);
+    for (int cycle = 0; cycle < 2000; ++cycle) {
+        if (ctrl.buffer(0).freeBits() >= 32)
+            ctrl.buffer(0).push(0xdeadbeef, 32);
+        ctrl.tick();
+        ch.tick();
+    }
+    ASSERT_TRUE(ctrl.puFailed(0));
+    ASSERT_TRUE(ctrl.puFlushed(0));
+
+    ctrl.rearmPu(0);
+    EXPECT_FALSE(ctrl.puFailed(0));
+    EXPECT_EQ(ctrl.payloadBits(0), 0u);
+
+    // A fitting second stream completes with no residue of the failure.
+    uint64_t emitted = 0;
+    const uint64_t kWords = 16; // 64 bytes < 128-byte region
+    for (int cycle = 0; cycle < 4000; ++cycle) {
+        if (emitted < kWords && ctrl.buffer(0).freeBits() >= 32) {
+            ctrl.buffer(0).push(emitted * 9 + 1, 32);
+            if (++emitted == kWords)
+                ctrl.setPuFinished(0);
+        }
+        ctrl.tick();
+        ch.tick();
+        if (emitted == kWords && ctrl.done() && ctrl.puFlushed(0))
+            break;
+    }
+    EXPECT_FALSE(ctrl.puFailed(0));
+    EXPECT_EQ(ctrl.payloadBits(0), kWords * 32);
+    for (uint64_t w = 0; w < kWords; ++w) {
+        uint32_t got = 0;
+        for (int byte = 0; byte < 4; ++byte)
+            got |= uint32_t(ch.memory()[w * 4 + byte]) << (8 * byte);
+        ASSERT_EQ(got, uint32_t(w * 9 + 1)) << "word " << w;
+    }
+}
+
+TEST(OutputController, RearmBeforeFlushPanics)
+{
+    dram::DramChannel ch(fastDram(), 1 << 16);
+    ControllerParams params;
+    params.blockingAddressing = false;
+    std::vector<StreamRegion> regions = {{0, 4096, 0}};
+    OutputController ctrl(ch, params, regions);
+    ctrl.buffer(0).push(0xff, 8); // un-flushed output in flight
+    EXPECT_THROW(ctrl.rearmPu(0), PanicError);
+}
+
 } // namespace
 } // namespace memctl
 } // namespace fleet

@@ -189,7 +189,54 @@ TEST(FleetSystemRobustness, OutputBeforeRunRejected)
     streams[0].appendBits(1, 8);
     system::FleetSystem fleet_system(testprogs::identity(),
                                      system::SystemConfig{}, streams);
-    EXPECT_THROW(fleet_system.output(0), FatalError);
+    // Stale-access misuse is a structured InvalidState error (ISSUE 5),
+    // not a process abort.
+    try {
+        fleet_system.output(0);
+        FAIL() << "output() before run() should throw";
+    } catch (const StatusError &error) {
+        EXPECT_EQ(error.status().code, StatusCode::InvalidState);
+    }
+    try {
+        fleet_system.report();
+        FAIL() << "report() before run() should throw";
+    } catch (const StatusError &error) {
+        EXPECT_EQ(error.status().code, StatusCode::InvalidState);
+    }
+}
+
+TEST(FleetSystemRobustness, DoubleRunRejected)
+{
+    std::vector<BitBuffer> streams(1);
+    streams[0].appendBits(1, 8);
+    system::FleetSystem fleet_system(testprogs::identity(),
+                                     system::SystemConfig{}, streams);
+    ASSERT_TRUE(fleet_system.run().allOk());
+    BitBuffer first = fleet_system.output(0);
+    // A second run() is refused with InvalidState — re-running in place
+    // would clobber the first run's report and output regions.
+    try {
+        fleet_system.run();
+        FAIL() << "run() called twice should throw";
+    } catch (const StatusError &error) {
+        EXPECT_EQ(error.status().code, StatusCode::InvalidState);
+    }
+    // The first run's results survive the refused re-run.
+    EXPECT_TRUE(fleet_system.report().allOk());
+    EXPECT_EQ(fleet_system.output(0), first);
+}
+
+TEST(FleetSystemRobustness, SessionApiOnOneShotSystemRejected)
+{
+    std::vector<BitBuffer> streams(1);
+    streams[0].appendBits(1, 8);
+    system::FleetSystem fleet_system(testprogs::identity(),
+                                     system::SystemConfig{}, streams);
+    BitBuffer job;
+    job.appendBits(2, 8);
+    Status armed = fleet_system.armJob(0, job, 0);
+    EXPECT_EQ(armed.code, StatusCode::InvalidState);
+    EXPECT_THROW(fleet_system.finishSession(), StatusError);
 }
 
 TEST(FleetSystemRobustness, MisalignedStreamRejected)

@@ -63,7 +63,13 @@ class TraceSchemaTest : public ::testing::Test
         report_ = &fleet_->run();
         ASSERT_TRUE(report_->allOk()) << report_->summary();
 
-        path_ = ::testing::TempDir() + "fleet_trace_schema_test.json";
+        // Unique per test case: ctest runs the cases as concurrent
+        // processes, and a shared path races (corrupt reads).
+        path_ = ::testing::TempDir() + "fleet_trace_schema_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".json";
         Status written = report_->writeTrace(path_);
         ASSERT_TRUE(written.ok()) << written.message;
 
