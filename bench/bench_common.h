@@ -19,6 +19,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/registry.h"
@@ -125,6 +126,42 @@ inline void
 printHeader(const char *title, const char *what)
 {
     std::printf("\n==== %s ====\n%s\n\n", title, what);
+}
+
+/** Schema version of the common metadata block below. Bump when a key
+ * is renamed or removed (additions are backwards-compatible: every
+ * BENCH_*.json consumer in CI scans line-wise for the keys it knows). */
+constexpr int kBenchJsonVersion = 2;
+
+#ifndef FLEET_GIT_SHA
+#define FLEET_GIT_SHA "unknown"
+#endif
+
+/**
+ * Emit the run-provenance keys shared by every BENCH_*.json, right
+ * after the opening '{': which bench, which commit, which PU backend,
+ * and how many host threads — so an artifact downloaded from CI is
+ * attributable without its workflow context. `threads` is the
+ * configured worker count (0 = one per hardware thread); pass -1 for
+ * benches where host threading does not apply.
+ */
+inline void
+writeRunMetadata(std::FILE *f, const char *bench_name,
+                 const char *backend, int threads)
+{
+    std::fprintf(f, "  \"bench\": \"%s\",\n", bench_name);
+    std::fprintf(f, "  \"bench_version\": %d,\n", kBenchJsonVersion);
+    std::fprintf(f, "  \"git_sha\": \"%s\",\n", FLEET_GIT_SHA);
+    std::fprintf(f, "  \"backend\": \"%s\",\n", backend);
+    if (threads >= 0)
+        std::fprintf(f, "  \"threads\": %d,\n", threads);
+    std::fprintf(f, "  \"host_hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+#ifdef NDEBUG
+    std::fprintf(f, "  \"release_build\": true,\n");
+#else
+    std::fprintf(f, "  \"release_build\": false,\n");
+#endif
 }
 
 } // namespace bench

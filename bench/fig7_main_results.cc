@@ -352,11 +352,9 @@ writeJson(const std::string &path, const std::vector<AppResult> &results,
     for (const auto &r : results)
         total_wall += r.simWallS;
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"bench\": \"fig7_main_results\",\n");
+    bench::writeRunMetadata(f, "fig7_main_results",
+                            opts.backendName.c_str(), opts.threads);
     std::fprintf(f, "  \"smoke\": %s,\n", opts.smoke ? "true" : "false");
-    std::fprintf(f, "  \"backend\": \"%s\",\n", opts.backendName.c_str());
-    std::fprintf(f, "  \"host_hardware_threads\": %u,\n",
-                 std::thread::hardware_concurrency());
     std::fprintf(f, "  \"total_sim_wall_s\": %.6f,\n", total_wall);
     std::fprintf(f, "  \"apps\": [\n");
     for (size_t i = 0; i < results.size(); ++i) {

@@ -171,7 +171,7 @@ writeJson(const std::string &path, const std::string &app,
         std::fprintf(f, "    }%s\n", last ? "" : ",");
     };
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"bench\": \"job_throughput\",\n");
+    bench::writeRunMetadata(f, "job_throughput", "fast", opts.threads);
     std::fprintf(f, "  \"smoke\": %s,\n", opts.smoke ? "true" : "false");
     std::fprintf(f, "  \"app\": \"%s\",\n", app.c_str());
     std::fprintf(f, "  \"rows\": [\n");

@@ -41,6 +41,7 @@
 #include "apps/registry.h"
 #include "compile/compiler.h"
 #include "rtl/batch_sim.h"
+#include "bench_common.h"
 #include "rtl/sim.h"
 #include "rtl/tape.h"
 #include "util/rng.h"
@@ -215,13 +216,10 @@ writeJson(const std::string &path, const std::vector<AppResult> &results,
         return false;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"bench\": \"micro_rtl_engines\",\n");
+    // Single-PU engine microbench: host threading does not apply, and
+    // the "backend" axis *is* the result rows (interp vs tape vs batch).
+    bench::writeRunMetadata(f, "micro_rtl_engines", "rtl-engines", -1);
     std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-#ifdef NDEBUG
-    std::fprintf(f, "  \"release_build\": true,\n");
-#else
-    std::fprintf(f, "  \"release_build\": false,\n");
-#endif
     std::fprintf(f, "  \"apps\": [\n");
     for (size_t i = 0; i < results.size(); ++i) {
         const AppResult &r = results[i];

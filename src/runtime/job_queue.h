@@ -38,17 +38,29 @@ struct PendingJob
     uint64_t id = 0;
     BitBuffer stream;
     JobCallback callback; ///< May be empty.
+    /**
+     * Session-clock cycle the job entered the queue (ISSUE 6): the
+     * anchor for the report's queue-wait decomposition. Stamped by
+     * Session::submit with the current session cycle, or provided by
+     * the serving layer as the job's open-loop arrival cycle.
+     */
+    uint64_t enqueueCycle = 0;
+    /** Host steady-clock nanoseconds at submission (wall-clock metrics
+     * only — never feeds back into the simulated schedule). */
+    uint64_t hostSubmitNs = 0;
 };
 
 class JobQueue
 {
   public:
     /** Enqueue a stream; returns the job's id (sequential from 0). */
-    uint64_t push(BitBuffer stream, JobCallback callback = nullptr)
+    uint64_t push(BitBuffer stream, JobCallback callback = nullptr,
+                  uint64_t enqueue_cycle = 0, uint64_t host_submit_ns = 0)
     {
         uint64_t id = nextId_++;
         jobs_.push_back(PendingJob{id, std::move(stream),
-                                   std::move(callback)});
+                                   std::move(callback), enqueue_cycle,
+                                   host_submit_ns});
         return id;
     }
 

@@ -10,15 +10,42 @@
 
 #include "runtime/session.h"
 
+#include <chrono>
 #include <sstream>
 #include <utility>
 
 namespace fleet {
 namespace runtime {
 
+namespace {
+
+/** Host steady-clock stamp in nanoseconds (wall metrics only). */
+uint64_t
+hostNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Append a (cycle, value) sample, deduplicating repeats of the last
+ * value so idle rounds don't grow the track. */
+void
+sampleTrack(trace::CounterTrack &track, uint64_t cycle, uint64_t value)
+{
+    if (!track.samples.empty() && track.samples.back().second == value)
+        return;
+    track.samples.emplace_back(cycle, value);
+}
+
+} // namespace
+
 bool
 operator==(const JobReport &a, const JobReport &b)
 {
+    // hostSubmitNs / hostDoneNs are deliberately omitted: wall-clock
+    // stamps vary run to run, while everything simulated must not.
     return a.jobId == b.jobId && a.status == b.status && a.pu == b.pu &&
            a.channel == b.channel && a.armCycle == b.armCycle &&
            a.retireCycle == b.retireCycle &&
@@ -28,7 +55,10 @@ operator==(const JobReport &a, const JobReport &b)
            a.inputStarvedCycles == b.inputStarvedCycles &&
            a.outputBlockedCycles == b.outputBlockedCycles &&
            a.keptTokens == b.keptTokens &&
-           a.originalTokens == b.originalTokens && a.output == b.output;
+           a.originalTokens == b.originalTokens &&
+           a.enqueueCycle == b.enqueueCycle &&
+           a.admittedCycle == b.admittedCycle &&
+           a.completedCycle == b.completedCycle && a.output == b.output;
 }
 
 Session::Session(const lang::Program &program,
@@ -38,17 +68,28 @@ Session::Session(const lang::Program &program,
 {
     if (config_.epochCycles == 0)
         panic("SessionConfig::epochCycles must be nonzero");
+    queueDepthTrack_.name = "session/queue_depth";
+    inFlightTrack_.name = "session/jobs_in_flight";
+    queueWaitTrack_.name = "session/queue_wait_cycles";
     system_.beginSession();
 }
 
 uint64_t
 Session::submit(BitBuffer stream, JobCallback callback)
 {
+    return submitAt(std::move(stream), cycles(), std::move(callback));
+}
+
+uint64_t
+Session::submitAt(BitBuffer stream, uint64_t enqueue_cycle,
+                  JobCallback callback)
+{
     if (finished_)
         throw StatusError(Status::make(
             StatusCode::InvalidState,
             "submit: session already finished"));
-    uint64_t id = queue_.push(std::move(stream), std::move(callback));
+    uint64_t id = queue_.push(std::move(stream), std::move(callback),
+                              enqueue_cycle, hostNowNs());
     reports_.emplace_back();
     reported_.push_back(false);
     return id;
@@ -57,6 +98,8 @@ Session::submit(BitBuffer stream, JobCallback callback)
 void
 Session::record(JobReport report, JobCallback &callback)
 {
+    report.completedCycle = cycles();
+    report.hostDoneNs = hostNowNs();
     uint64_t id = report.jobId;
     reports_[id] = std::move(report);
     reported_[id] = true;
@@ -67,13 +110,19 @@ Session::record(JobReport report, JobCallback &callback)
 
 void
 Session::finishJobEarly(uint64_t job_id, int pu, Status status,
-                        JobCallback &callback)
+                        JobCallback &callback, uint64_t enqueue_cycle,
+                        uint64_t host_submit_ns)
 {
     JobReport report;
     report.jobId = job_id;
     report.status = std::move(status);
     report.pu = pu;
     report.channel = pu >= 0 ? system_.puChannel(pu) : -1;
+    report.enqueueCycle = enqueue_cycle;
+    // Never armed: the whole latency is queue wait, so the admission
+    // stamp collapses onto the decision round.
+    report.admittedCycle = cycles();
+    report.hostSubmitNs = host_submit_ns;
     record(std::move(report), callback);
 }
 
@@ -105,6 +154,9 @@ Session::harvest()
                 retired.stats.outputBlockedCycles;
             report.keptTokens = retired.keptTokens;
             report.originalTokens = retired.originalTokens;
+            report.enqueueCycle = slot.enqueueCycle;
+            report.admittedCycle = slot.admittedCycle;
+            report.hostSubmitNs = slot.hostSubmitNs;
             report.output = std::move(output);
             slot.busy = false;
             record(std::move(report), slot.callback);
@@ -128,6 +180,9 @@ Session::harvest()
             report.channel = system_.puChannel(pu);
             report.retireCycle =
                 system_.shard(system_.puChannel(pu)).cycles();
+            report.enqueueCycle = slot.enqueueCycle;
+            report.admittedCycle = slot.admittedCycle;
+            report.hostSubmitNs = slot.hostSubmitNs;
             slot.busy = false;
             slot.dead = true;
             record(std::move(report), slot.callback);
@@ -155,12 +210,20 @@ Session::armFromQueue()
                 // A malformed job (bad alignment, oversized stream)
                 // fails alone; the slot takes the next one.
                 finishJobEarly(job.id, pu, std::move(armed),
-                               job.callback);
+                               job.callback, job.enqueueCycle,
+                               job.hostSubmitNs);
                 continue;
             }
             slot.busy = true;
             slot.jobId = job.id;
             slot.callback = std::move(job.callback);
+            slot.enqueueCycle = job.enqueueCycle;
+            slot.admittedCycle = cycles();
+            slot.hostSubmitNs = job.hostSubmitNs;
+            totalQueueWaitCycles_ +=
+                slot.admittedCycle > slot.enqueueCycle
+                    ? slot.admittedCycle - slot.enqueueCycle
+                    : 0;
             break;
         }
     }
@@ -174,6 +237,7 @@ Session::step()
             StatusCode::InvalidState, "step: session already finished"));
     harvest();
     armFromQueue();
+    sampleSessionTracks();
     bool in_flight = false;
     for (const Slot &slot : slots_)
         in_flight |= slot.busy;
@@ -189,12 +253,42 @@ Session::step()
                 Status::make(StatusCode::InvalidState,
                              "no live processing-unit slots remain "
                              "(every channel halted)"),
-                job.callback);
+                job.callback, job.enqueueCycle, job.hostSubmitNs);
         }
         return false;
     }
     system_.stepEpoch(config_.epochCycles);
     return true;
+}
+
+void
+Session::sampleSessionTracks()
+{
+    if (!config_.system.trace.events)
+        return;
+    uint64_t now = cycles();
+    sampleTrack(queueDepthTrack_, now, queue_.size());
+    sampleTrack(inFlightTrack_, now,
+                static_cast<uint64_t>(jobsInFlight()));
+    sampleTrack(queueWaitTrack_, now, totalQueueWaitCycles_);
+}
+
+int
+Session::jobsInFlight() const
+{
+    int busy = 0;
+    for (const Slot &slot : slots_)
+        busy += slot.busy ? 1 : 0;
+    return busy;
+}
+
+int
+Session::liveSlots() const
+{
+    int live = 0;
+    for (const Slot &slot : slots_)
+        live += slot.dead ? 0 : 1;
+    return live;
 }
 
 void
@@ -209,6 +303,9 @@ Session::finish()
 {
     drain();
     finished_ = true;
+    if (config_.system.trace.events)
+        system_.setSessionTracks(
+            {queueDepthTrack_, inFlightTrack_, queueWaitTrack_});
     return system_.finishSession();
 }
 

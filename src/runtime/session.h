@@ -81,6 +81,57 @@ struct JobReport
      * when the stream ran whole). */
     uint64_t keptTokens = 0;
     uint64_t originalTokens = 0;
+    /**
+     * @name Latency decomposition (ISSUE 6)
+     * Simulated timestamps on the *session clock* (max over shard
+     * cycles, sampled at scheduler round boundaries), so they share one
+     * monotonic timebase even though armCycle/retireCycle are on the
+     * owning shard's clock (which can lag when that shard idles).
+     * Deterministic: bit-identical across PU backends and host thread
+     * counts, and part of operator==.
+     */
+    /// @{
+    uint64_t enqueueCycle = 0;   ///< Entered the queue (or arrival).
+    uint64_t admittedCycle = 0;  ///< Round the job was armed on a slot.
+    uint64_t completedCycle = 0; ///< Round the report became final.
+
+    /** Cycles spent queued before a slot armed the job. */
+    uint64_t queueWaitCycles() const
+    {
+        return admittedCycle > enqueueCycle
+                   ? admittedCycle - enqueueCycle
+                   : 0;
+    }
+    /** Arm-to-retire service time on the owning shard's clock. */
+    uint64_t serviceCycles() const
+    {
+        return retireCycle > armCycle ? retireCycle - armCycle : 0;
+    }
+    /** End-to-end simulated latency: queue wait + service + the round
+     * quantization of harvest. */
+    uint64_t totalCycles() const
+    {
+        return completedCycle > enqueueCycle
+                   ? completedCycle - enqueueCycle
+                   : 0;
+    }
+    /// @}
+
+    /**
+     * Host wall-clock stamps (steady clock, nanoseconds): submission
+     * and report-finalization time. Purely observational host-side
+     * metrics — they vary run to run and are deliberately *excluded*
+     * from operator==, which fences only the simulated schedule.
+     */
+    uint64_t hostSubmitNs = 0;
+    uint64_t hostDoneNs = 0;
+    double hostLatencySeconds() const
+    {
+        return hostDoneNs > hostSubmitNs
+                   ? (hostDoneNs - hostSubmitNs) * 1e-9
+                   : 0.0;
+    }
+
     /** The job's flushed output (partial for contained/stranded jobs —
      * empty when the channel halted before the slot drained). */
     BitBuffer output;
@@ -114,6 +165,17 @@ class Session
      * StatusError(InvalidState).
      */
     uint64_t submit(BitBuffer stream, JobCallback callback = nullptr);
+
+    /**
+     * submit() with an explicit enqueue timestamp on the session clock
+     * (ISSUE 6): the serving layer passes each job's open-loop arrival
+     * cycle so JobReport::queueWaitCycles measures queueing delay from
+     * *arrival*, not from whenever the scheduler got around to the
+     * transfer. `enqueue_cycle` must not exceed the current session
+     * cycle by construction of the caller's pacing; it is used verbatim.
+     */
+    uint64_t submitAt(BitBuffer stream, uint64_t enqueue_cycle,
+                      JobCallback callback = nullptr);
 
     /**
      * One scheduler round: harvest drained jobs, arm queued jobs onto
@@ -152,6 +214,12 @@ class Session
     {
         return queue_.pushed() - jobsFinished_;
     }
+    /** Jobs currently armed on a slot (busy slots). */
+    int jobsInFlight() const;
+    /** Slots that can still serve (their channel has not halted). */
+    int liveSlots() const;
+    /** Jobs waiting in the session's FIFO (pending minus in flight). */
+    uint64_t jobsQueued() const { return queue_.size(); }
     /** Simulated cycle count (max over channels so far). */
     uint64_t cycles() const;
 
@@ -166,14 +234,21 @@ class Session
         bool dead = false; ///< Channel halted; never re-armed.
         uint64_t jobId = 0;
         JobCallback callback;
+        /** Latency anchors carried from the pending job to harvest. */
+        uint64_t enqueueCycle = 0;
+        uint64_t admittedCycle = 0;
+        uint64_t hostSubmitNs = 0;
     };
 
     void harvest();
     void armFromQueue();
+    /** Sample the scheduler tracks for this round (events mode only). */
+    void sampleSessionTracks();
     /** Report a job that never produced a RetiredJob (arm rejection or
      * a halted channel) and fire its callback. */
     void finishJobEarly(uint64_t job_id, int pu, Status status,
-                        JobCallback &callback);
+                        JobCallback &callback, uint64_t enqueue_cycle,
+                        uint64_t host_submit_ns);
     void record(JobReport report, JobCallback &callback);
 
     SessionConfig config_;
@@ -184,6 +259,13 @@ class Session
     std::vector<bool> reported_;     ///< Indexed by job id.
     uint64_t jobsFinished_ = 0;
     bool finished_ = false;
+    /** Scheduler observability (trace events mode): queue depth, jobs
+     * in flight, and cumulative queue-wait cycles, sampled per round
+     * on the session clock (consecutive equal samples deduplicated). */
+    trace::CounterTrack queueDepthTrack_;
+    trace::CounterTrack inFlightTrack_;
+    trace::CounterTrack queueWaitTrack_;
+    uint64_t totalQueueWaitCycles_ = 0;
 };
 
 } // namespace runtime

@@ -1,0 +1,86 @@
+#include "serve/load_gen.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fleet {
+namespace serve {
+
+const char *
+arrivalProcessName(ArrivalProcess process)
+{
+    switch (process) {
+    case ArrivalProcess::Poisson:
+        return "poisson";
+    case ArrivalProcess::Bursty:
+        return "bursty";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Exponential interarrival with the given mean, never zero so the
+ * schedule strictly advances. 1-u keeps the log argument in (0, 1]. */
+double
+exponentialGap(Rng &rng, double mean_cycles)
+{
+    double u = rng.nextDouble();
+    double gap = -mean_cycles * std::log(1.0 - u);
+    return gap < 1.0 ? 1.0 : gap;
+}
+
+} // namespace
+
+std::vector<Arrival>
+makeArrivals(const LoadSpec &spec)
+{
+    if (spec.meanInterarrivalCycles < 1.0)
+        panic("LoadSpec::meanInterarrivalCycles must be >= 1");
+    if (spec.minJobBytes == 0 || spec.minJobBytes > spec.maxJobBytes)
+        panic("LoadSpec job-size range must satisfy 0 < min <= max");
+    if (spec.process == ArrivalProcess::Bursty &&
+        (spec.burstBoost <= 1.0 || spec.burstDuty <= 0.0 ||
+         spec.burstDuty >= 1.0 || spec.burstPeriodCycles == 0 ||
+         spec.burstDuty * spec.burstBoost >= 1.0))
+        panic("LoadSpec bursty shape requires boost > 1, duty in (0,1), "
+              "duty*boost < 1 (the on-phase alone must not exceed the "
+              "window mean), and a nonzero period");
+
+    // Bursty keeps the *window* mean rate equal to the configured mean:
+    //   duty/on_gap + (1-duty)/off_gap = 1/mean,  on_gap = mean/boost
+    //   => off_gap = mean * (1-duty) / (1 - duty*boost)
+    // (well-defined because duty*boost < 1 was checked above).
+    double on_gap = spec.meanInterarrivalCycles / spec.burstBoost;
+    double off_gap = spec.meanInterarrivalCycles *
+                     (1.0 - spec.burstDuty) /
+                     (1.0 - spec.burstDuty * spec.burstBoost);
+
+    Rng rng(spec.seed);
+    std::vector<Arrival> arrivals;
+    arrivals.reserve(spec.jobs);
+    double now = 0.0;
+    for (uint64_t i = 0; i < spec.jobs; ++i) {
+        double mean = spec.meanInterarrivalCycles;
+        if (spec.process == ArrivalProcess::Bursty) {
+            uint64_t phase = static_cast<uint64_t>(now) %
+                             spec.burstPeriodCycles;
+            bool on = phase < static_cast<uint64_t>(
+                                  spec.burstDuty *
+                                  static_cast<double>(
+                                      spec.burstPeriodCycles));
+            mean = on ? on_gap : off_gap;
+        }
+        now += exponentialGap(rng, mean);
+        Arrival arrival;
+        arrival.cycle = static_cast<uint64_t>(now);
+        arrival.streamBytes =
+            rng.nextInRange(spec.minJobBytes, spec.maxJobBytes);
+        arrivals.push_back(arrival);
+    }
+    return arrivals;
+}
+
+} // namespace serve
+} // namespace fleet

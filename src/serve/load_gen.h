@@ -1,0 +1,84 @@
+#ifndef FLEET_SERVE_LOAD_GEN_H
+#define FLEET_SERVE_LOAD_GEN_H
+
+/**
+ * @file
+ * Deterministic open-loop arrival schedules for the serving bench
+ * (ISSUE 6). Open-loop means arrivals are scheduled *in advance* on the
+ * simulated clock, independent of how fast the system serves — the only
+ * regime in which queueing delay and tail latency are visible (a
+ * closed-loop driver throttles itself and hides both, which is exactly
+ * what bench/job_throughput does by design).
+ *
+ * All randomness comes from the repo's SplitMix64 Rng, so a (spec, seed)
+ * pair produces the same arrival schedule on every platform; the bench's
+ * determinism crosscheck replays one schedule across PU backends and
+ * thread counts and fences the per-job simulated latencies bit-for-bit.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fleet {
+namespace serve {
+
+/** Arrival-process shapes the generator can emit. */
+enum class ArrivalProcess
+{
+    Poisson, ///< Exponential i.i.d. interarrivals at the mean rate.
+    /** Rate-modulated Poisson: within each burstPeriodCycles window the
+     * first burstDuty fraction arrives burstBoost× faster than the
+     * off-phase, holding the window's mean rate at the configured mean.
+     * Stresses the admission queue far harder than Poisson at the same
+     * offered load. */
+    Bursty
+};
+
+const char *arrivalProcessName(ArrivalProcess process);
+
+/** One scheduled arrival: when (simulated cycles) and how big. */
+struct Arrival
+{
+    uint64_t cycle = 0;     ///< Session-clock arrival time.
+    uint64_t streamBytes = 0; ///< Job size (whole input tokens' worth).
+};
+
+struct LoadSpec
+{
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    /** Number of jobs to schedule. */
+    uint64_t jobs = 256;
+    /** Mean interarrival gap in simulated cycles — the offered load
+     * knob: smaller gap = higher load. Must be >= 1. */
+    double meanInterarrivalCycles = 1000.0;
+    /**
+     * Job sizes are drawn uniformly from [minJobBytes, maxJobBytes] and
+     * rounded up to a whole input token — heterogeneous sizes are what
+     * make tail latency interesting (a small job stuck behind a big one
+     * is the classic p99 story).
+     */
+    uint64_t minJobBytes = 64;
+    uint64_t maxJobBytes = 1024;
+    uint64_t seed = 0xf1ee7;
+    /** Bursty only: on-phase rate multiplier (> 1; duty*boost must
+     * stay < 1 so the off-phase rate remains positive). */
+    double burstBoost = 4.0;
+    /** Bursty only: fraction of each period that is the on-phase. */
+    double burstDuty = 0.2;
+    /** Bursty only: modulation period in simulated cycles. */
+    uint64_t burstPeriodCycles = 64 * 1024;
+};
+
+/**
+ * Generate the full arrival schedule for `spec`, sorted by cycle
+ * (non-decreasing; simultaneous arrivals keep generation order). Pure
+ * function of the spec, including its seed.
+ */
+std::vector<Arrival> makeArrivals(const LoadSpec &spec);
+
+} // namespace serve
+} // namespace fleet
+
+#endif // FLEET_SERVE_LOAD_GEN_H

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * FleetService implementation. Thread discipline: client threads touch
+ * only the admission state (wait_, counters, the block CV) under mu_;
+ * the inner Session is touched exclusively by the pumping thread (the
+ * background service thread, or the caller in paced mode) — stats for
+ * client threads are published through atomics after each round. That
+ * split is what keeps the simulated schedule a pure function of the
+ * admitted sequence: host timing decides only when rounds happen and
+ * in which order clients reach the admission lock, never what the
+ * simulation computes (DESIGN.md §5f).
+ */
+
+#include "serve/service.h"
+
+#include <chrono>
+
+namespace fleet {
+namespace serve {
+
+const char *
+admissionPolicyName(AdmissionPolicy policy)
+{
+    switch (policy) {
+    case AdmissionPolicy::Block:
+        return "block";
+    case AdmissionPolicy::Reject:
+        return "reject";
+    case AdmissionPolicy::ShedOldest:
+        return "shed-oldest";
+    }
+    return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// JobTicket
+
+void
+JobTicket::State::complete(runtime::JobReport final)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        report = std::move(final);
+        ready = true;
+    }
+    cv.notify_all();
+}
+
+bool
+JobTicket::ready() const
+{
+    if (!state_)
+        return false;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->ready;
+}
+
+const runtime::JobReport &
+JobTicket::wait() const
+{
+    if (!state_)
+        throw StatusError(Status::make(StatusCode::InvalidState,
+                                       "JobTicket::wait on an invalid "
+                                       "(default-constructed) ticket"));
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [this] { return state_->ready; });
+    return state_->report;
+}
+
+const runtime::JobReport &
+JobTicket::report() const
+{
+    if (!state_)
+        throw StatusError(Status::make(StatusCode::InvalidState,
+                                       "JobTicket::report on an invalid "
+                                       "ticket"));
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (!state_->ready)
+        throw StatusError(Status::make(
+            StatusCode::InvalidState,
+            "JobTicket::report before the job finished (pump or wait)"));
+    return state_->report;
+}
+
+// ---------------------------------------------------------------------------
+// FleetService
+
+namespace {
+
+/** Report for a job admission turned away before it reached a slot. */
+runtime::JobReport
+refusalReport(StatusCode code, const char *why)
+{
+    runtime::JobReport report;
+    report.jobId = UINT64_MAX; // never assigned a session job id
+    report.status = Status::make(code, why);
+    return report;
+}
+
+} // namespace
+
+FleetService::FleetService(const lang::Program &program,
+                           const ServiceConfig &config)
+    : config_(config), session_(program, config.session)
+{
+    // A zero-depth queue under Block would park submitters forever
+    // (nothing can ever be "waiting"); one slot of waiting room keeps
+    // the policy meaningful.
+    if (config_.policy == AdmissionPolicy::Block &&
+        config_.maxQueueDepth == 0)
+        config_.maxQueueDepth = 1;
+    liveSlotsNow_.store(session_.liveSlots(), std::memory_order_relaxed);
+    if (config_.backgroundThread)
+        thread_ = std::thread([this] { serviceThread(); });
+}
+
+FleetService::~FleetService()
+{
+    shutdown();
+}
+
+JobTicket
+FleetService::refuse(std::shared_ptr<JobTicket::State> state,
+                     StatusCode code, const char *why)
+{
+    state->complete(refusalReport(code, why));
+    JobTicket ticket;
+    ticket.state_ = std::move(state);
+    return ticket;
+}
+
+JobTicket
+FleetService::submit(BitBuffer stream)
+{
+    return admit(std::move(stream),
+                 nowCycle_.load(std::memory_order_relaxed));
+}
+
+JobTicket
+FleetService::submitAt(BitBuffer stream, uint64_t arrival_cycle)
+{
+    return admit(std::move(stream), arrival_cycle);
+}
+
+JobTicket
+FleetService::admit(BitBuffer stream, uint64_t arrival_cycle)
+{
+    auto state = std::make_shared<JobTicket::State>();
+    std::unique_lock<std::mutex> lock(mu_);
+    ++submitted_;
+    if (!accepting_)
+        return refuse(std::move(state), StatusCode::InvalidState,
+                      "submit after shutdown: the service is no longer "
+                      "accepting jobs");
+
+    // FIFO fairness under Block: a newcomer may not slip past parked
+    // submitters, so it parks whenever anyone is already waiting for a
+    // turn, not just when the queue is full.
+    if (config_.policy == AdmissionPolicy::Block &&
+        (wait_.size() >= config_.maxQueueDepth ||
+         blockHead_ != blockNext_)) {
+        uint64_t turn = blockNext_++;
+        spaceCv_.wait(lock, [&] {
+            return !accepting_ ||
+                   (blockHead_ == turn &&
+                    wait_.size() < config_.maxQueueDepth);
+        });
+        ++blockHead_; // pass the turn on even when released by shutdown
+        spaceCv_.notify_all();
+        if (!accepting_)
+            return refuse(std::move(state), StatusCode::InvalidState,
+                          "submit released by shutdown while blocked "
+                          "on admission");
+    } else if (wait_.size() >= config_.maxQueueDepth) {
+        if (config_.policy == AdmissionPolicy::Reject) {
+            ++rejected_;
+            return refuse(std::move(state),
+                          StatusCode::ResourceExhausted,
+                          "admission queue full (Reject policy)");
+        }
+        // ShedOldest: the oldest waiting job pays for the newest.
+        Waiting oldest = std::move(wait_.front());
+        wait_.pop_front();
+        ++shed_;
+        oldest.ticket->complete(refusalReport(
+            StatusCode::ResourceExhausted,
+            "shed from the admission queue to make room "
+            "(ShedOldest policy)"));
+    }
+
+    Waiting waiting;
+    waiting.stream = std::move(stream);
+    waiting.arrivalCycle = arrival_cycle;
+    waiting.ticket = state;
+    wait_.push_back(std::move(waiting));
+    ++admitted_;
+    JobTicket ticket;
+    ticket.state_ = std::move(state);
+    return ticket;
+}
+
+void
+FleetService::feedSessionLocked()
+{
+    // Keep the session's appetite ahead of harvest: up to two rounds'
+    // worth of jobs pending inside it (one being served, one staged),
+    // so a slot drained this round re-arms next round without a
+    // bubble. Queue-wait accounting is unaffected — submitAt carries
+    // each job's original arrival cycle.
+    const uint64_t target =
+        2 * static_cast<uint64_t>(session_.liveSlots());
+    bool freed = false;
+    while (!wait_.empty() && session_.jobsPending() < target) {
+        Waiting waiting = std::move(wait_.front());
+        wait_.pop_front();
+        freed = true;
+        auto ticket = std::move(waiting.ticket);
+        session_.submitAt(
+            std::move(waiting.stream), waiting.arrivalCycle,
+            [this, ticket](const runtime::JobReport &report) {
+                ticket->complete(report);
+                completed_.fetch_add(1, std::memory_order_relaxed);
+            });
+    }
+    if (freed)
+        spaceCv_.notify_all();
+}
+
+bool
+FleetService::pumpOnce()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (finished_)
+            return false;
+        if (session_.liveSlots() == 0 && !wait_.empty()) {
+            // Every channel halted: nothing will ever drain the wait
+            // queue — complete the stranded tickets instead of hanging
+            // their owners (the session strands its own jobs the same
+            // way).
+            for (Waiting &waiting : wait_) {
+                waiting.ticket->complete(refusalReport(
+                    StatusCode::InvalidState,
+                    "no live processing-unit slots remain "
+                    "(every channel halted)"));
+                completed_.fetch_add(1, std::memory_order_relaxed);
+            }
+            wait_.clear();
+            spaceCv_.notify_all();
+        }
+        feedSessionLocked();
+    }
+    session_.step();
+    nowCycle_.store(session_.cycles(), std::memory_order_relaxed);
+    inFlightNow_.store(session_.jobsInFlight(),
+                       std::memory_order_relaxed);
+    liveSlotsNow_.store(session_.liveSlots(), std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    return !wait_.empty() || session_.jobsPending() > 0;
+}
+
+bool
+FleetService::pump()
+{
+    if (thread_.joinable())
+        throw StatusError(Status::make(
+            StatusCode::InvalidState,
+            "pump: the service runs a background thread; paced mode "
+            "requires ServiceConfig::backgroundThread = false"));
+    return pumpOnce();
+}
+
+void
+FleetService::serviceThread()
+{
+    for (;;) {
+        bool work = pumpOnce();
+        if (!work) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (!accepting_)
+                    return; // shutdown requested and fully drained
+            }
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(config_.idlePollMicros));
+        }
+    }
+}
+
+void
+FleetService::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        accepting_ = false;
+    }
+    spaceCv_.notify_all();
+    if (thread_.joinable())
+        thread_.join(); // exits once every admitted job has a report
+    else
+        while (pumpOnce()) {
+        }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!finished_) {
+        runReport_ = &session_.finish();
+        finished_ = true;
+        nowCycle_.store(session_.cycles(), std::memory_order_relaxed);
+        inFlightNow_.store(0, std::memory_order_relaxed);
+        liveSlotsNow_.store(session_.liveSlots(),
+                            std::memory_order_relaxed);
+    }
+}
+
+const system::RunReport &
+FleetService::runReport() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!finished_ || runReport_ == nullptr)
+        throw StatusError(Status::make(
+            StatusCode::InvalidState,
+            "runReport: call shutdown() first to settle the session"));
+    return *runReport_;
+}
+
+ServiceStats
+FleetService::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ServiceStats stats;
+    stats.submitted = submitted_;
+    stats.admitted = admitted_;
+    stats.rejected = rejected_;
+    stats.shed = shed_;
+    stats.completed = completed_.load(std::memory_order_relaxed);
+    stats.queueDepth = wait_.size();
+    stats.blockedSubmitters = blockNext_ - blockHead_;
+    stats.jobsInFlight = inFlightNow_.load(std::memory_order_relaxed);
+    stats.liveSlots = liveSlotsNow_.load(std::memory_order_relaxed);
+    stats.saturated = wait_.size() >= config_.maxQueueDepth;
+    stats.simCycles = nowCycle_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+bool
+FleetService::saturated() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return wait_.size() >= config_.maxQueueDepth;
+}
+
+} // namespace serve
+} // namespace fleet

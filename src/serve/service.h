@@ -1,0 +1,266 @@
+#ifndef FLEET_SERVE_SERVICE_H
+#define FLEET_SERVE_SERVICE_H
+
+/**
+ * @file
+ * Fleet-as-a-service (ISSUE 6): an in-process async client API over the
+ * multi-stream job runtime. "Millions of users" is a queueing problem,
+ * not a throughput problem — the serving layer is where queueing delay,
+ * admission behaviour, and tail latency live, which the closed-loop
+ * job_throughput bench structurally cannot see.
+ *
+ * A FleetService wraps a runtime::Session behind a thread-safe
+ * submission boundary:
+ *
+ *  - *Clients* (any host thread) call submit() and get back a
+ *    JobTicket — a future for the job's final runtime::JobReport.
+ *  - A *service loop* — either a background thread (the default) or
+ *    the caller pumping explicitly in paced mode — transfers admitted
+ *    jobs into the Session and drives its scheduler rounds.
+ *  - *Admission control*: the wait queue is bounded
+ *    (ServiceConfig::maxQueueDepth). At the bound the configured
+ *    policy kicks in: Block parks the submitter (FIFO wake order),
+ *    Reject completes the ticket immediately with ResourceExhausted,
+ *    ShedOldest drops the oldest waiting job (its ticket completes
+ *    with ResourceExhausted) to make room for the newest.
+ *  - *Backpressure signals*: stats() exposes queue depth, saturation,
+ *    jobs in flight, and blocked submitters, so callers can throttle
+ *    before admission control has to act.
+ *
+ * Determinism contract (DESIGN.md §5f): everything *simulated* — the
+ * job→slot schedule, per-job cycle timestamps, outputs, traces — is a
+ * pure function of (program, config, admission order, arrival cycles).
+ * Host wall-clock only decides *when* rounds run, never what they
+ * compute, so per-job simulated-cycle latencies are bit-identical
+ * across PU backends and host thread counts. The open-loop bench
+ * (bench/serve_latency) exploits this by running in paced mode with
+ * arrival cycles from a seeded schedule (load_gen.h), making the whole
+ * demand/latency curve reproducible; a free-running background thread
+ * leaves the admission *order* up to host scheduling, but each
+ * admitted sequence still replays exactly.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "runtime/session.h"
+
+namespace fleet {
+namespace serve {
+
+/** What happens to a submit() when the wait queue is at its bound. */
+enum class AdmissionPolicy
+{
+    Block,     ///< Park the submitter until space frees (FIFO order).
+    Reject,    ///< Complete the ticket with ResourceExhausted now.
+    ShedOldest ///< Drop the oldest waiting job; admit the new one.
+};
+
+const char *admissionPolicyName(AdmissionPolicy policy);
+
+struct ServiceConfig
+{
+    /** Program/slot-pool/backend/trace config for the inner Session. */
+    runtime::SessionConfig session;
+    /**
+     * Bound on jobs *waiting* for a slot (the service's wait queue;
+     * jobs already handed to the session — at most the live slot count
+     * — are in service, not waiting). 0 is legal: every submit beyond
+     * the slot pool's appetite hits the admission policy immediately.
+     */
+    size_t maxQueueDepth = 64;
+    AdmissionPolicy policy = AdmissionPolicy::Block;
+    /**
+     * true: start() spawns a background service thread that pumps
+     * scheduler rounds until shutdown. false: *paced mode* — the
+     * caller drives rounds explicitly with pump(), which is what the
+     * open-loop bench and the determinism tests use (simulated time
+     * then advances only under the caller's control).
+     */
+    bool backgroundThread = true;
+    /** Background thread: sleep this long when a round finds no work. */
+    int idlePollMicros = 100;
+};
+
+/** Service-level telemetry snapshot (the backpressure signals). */
+struct ServiceStats
+{
+    uint64_t submitted = 0; ///< submit() calls, including turned-away.
+    uint64_t admitted = 0;  ///< Entered the wait queue.
+    uint64_t rejected = 0;  ///< Turned away at the bound (Reject).
+    uint64_t shed = 0;      ///< Dropped to make room (ShedOldest).
+    /** Admitted tickets holding a final report — served, contained, or
+     * stranded (shed and rejected tickets are counted separately). */
+    uint64_t completed = 0;
+    uint64_t queueDepth = 0;      ///< Waiting jobs right now.
+    uint64_t blockedSubmitters = 0; ///< Parked in submit() (Block).
+    int jobsInFlight = 0;         ///< Armed on slots.
+    int liveSlots = 0;            ///< Slots on non-halted channels.
+    bool saturated = false;       ///< queueDepth >= maxQueueDepth.
+    uint64_t simCycles = 0;       ///< Session clock (max over shards).
+};
+
+/**
+ * Future for one submitted job. Cheap to copy (shared state). A ticket
+ * from a turned-away submission (reject / shed / after shutdown) is
+ * already complete, carrying only the refusal status.
+ */
+class JobTicket
+{
+  public:
+    JobTicket() = default;
+
+    /** False only for a default-constructed ticket. */
+    bool valid() const { return state_ != nullptr; }
+
+    /** True once the final report is in (never blocks). */
+    bool ready() const;
+
+    /**
+     * Block until the report is final, then return it. Only meaningful
+     * when something else is pumping (the background thread); in paced
+     * mode call pump() until ready() instead — wait() would deadlock.
+     */
+    const runtime::JobReport &wait() const;
+
+    /** The final report; throws StatusError(InvalidState) if !ready(). */
+    const runtime::JobReport &report() const;
+
+  private:
+    friend class FleetService;
+
+    struct State
+    {
+        mutable std::mutex mu;
+        mutable std::condition_variable cv;
+        bool ready = false;
+        runtime::JobReport report;
+
+        void complete(runtime::JobReport final);
+    };
+
+    std::shared_ptr<State> state_;
+};
+
+class FleetService
+{
+  public:
+    /** Build the session and, unless paced, start the service thread. */
+    FleetService(const lang::Program &program,
+                 const ServiceConfig &config);
+    /** Calls shutdown() if the caller has not. */
+    ~FleetService();
+
+    FleetService(const FleetService &) = delete;
+    FleetService &operator=(const FleetService &) = delete;
+
+    /**
+     * Submit a job from any thread. The arrival timestamp is the
+     * current session cycle (monotonic snapshot). Returns the job's
+     * ticket; if admission turned the job away the ticket is already
+     * complete with ResourceExhausted (Reject at the bound) or
+     * InvalidState (after shutdown began).
+     */
+    JobTicket submit(BitBuffer stream);
+
+    /**
+     * submit() with an explicit arrival cycle on the session clock —
+     * the open-loop driver's entry point: pass the scheduled arrival
+     * so queue-wait is measured from when the client *wanted* service.
+     * Must be <= the current session cycle (the caller releases
+     * arrivals as simulated time passes them).
+     */
+    JobTicket submitAt(BitBuffer stream, uint64_t arrival_cycle);
+
+    /**
+     * Paced mode: run one service round — transfer waiting jobs into
+     * the session (up to its slot appetite), then one Session::step().
+     * Returns true while jobs are waiting or in flight. Call from one
+     * thread only. Illegal (InvalidState) with a background thread.
+     */
+    bool pump();
+
+    /**
+     * Stop accepting (submit() from now on returns InvalidState and
+     * parked submitters are released with it), serve every already-
+     * admitted job to completion, settle the session, and join the
+     * service thread. Idempotent. In paced mode the calling thread
+     * does the draining.
+     */
+    void shutdown();
+
+    /** The settled RunReport. Throws InvalidState before shutdown(). */
+    const system::RunReport &runReport() const;
+
+    /** Telemetry snapshot (any thread, any time). */
+    ServiceStats stats() const;
+    /** True when the wait queue is at its configured bound. */
+    bool saturated() const;
+
+    /**
+     * The inner session, for offline inspection of per-job reports and
+     * cycle accounting. Only touch after shutdown() (or between paced
+     * pumps): the service thread owns it while running.
+     */
+    const runtime::Session &session() const { return session_; }
+
+  private:
+    struct Waiting
+    {
+        BitBuffer stream;
+        uint64_t arrivalCycle = 0;
+        std::shared_ptr<JobTicket::State> ticket;
+    };
+
+    JobTicket admit(BitBuffer stream, uint64_t arrival_cycle);
+    /** One round; requires mu_ NOT held. True while work remains. */
+    bool pumpOnce();
+    /** Transfer waiting jobs into the session. Requires mu_ held. */
+    void feedSessionLocked();
+    /** Complete a ticket that never reached the session. */
+    static JobTicket refuse(std::shared_ptr<JobTicket::State> state,
+                            StatusCode code, const char *why);
+    void serviceThread();
+
+    ServiceConfig config_;
+    runtime::Session session_;
+
+    mutable std::mutex mu_;
+    std::condition_variable spaceCv_; ///< Block-policy submitters.
+    std::deque<Waiting> wait_;
+    bool accepting_ = true;
+    bool finished_ = false; ///< session_.finish() has run.
+    /** FIFO discipline for Block: submitters take a turn number and
+     * are served strictly in order as space frees. */
+    uint64_t blockNext_ = 0;
+    uint64_t blockHead_ = 0;
+
+    // Counters (under mu_ unless noted).
+    uint64_t submitted_ = 0;
+    uint64_t admitted_ = 0;
+    uint64_t rejected_ = 0;
+    uint64_t shed_ = 0;
+    std::atomic<uint64_t> completed_{0}; ///< Bumped in callbacks.
+    /** Session-clock snapshot, updated after every round so client
+     * threads can stamp arrivals without touching the session. */
+    std::atomic<uint64_t> nowCycle_{0};
+    /** Telemetry mirrors of session state, published by the pumping
+     * thread after each round — stats() must not read the session
+     * directly while it is being stepped. */
+    std::atomic<int> inFlightNow_{0};
+    std::atomic<int> liveSlotsNow_{0};
+    /** Set by shutdown() once the session settles. */
+    const system::RunReport *runReport_ = nullptr;
+
+    std::thread thread_;
+};
+
+} // namespace serve
+} // namespace fleet
+
+#endif // FLEET_SERVE_SERVICE_H

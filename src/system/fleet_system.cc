@@ -577,6 +577,7 @@ FleetSystem::finishSession()
         trace_report->clockMHz = config_.clockMHz;
         for (auto &shard : shards_)
             trace_report->channels.push_back(shard->takeTrace());
+        trace_report->sessionTracks = std::move(sessionTracks_);
         report_.trace = std::move(trace_report);
     }
 
@@ -585,6 +586,12 @@ FleetSystem::finishSession()
         cycles_ = std::max(cycles_, shard->cycles());
     ran_ = true;
     return report_;
+}
+
+void
+FleetSystem::setSessionTracks(std::vector<trace::CounterTrack> tracks)
+{
+    sessionTracks_ = std::move(tracks);
 }
 
 SystemStats

@@ -235,6 +235,15 @@ class FleetSystem
      * outcomes, last-job PU outcomes, trace). Call once, last. */
     const RunReport &finishSession();
 
+    /**
+     * Hand the scheduler's own observability tracks (queue depth, jobs
+     * in flight — sampled on the session clock by runtime::Session) to
+     * the trace assembly: finishSession attaches them to the
+     * TraceReport as TraceReport::sessionTracks. No-op content-wise
+     * when tracing is disabled. Call before finishSession.
+     */
+    void setSessionTracks(std::vector<trace::CounterTrack> tracks);
+
     /// @}
 
     SystemStats stats() const;
@@ -274,6 +283,8 @@ class FleetSystem
     /** Tokens kept / original per PU when fault truncation applied; in
      * session mode, the per-slot values for the currently armed job. */
     std::vector<std::pair<uint64_t, uint64_t>> truncation_;
+    /** Scheduler-level tracks pending attachment (session mode). */
+    std::vector<trace::CounterTrack> sessionTracks_;
     RunReport report_;
     uint64_t cycles_ = 0;
     int threadsUsed_ = 1;

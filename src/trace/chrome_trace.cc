@@ -141,6 +141,27 @@ TraceReport::writeChromeTrace(const std::string &path) const
                          static_cast<unsigned long long>(value));
         }
     }
+    // Scheduler-level tracks (job-queue depth, jobs in flight, ...)
+    // live in their own synthetic process after the channels; samples
+    // within a track are already cycle-ordered, and each track gets
+    // its own tid so no cross-track merge is needed.
+    if (!sessionTracks.empty()) {
+        const int pid = static_cast<int>(channels.size());
+        writeMeta(f, pid, 0, "process_name", "session", first);
+        for (size_t t = 0; t < sessionTracks.size(); ++t) {
+            const CounterTrack &track = sessionTracks[t];
+            const int tid = static_cast<int>(t);
+            for (const auto &[cycle, value] : track.samples) {
+                std::fprintf(f,
+                             ",\n  {\"ph\":\"C\",\"pid\":%d,\"tid\":%d,"
+                             "\"name\":\"%s\",\"ts\":%llu,"
+                             "\"args\":{\"value\":%llu}}",
+                             pid, tid, track.name.c_str(),
+                             static_cast<unsigned long long>(cycle),
+                             static_cast<unsigned long long>(value));
+            }
+        }
+    }
     std::fprintf(f,
                  "\n],\n\"otherData\": {\"cycles_per_us\": 1, "
                  "\"clock_mhz\": %.3f, \"dropped_spans\": %llu}\n}\n",

@@ -206,7 +206,7 @@ operator==(const TraceReport &a, const TraceReport &b)
 {
     // The config knobs only shape what was collected; the collected
     // data itself is what determinism is asserted over.
-    return a.channels == b.channels;
+    return a.channels == b.channels && a.sessionTracks == b.sessionTracks;
 }
 
 // ---------------------------------------------------------------------------

@@ -195,6 +195,16 @@ struct TraceReport
     TraceConfig config;
     double clockMHz = 125.0;
     std::vector<ChannelTrace> channels;
+    /**
+     * Scheduler-level tracks recorded above the channels by the job
+     * runtime / serving layer (ISSUE 6): job-queue depth, jobs in
+     * flight, and cumulative queue-wait cycles, sampled at scheduler
+     * round boundaries on the session clock (max over shard cycles).
+     * Empty for one-shot runs. Exported under a synthetic "session"
+     * process by writeChromeTrace, and compared by value — the
+     * determinism fences cover the serving schedule too.
+     */
+    std::vector<CounterTrack> sessionTracks;
 
     /** Counter set by full name ("ch2/pu7"), or null. */
     const CounterSet *find(std::string_view name) const;

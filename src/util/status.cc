@@ -26,6 +26,8 @@ statusCodeName(StatusCode code)
         return "IoError";
     case StatusCode::InvalidState:
         return "InvalidState";
+    case StatusCode::ResourceExhausted:
+        return "ResourceExhausted";
     }
     return "Unknown";
 }

@@ -46,6 +46,10 @@ enum class StatusCode
     /** API used out of protocol order (run() called twice, results read
      * before a run, a job armed on a busy unit). */
     InvalidState,
+    /** Admission control turned the job away: the serving queue was at
+     * its configured depth (serve/service.h) and the policy chose to
+     * reject or shed rather than block. */
+    ResourceExhausted,
 };
 
 const char *statusCodeName(StatusCode code);
