@@ -41,6 +41,13 @@
  *                    deterministic), nonzero exit on drift.
  *  --threads N       host worker threads (0 = one per hardware thread).
  *  --backend B       fast | rtl (cycle-accurate batched RTL).
+ *  --faults SEED     run every load point under the FaultPlan storm
+ *                    keyed by SEED with the recovery stack armed
+ *                    (retry, quarantine, requeue — ISSUE 7): the
+ *                    latency distribution then includes retry delay,
+ *                    the price of self-healing under load. The
+ *                    zero-failed gate is relaxed (contained failures
+ *                    are expected); determinism gates still hold.
  */
 
 #include <algorithm>
@@ -65,6 +72,8 @@ struct RunOptions
     int threads = 0;
     std::string backendName = "fast";
     system::PuBackend backend = system::PuBackend::Fast;
+    bool faults = false;
+    uint64_t faultSeed = 0;
 };
 
 struct PointResult
@@ -77,6 +86,7 @@ struct PointResult
     uint64_t served = 0;
     uint64_t rejected = 0;
     uint64_t failed = 0; ///< Neither served nor rejected (stranded).
+    uint64_t retries = 0; ///< Transient failures re-submitted (--faults).
     double rejectRate = 0;
     uint64_t p50 = 0, p95 = 0, p99 = 0; ///< Total latency, sim cycles.
     double meanQueueWait = 0;
@@ -122,6 +132,16 @@ serviceConfig(const RunOptions &opts, const BenchShape &shape)
     config.maxQueueDepth = shape.maxQueueDepth;
     config.policy = serve::AdmissionPolicy::Reject;
     config.backgroundThread = false; // paced: deterministic pacing
+    if (opts.faults) {
+        // Fault storm with the full recovery stack armed (ISSUE 7):
+        // the measured distribution then prices in retry delay.
+        config.session.system.faults =
+            fault::FaultPlan::fromSeed(opts.faultSeed);
+        config.retry.maxAttempts = 3;
+        config.retry.backoffCycles = 64;
+        config.session.quarantineAfterFaults = 3;
+        config.session.requeueStranded = true;
+    }
     return config;
 }
 
@@ -130,7 +150,11 @@ double
 calibrateServiceCycles(const apps::Application &app,
                        const RunOptions &opts, const BenchShape &shape)
 {
-    serve::ServiceConfig config = serviceConfig(opts, shape);
+    // Calibrate fault-free even under --faults so rho keeps meaning
+    // offered load / *healthy* pool capacity across both modes.
+    RunOptions clean = opts;
+    clean.faults = false;
+    serve::ServiceConfig config = serviceConfig(clean, shape);
     serve::FleetService service(app.program(), config);
     uint64_t bytes =
         (shape.regionBytes / 8 + shape.regionBytes / 2) / 2;
@@ -245,6 +269,7 @@ runPoint(const apps::Application &app, const RunOptions &opts,
         result.served ? double(wait_sum) / double(result.served) : 0;
     result.meanService =
         result.served ? double(service_sum) / double(result.served) : 0;
+    result.retries = service.stats().retries;
     result.simCycles = service.stats().simCycles;
     result.jobsPerSec = result.simWallS > 0
                             ? double(result.served) / result.simWallS
@@ -283,6 +308,9 @@ writeJson(const std::string &path, const std::string &app,
     std::fprintf(f, "  \"channels\": %d,\n", shape.channels);
     std::fprintf(f, "  \"max_queue_depth\": %zu,\n", shape.maxQueueDepth);
     std::fprintf(f, "  \"policy\": \"reject\",\n");
+    if (opts.faults)
+        std::fprintf(f, "  \"fault_seed\": %llu,\n",
+                     static_cast<unsigned long long>(opts.faultSeed));
     std::fprintf(f, "  \"points\": [\n");
     for (size_t i = 0; i < points.size(); ++i) {
         const PointResult &p = points[i];
@@ -299,6 +327,10 @@ writeJson(const std::string &path, const std::string &app,
                      static_cast<unsigned long long>(p.served));
         std::fprintf(f, "      \"rejected\": %llu,\n",
                      static_cast<unsigned long long>(p.rejected));
+        std::fprintf(f, "      \"failed\": %llu,\n",
+                     static_cast<unsigned long long>(p.failed));
+        std::fprintf(f, "      \"retries\": %llu,\n",
+                     static_cast<unsigned long long>(p.retries));
         std::fprintf(f, "      \"reject_rate\": %.4f,\n", p.rejectRate);
         std::fprintf(f, "      \"p50_total_cycles\": %llu,\n",
                      static_cast<unsigned long long>(p.p50));
@@ -459,6 +491,10 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--threads") == 0 &&
                    i + 1 < argc) {
             opts.threads = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--faults") == 0 &&
+                   i + 1 < argc) {
+            opts.faults = true;
+            opts.faultSeed = std::strtoull(argv[++i], nullptr, 0);
         } else if (std::strcmp(argv[i], "--backend") == 0 &&
                    i + 1 < argc) {
             opts.backendName = argv[++i];
@@ -475,7 +511,7 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--json PATH] "
                          "[--baseline PATH] [--threads N] "
-                         "[--backend fast|rtl]\n",
+                         "[--backend fast|rtl] [--faults SEED]\n",
                          argv[0]);
             return 2;
         }
@@ -524,13 +560,15 @@ main(int argc, char **argv)
         points.push_back(
             runPoint(app, opts, shape, process, rho, mean_service));
 
-    Table table({"Point", "Jobs", "Served", "Rej rate", "p50 cyc",
-                 "p95 cyc", "p99 cyc", "Wait cyc", "Occup", "Jobs/s"});
+    Table table({"Point", "Jobs", "Served", "Retry", "Rej rate",
+                 "p50 cyc", "p95 cyc", "p99 cyc", "Wait cyc", "Occup",
+                 "Jobs/s"});
     for (const auto &p : points)
         table.row()
             .cell(p.label)
             .cell(p.jobs)
             .cell(p.served)
+            .cell(p.retries)
             .cell(p.rejectRate, 3)
             .cell(p.p50)
             .cell(p.p95)
@@ -558,7 +596,7 @@ main(int argc, char **argv)
                          static_cast<unsigned long long>(p.p99));
             ok = false;
         }
-        if (p.failed != 0) {
+        if (p.failed != 0 && !opts.faults) {
             std::fprintf(stderr, "GATE: %s: %llu jobs failed\n",
                          p.label.c_str(),
                          static_cast<unsigned long long>(p.failed));

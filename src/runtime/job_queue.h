@@ -20,6 +20,7 @@
 #include <deque>
 #include <functional>
 #include <utility>
+#include <vector>
 
 #include "util/bitbuf.h"
 #include "util/logging.h"
@@ -48,6 +49,16 @@ struct PendingJob
     /** Host steady-clock nanoseconds at submission (wall-clock metrics
      * only — never feeds back into the simulated schedule). */
     uint64_t hostSubmitNs = 0;
+    /**
+     * Absolute session-clock cycle after which the job is expired
+     * (ISSUE 7); 0 = no deadline. Session::step cancels expired jobs
+     * in-queue (JobQueue::takeExpired) or mid-flight (killPu/retire)
+     * and reports them DeadlineExceeded.
+     */
+    uint64_t deadlineCycle = 0;
+    /** Times the job was pulled off a halted channel and re-queued
+     * onto survivors (ISSUE 7); surfaced in JobReport::requeues. */
+    uint32_t requeues = 0;
 };
 
 class JobQueue
@@ -55,13 +66,50 @@ class JobQueue
   public:
     /** Enqueue a stream; returns the job's id (sequential from 0). */
     uint64_t push(BitBuffer stream, JobCallback callback = nullptr,
-                  uint64_t enqueue_cycle = 0, uint64_t host_submit_ns = 0)
+                  uint64_t enqueue_cycle = 0, uint64_t host_submit_ns = 0,
+                  uint64_t deadline_cycle = 0)
     {
         uint64_t id = nextId_++;
         jobs_.push_back(PendingJob{id, std::move(stream),
                                    std::move(callback), enqueue_cycle,
-                                   host_submit_ns});
+                                   host_submit_ns, deadline_cycle, 0});
         return id;
+    }
+
+    /**
+     * Put a job back at the *front* of the queue without assigning a
+     * new id (ISSUE 7): the halted-channel recovery path re-queues a
+     * stranded job under its original id so its report slot, fault
+     * hashes, and latency anchors stay keyed to the same job. The id
+     * must have been assigned by this queue's push().
+     */
+    void requeueFront(PendingJob job)
+    {
+        if (job.id >= nextId_)
+            panic("JobQueue::requeueFront with a foreign job id ",
+                  job.id);
+        jobs_.push_front(std::move(job));
+    }
+
+    /**
+     * Remove and return every queued job whose deadline has passed at
+     * session cycle `now` (deadlineCycle != 0 and <= now), preserving
+     * FIFO order among the expired. Pure function of queue contents
+     * and `now` — called once per scheduler round, so expiry is as
+     * deterministic as the rest of the schedule.
+     */
+    std::vector<PendingJob> takeExpired(uint64_t now)
+    {
+        std::vector<PendingJob> expired;
+        std::deque<PendingJob> kept;
+        for (auto &job : jobs_) {
+            if (job.deadlineCycle != 0 && job.deadlineCycle <= now)
+                expired.push_back(std::move(job));
+            else
+                kept.push_back(std::move(job));
+        }
+        jobs_.swap(kept);
+        return expired;
     }
 
     bool empty() const { return jobs_.empty(); }

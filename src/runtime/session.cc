@@ -56,6 +56,7 @@ operator==(const JobReport &a, const JobReport &b)
            a.outputBlockedCycles == b.outputBlockedCycles &&
            a.keptTokens == b.keptTokens &&
            a.originalTokens == b.originalTokens &&
+           a.attempts == b.attempts && a.requeues == b.requeues &&
            a.enqueueCycle == b.enqueueCycle &&
            a.admittedCycle == b.admittedCycle &&
            a.completedCycle == b.completedCycle && a.output == b.output;
@@ -71,6 +72,9 @@ Session::Session(const lang::Program &program,
     queueDepthTrack_.name = "session/queue_depth";
     inFlightTrack_.name = "session/jobs_in_flight";
     queueWaitTrack_.name = "session/queue_wait_cycles";
+    deadlineKillTrack_.name = "session/deadline_kills";
+    requeueTrack_.name = "session/requeues";
+    quarantineTrack_.name = "session/quarantined_slots";
     system_.beginSession();
 }
 
@@ -82,14 +86,15 @@ Session::submit(BitBuffer stream, JobCallback callback)
 
 uint64_t
 Session::submitAt(BitBuffer stream, uint64_t enqueue_cycle,
-                  JobCallback callback)
+                  JobCallback callback, uint64_t deadline_cycle)
 {
     if (finished_)
         throw StatusError(Status::make(
             StatusCode::InvalidState,
             "submit: session already finished"));
     uint64_t id = queue_.push(std::move(stream), std::move(callback),
-                              enqueue_cycle, hostNowNs());
+                              enqueue_cycle, hostNowNs(),
+                              deadline_cycle);
     reports_.emplace_back();
     reported_.push_back(false);
     return id;
@@ -111,13 +116,14 @@ Session::record(JobReport report, JobCallback &callback)
 void
 Session::finishJobEarly(uint64_t job_id, int pu, Status status,
                         JobCallback &callback, uint64_t enqueue_cycle,
-                        uint64_t host_submit_ns)
+                        uint64_t host_submit_ns, uint32_t requeues)
 {
     JobReport report;
     report.jobId = job_id;
     report.status = std::move(status);
     report.pu = pu;
     report.channel = pu >= 0 ? system_.puChannel(pu) : -1;
+    report.requeues = requeues;
     report.enqueueCycle = enqueue_cycle;
     // Never armed: the whole latency is queue wait, so the admission
     // stamp collapses onto the decision round.
@@ -129,6 +135,10 @@ Session::finishJobEarly(uint64_t job_id, int pu, Status status,
 void
 Session::harvest()
 {
+    // Jobs pulled off halted channels this round, in PU order; they
+    // re-enter the FIFO *front* after the scan so the arm phase sees
+    // them before anything newly queued.
+    std::vector<PendingJob> requeued;
     for (int pu = 0; pu < system_.numPus(); ++pu) {
         Slot &slot = slots_[pu];
         if (!slot.busy)
@@ -154,15 +164,47 @@ Session::harvest()
                 retired.stats.outputBlockedCycles;
             report.keptTokens = retired.keptTokens;
             report.originalTokens = retired.originalTokens;
+            report.requeues = static_cast<uint32_t>(slot.requeues);
             report.enqueueCycle = slot.enqueueCycle;
             report.admittedCycle = slot.admittedCycle;
             report.hostSubmitNs = slot.hostSubmitNs;
             report.output = std::move(output);
             slot.busy = false;
+            slot.stream = BitBuffer{};
+            scoreSlotHealth(pu, report.status);
             record(std::move(report), slot.callback);
             slot.callback = nullptr;
         } else if (system_.puShardState(pu) ==
                    system::ShardState::Halted) {
+            if (config_.requeueStranded) {
+                // Recovery path (ISSUE 7): pull the job off the dead
+                // channel and re-run it on a survivor, provided one
+                // exists. The slot itself is still retired for good.
+                bool survivor = false;
+                for (int other = 0; other < system_.numPus(); ++other)
+                    survivor |= !slots_[other].dead &&
+                                !slots_[other].quarantined &&
+                                system_.puShardState(other) !=
+                                    system::ShardState::Halted;
+                if (survivor) {
+                    PendingJob job;
+                    job.id = slot.jobId;
+                    job.stream = std::move(slot.stream);
+                    job.callback = std::move(slot.callback);
+                    job.enqueueCycle = slot.enqueueCycle;
+                    job.hostSubmitNs = slot.hostSubmitNs;
+                    job.deadlineCycle = slot.deadlineCycle;
+                    job.requeues =
+                        static_cast<uint32_t>(slot.requeues + 1);
+                    requeued.push_back(std::move(job));
+                    ++jobRequeues_;
+                    slot.busy = false;
+                    slot.dead = true;
+                    slot.callback = nullptr;
+                    slot.stream = BitBuffer{};
+                    continue;
+                }
+            }
             // The channel died under this job (watchdog, cycle limit,
             // exception): the slot will never drain. Report the job
             // with the channel's status and retire the slot for good —
@@ -180,14 +222,81 @@ Session::harvest()
             report.channel = system_.puChannel(pu);
             report.retireCycle =
                 system_.shard(system_.puChannel(pu)).cycles();
+            report.requeues = static_cast<uint32_t>(slot.requeues);
             report.enqueueCycle = slot.enqueueCycle;
             report.admittedCycle = slot.admittedCycle;
             report.hostSubmitNs = slot.hostSubmitNs;
             slot.busy = false;
             slot.dead = true;
+            slot.stream = BitBuffer{};
             record(std::move(report), slot.callback);
             slot.callback = nullptr;
         }
+    }
+    // Reverse order: the lowest-PU job lands at the very front, so
+    // re-queued jobs are re-armed in the same PU order they held on
+    // the dead channel — keeping the schedule a pure function of
+    // simulated state.
+    for (auto it = requeued.rbegin(); it != requeued.rend(); ++it)
+        queue_.requeueFront(std::move(*it));
+}
+
+void
+Session::scoreSlotHealth(int pu, const Status &status)
+{
+    if (config_.quarantineAfterFaults <= 0)
+        return;
+    // Only per-PU containment events indict the slot itself: channel
+    // halts take out the whole channel via the dead flag, and job
+    // outcomes like truncation or a deadline kill say nothing about
+    // the hardware under the job.
+    if (status.code != StatusCode::ParityError &&
+        status.code != StatusCode::OutputOverflow)
+        return;
+    Slot &slot = slots_[pu];
+    if (slot.quarantined)
+        return;
+    if (++slot.faultCount >= config_.quarantineAfterFaults) {
+        slot.quarantined = true;
+        ++quarantinedSlots_;
+    }
+}
+
+void
+Session::expireDeadlines()
+{
+    const uint64_t now = cycles();
+    // In-queue expiry: a job whose deadline passed while waiting never
+    // arms — its whole latency was queue wait.
+    for (PendingJob &job : queue_.takeExpired(now)) {
+        std::ostringstream os;
+        os << "job " << job.id << " exceeded its deadline (cycle "
+           << job.deadlineCycle << ") while queued";
+        ++deadlineKills_;
+        finishJobEarly(job.id, -1,
+                       Status::make(StatusCode::DeadlineExceeded,
+                                    os.str()),
+                       job.callback, job.enqueueCycle, job.hostSubmitNs,
+                       job.requeues);
+    }
+    // Mid-flight expiry: abandon the job through the containment path
+    // (killPu + flush). The slot drains within a few cycles and the
+    // next harvest retires it with DeadlineExceeded, reclaiming the
+    // slot for the queue.
+    for (int pu = 0; pu < system_.numPus(); ++pu) {
+        Slot &slot = slots_[pu];
+        if (!slot.busy || slot.deadlineCycle == 0 ||
+            now < slot.deadlineCycle)
+            continue;
+        if (system_.puShardState(pu) == system::ShardState::Halted)
+            continue; // Harvest's stranded/requeue path owns it.
+        std::ostringstream os;
+        os << "job " << slot.jobId << " exceeded its deadline (cycle "
+           << slot.deadlineCycle << ") in flight; slot reclaimed";
+        Status cancelled = system_.cancelJob(
+            pu, Status::make(StatusCode::DeadlineExceeded, os.str()));
+        if (cancelled.ok())
+            ++deadlineKills_;
     }
 }
 
@@ -196,7 +305,7 @@ Session::armFromQueue()
 {
     for (int pu = 0; pu < system_.numPus() && !queue_.empty(); ++pu) {
         Slot &slot = slots_[pu];
-        if (slot.busy || slot.dead)
+        if (slot.busy || slot.dead || slot.quarantined)
             continue;
         if (system_.puShardState(pu) == system::ShardState::Halted) {
             slot.dead = true;
@@ -204,6 +313,11 @@ Session::armFromQueue()
         }
         while (!queue_.empty()) {
             PendingJob job = queue_.pop();
+            // Kept pre-truncation so a halted channel's jobs can be
+            // re-armed elsewhere (armJob consumes the original).
+            BitBuffer stream_copy;
+            if (config_.requeueStranded)
+                stream_copy = job.stream;
             Status armed =
                 system_.armJob(pu, std::move(job.stream), job.id);
             if (!armed.ok()) {
@@ -211,7 +325,7 @@ Session::armFromQueue()
                 // fails alone; the slot takes the next one.
                 finishJobEarly(job.id, pu, std::move(armed),
                                job.callback, job.enqueueCycle,
-                               job.hostSubmitNs);
+                               job.hostSubmitNs, job.requeues);
                 continue;
             }
             slot.busy = true;
@@ -220,6 +334,9 @@ Session::armFromQueue()
             slot.enqueueCycle = job.enqueueCycle;
             slot.admittedCycle = cycles();
             slot.hostSubmitNs = job.hostSubmitNs;
+            slot.deadlineCycle = job.deadlineCycle;
+            slot.requeues = job.requeues;
+            slot.stream = std::move(stream_copy);
             totalQueueWaitCycles_ +=
                 slot.admittedCycle > slot.enqueueCycle
                     ? slot.admittedCycle - slot.enqueueCycle
@@ -236,6 +353,7 @@ Session::step()
         throw StatusError(Status::make(
             StatusCode::InvalidState, "step: session already finished"));
     harvest();
+    expireDeadlines();
     armFromQueue();
     sampleSessionTracks();
     bool in_flight = false;
@@ -244,8 +362,8 @@ Session::step()
     if (!in_flight) {
         if (queue_.empty())
             return false;
-        // Jobs remain but every slot is dead: report them stranded
-        // rather than spinning.
+        // Jobs remain but every slot is dead or quarantined: report
+        // them stranded rather than spinning.
         while (!queue_.empty()) {
             PendingJob job = queue_.pop();
             finishJobEarly(
@@ -253,7 +371,8 @@ Session::step()
                 Status::make(StatusCode::InvalidState,
                              "no live processing-unit slots remain "
                              "(every channel halted)"),
-                job.callback, job.enqueueCycle, job.hostSubmitNs);
+                job.callback, job.enqueueCycle, job.hostSubmitNs,
+                job.requeues);
         }
         return false;
     }
@@ -271,6 +390,10 @@ Session::sampleSessionTracks()
     sampleTrack(inFlightTrack_, now,
                 static_cast<uint64_t>(jobsInFlight()));
     sampleTrack(queueWaitTrack_, now, totalQueueWaitCycles_);
+    sampleTrack(deadlineKillTrack_, now, deadlineKills_);
+    sampleTrack(requeueTrack_, now, jobRequeues_);
+    sampleTrack(quarantineTrack_, now,
+                static_cast<uint64_t>(quarantinedSlots_));
 }
 
 int
@@ -287,7 +410,7 @@ Session::liveSlots() const
 {
     int live = 0;
     for (const Slot &slot : slots_)
-        live += slot.dead ? 0 : 1;
+        live += (slot.dead || slot.quarantined) ? 0 : 1;
     return live;
 }
 
@@ -305,7 +428,8 @@ Session::finish()
     finished_ = true;
     if (config_.system.trace.events)
         system_.setSessionTracks(
-            {queueDepthTrack_, inFlightTrack_, queueWaitTrack_});
+            {queueDepthTrack_, inFlightTrack_, queueWaitTrack_,
+             deadlineKillTrack_, requeueTrack_, quarantineTrack_});
     return system_.finishSession();
 }
 

@@ -57,6 +57,28 @@ struct SessionConfig
      * value — only wall-clock and slot idle time change.
      */
     uint64_t epochCycles = 2048;
+    /**
+     * Slot health quarantine (ISSUE 7): a slot that suffers this many
+     * per-PU containment events (parity errors, output overflows) is
+     * pulled out of the pool for good — it stops taking jobs and no
+     * longer counts toward liveSlots(), so a slot with flaky hardware
+     * degrades capacity instead of failing job after job. 0 (default)
+     * disables quarantine. Scoring counts only per-PU faults: channel
+     * halts already kill the whole channel's slots, and job-level
+     * outcomes (truncation, deadline kills) say nothing about slot
+     * health.
+     */
+    int quarantineAfterFaults = 0;
+    /**
+     * Halted-channel recovery (ISSUE 7): when true, jobs in flight on
+     * a channel that halts are re-queued at the *front* of the FIFO
+     * (original ids, original arrival cycles, in PU order) and re-run
+     * on surviving channels instead of stranding with the channel's
+     * status. Costs one stream copy per armed job. When no live slot
+     * survives, jobs strand as before. Default off: the pre-recovery
+     * stranding semantics.
+     */
+    bool requeueStranded = false;
 };
 
 /** Final, per-job result — the runtime's analogue of a PuOutcome. */
@@ -81,6 +103,20 @@ struct JobReport
      * when the stream ran whole). */
     uint64_t keptTokens = 0;
     uint64_t originalTokens = 0;
+    /**
+     * @name Recovery accounting (ISSUE 7)
+     * Both are part of operator==: the retry/requeue schedule is as
+     * deterministic as the rest of the simulated state.
+     */
+    /// @{
+    /** Service-level attempts this report closes (1 = first try; set
+     * by serve::FleetService when its RetryPolicy re-submitted the
+     * job; the Session itself always reports 1). */
+    uint32_t attempts = 1;
+    /** Times the job was pulled off a halted channel and re-queued
+     * onto survivors (SessionConfig::requeueStranded). */
+    uint32_t requeues = 0;
+    /// @}
     /**
      * @name Latency decomposition (ISSUE 6)
      * Simulated timestamps on the *session clock* (max over shard
@@ -175,7 +211,8 @@ class Session
      * cycle by construction of the caller's pacing; it is used verbatim.
      */
     uint64_t submitAt(BitBuffer stream, uint64_t enqueue_cycle,
-                      JobCallback callback = nullptr);
+                      JobCallback callback = nullptr,
+                      uint64_t deadline_cycle = 0);
 
     /**
      * One scheduler round: harvest drained jobs, arm queued jobs onto
@@ -207,6 +244,16 @@ class Session
      * final report yet are default-constructed placeholders). */
     const std::vector<JobReport> &reports() const { return reports_; }
 
+    /// @name Recovery telemetry (ISSUE 7).
+    /// @{
+    /** Jobs cancelled for exceeding their deadline (in-queue + armed). */
+    uint64_t deadlineKills() const { return deadlineKills_; }
+    /** Jobs pulled off halted channels and re-queued onto survivors. */
+    uint64_t jobRequeues() const { return jobRequeues_; }
+    /** Slots quarantined by repeated per-PU containment events. */
+    int quarantinedSlots() const { return quarantinedSlots_; }
+    /// @}
+
     uint64_t jobsSubmitted() const { return queue_.pushed(); }
     uint64_t jobsFinished() const { return jobsFinished_; }
     /** Queued + armed jobs without a final report. */
@@ -232,15 +279,29 @@ class Session
     {
         bool busy = false;
         bool dead = false; ///< Channel halted; never re-armed.
+        /** Health registry pulled the slot from the pool (ISSUE 7). */
+        bool quarantined = false;
+        /** Per-PU containment events (parity, overflow) on this slot. */
+        int faultCount = 0;
         uint64_t jobId = 0;
         JobCallback callback;
         /** Latency anchors carried from the pending job to harvest. */
         uint64_t enqueueCycle = 0;
         uint64_t admittedCycle = 0;
         uint64_t hostSubmitNs = 0;
+        /** Absolute expiry cycle (0 = none) for mid-flight kills. */
+        uint64_t deadlineCycle = 0;
+        uint64_t requeues = 0;
+        /** Pre-truncation stream copy, kept only under
+         * requeueStranded so a halted channel's jobs can re-run. */
+        BitBuffer stream;
     };
 
     void harvest();
+    /** Cancel jobs past their deadline: in-queue and mid-flight. */
+    void expireDeadlines();
+    /** Health scoring at retire time; may quarantine the slot. */
+    void scoreSlotHealth(int pu, const Status &status);
     void armFromQueue();
     /** Sample the scheduler tracks for this round (events mode only). */
     void sampleSessionTracks();
@@ -248,7 +309,7 @@ class Session
      * a halted channel) and fire its callback. */
     void finishJobEarly(uint64_t job_id, int pu, Status status,
                         JobCallback &callback, uint64_t enqueue_cycle,
-                        uint64_t host_submit_ns);
+                        uint64_t host_submit_ns, uint32_t requeues = 0);
     void record(JobReport report, JobCallback &callback);
 
     SessionConfig config_;
@@ -265,7 +326,14 @@ class Session
     trace::CounterTrack queueDepthTrack_;
     trace::CounterTrack inFlightTrack_;
     trace::CounterTrack queueWaitTrack_;
+    /** Recovery counters, sampled as tracks too (ISSUE 7). */
+    trace::CounterTrack deadlineKillTrack_;
+    trace::CounterTrack requeueTrack_;
+    trace::CounterTrack quarantineTrack_;
     uint64_t totalQueueWaitCycles_ = 0;
+    uint64_t deadlineKills_ = 0;
+    uint64_t jobRequeues_ = 0;
+    int quarantinedSlots_ = 0;
 };
 
 } // namespace runtime

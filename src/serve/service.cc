@@ -67,6 +67,18 @@ JobTicket::wait() const
     return state_->report;
 }
 
+bool
+JobTicket::waitFor(std::chrono::nanoseconds timeout) const
+{
+    if (!state_)
+        throw StatusError(Status::make(StatusCode::InvalidState,
+                                       "JobTicket::waitFor on an "
+                                       "invalid ticket"));
+    std::unique_lock<std::mutex> lock(state_->mu);
+    return state_->cv.wait_for(lock, timeout,
+                               [this] { return state_->ready; });
+}
+
 const runtime::JobReport &
 JobTicket::report() const
 {
@@ -133,23 +145,32 @@ JobTicket
 FleetService::submit(BitBuffer stream)
 {
     return admit(std::move(stream),
-                 nowCycle_.load(std::memory_order_relaxed));
+                 nowCycle_.load(std::memory_order_relaxed), {});
 }
 
 JobTicket
-FleetService::submitAt(BitBuffer stream, uint64_t arrival_cycle)
+FleetService::submit(BitBuffer stream, const SubmitOptions &options)
 {
-    return admit(std::move(stream), arrival_cycle);
+    return admit(std::move(stream),
+                 nowCycle_.load(std::memory_order_relaxed), options);
 }
 
 JobTicket
-FleetService::admit(BitBuffer stream, uint64_t arrival_cycle)
+FleetService::submitAt(BitBuffer stream, uint64_t arrival_cycle,
+                       const SubmitOptions &options)
+{
+    return admit(std::move(stream), arrival_cycle, options);
+}
+
+JobTicket
+FleetService::admit(BitBuffer stream, uint64_t arrival_cycle,
+                    const SubmitOptions &options)
 {
     auto state = std::make_shared<JobTicket::State>();
     std::unique_lock<std::mutex> lock(mu_);
     ++submitted_;
     if (!accepting_)
-        return refuse(std::move(state), StatusCode::InvalidState,
+        return refuse(std::move(state), StatusCode::Cancelled,
                       "submit after shutdown: the service is no longer "
                       "accepting jobs");
 
@@ -168,7 +189,7 @@ FleetService::admit(BitBuffer stream, uint64_t arrival_cycle)
         ++blockHead_; // pass the turn on even when released by shutdown
         spaceCv_.notify_all();
         if (!accepting_)
-            return refuse(std::move(state), StatusCode::InvalidState,
+            return refuse(std::move(state), StatusCode::Cancelled,
                           "submit released by shutdown while blocked "
                           "on admission");
     } else if (wait_.size() >= config_.maxQueueDepth) {
@@ -178,12 +199,14 @@ FleetService::admit(BitBuffer stream, uint64_t arrival_cycle)
                           StatusCode::ResourceExhausted,
                           "admission queue full (Reject policy)");
         }
-        // ShedOldest: the oldest waiting job pays for the newest.
+        // ShedOldest: the oldest waiting job pays for the newest. The
+        // distinct Shed code tells the evicted client apart from one
+        // turned away at the door (ResourceExhausted).
         Waiting oldest = std::move(wait_.front());
         wait_.pop_front();
         ++shed_;
         oldest.ticket->complete(refusalReport(
-            StatusCode::ResourceExhausted,
+            StatusCode::Shed,
             "shed from the admission queue to make room "
             "(ShedOldest policy)"));
     }
@@ -191,12 +214,70 @@ FleetService::admit(BitBuffer stream, uint64_t arrival_cycle)
     Waiting waiting;
     waiting.stream = std::move(stream);
     waiting.arrivalCycle = arrival_cycle;
+    waiting.deadlineCycle = options.deadlineCycles
+                                ? arrival_cycle + options.deadlineCycles
+                                : 0;
     waiting.ticket = state;
     wait_.push_back(std::move(waiting));
     ++admitted_;
     JobTicket ticket;
     ticket.state_ = std::move(state);
     return ticket;
+}
+
+void
+FleetService::dispatchLocked(std::shared_ptr<Tracked> tracked)
+{
+    // Keep the stream copy only while another attempt is possible
+    // (retry enabled and attempts remain after this one).
+    BitBuffer stream;
+    if (config_.retry.maxAttempts > tracked->attempt)
+        stream = tracked->stream; // copy; original stays for retries
+    else
+        stream = std::move(tracked->stream);
+    auto self = tracked;
+    session_.submitAt(
+        std::move(stream), tracked->arrivalCycle,
+        [this, self](const runtime::JobReport &report) {
+            onJobDone(self, report);
+        },
+        tracked->deadlineCycle);
+}
+
+void
+FleetService::onJobDone(const std::shared_ptr<Tracked> &tracked,
+                        const runtime::JobReport &report)
+{
+    // Runs on the pumping thread, inside Session::step — the session
+    // is mid-round, so only service-side state is touched here; the
+    // retry itself re-enters through feedSessionLocked next round.
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool attempts_left =
+        config_.retry.maxAttempts > tracked->attempt;
+    const bool within_deadline =
+        tracked->deadlineCycle == 0 ||
+        session_.cycles() < tracked->deadlineCycle;
+    if (attempts_left && statusCodeTransient(report.status.code) &&
+        within_deadline && session_.liveSlots() > 0) {
+        tracked->lastReport = report;
+        // Linear backoff in simulated cycles: attempt k waits k units.
+        // The clock only advances while jobs run, so an otherwise-idle
+        // service releases the retry on the next round (feedSession's
+        // idle warp) rather than deadlocking on a cycle that would
+        // never come.
+        tracked->retryEligibleCycle =
+            session_.cycles() +
+            config_.retry.backoffCycles *
+                static_cast<uint64_t>(tracked->attempt);
+        ++tracked->attempt;
+        ++retries_;
+        retryWait_.push_back(tracked);
+        return;
+    }
+    runtime::JobReport final = report;
+    final.attempts = static_cast<uint32_t>(tracked->attempt);
+    tracked->ticket->complete(std::move(final));
+    completed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
@@ -209,18 +290,46 @@ FleetService::feedSessionLocked()
     // each job's original arrival cycle.
     const uint64_t target =
         2 * static_cast<uint64_t>(session_.liveSlots());
+    const uint64_t now = session_.cycles();
+
+    // Retries first: they were admitted long ago, so they outrank the
+    // wait queue and bypass the admission bound. Released strictly in
+    // decision order once their backoff cycle passes.
+    for (auto it = retryWait_.begin();
+         it != retryWait_.end() && session_.jobsPending() < target;) {
+        if ((*it)->retryEligibleCycle > now) {
+            ++it;
+            continue;
+        }
+        dispatchLocked(*it);
+        it = retryWait_.erase(it);
+    }
+    // Idle warp: the session clock only advances while jobs are in
+    // flight. If backoff is the *only* thing left, waiting for the
+    // eligible cycle would deadlock — release the earliest-eligible
+    // retry now. Deterministic: depends only on simulated state.
+    if (wait_.empty() && session_.jobsPending() == 0 &&
+        !retryWait_.empty()) {
+        auto earliest = retryWait_.begin();
+        for (auto it = std::next(earliest); it != retryWait_.end(); ++it)
+            if ((*it)->retryEligibleCycle <
+                (*earliest)->retryEligibleCycle)
+                earliest = it;
+        dispatchLocked(*earliest);
+        retryWait_.erase(earliest);
+    }
+
     bool freed = false;
     while (!wait_.empty() && session_.jobsPending() < target) {
         Waiting waiting = std::move(wait_.front());
         wait_.pop_front();
         freed = true;
-        auto ticket = std::move(waiting.ticket);
-        session_.submitAt(
-            std::move(waiting.stream), waiting.arrivalCycle,
-            [this, ticket](const runtime::JobReport &report) {
-                ticket->complete(report);
-                completed_.fetch_add(1, std::memory_order_relaxed);
-            });
+        auto tracked = std::make_shared<Tracked>();
+        tracked->ticket = std::move(waiting.ticket);
+        tracked->stream = std::move(waiting.stream);
+        tracked->arrivalCycle = waiting.arrivalCycle;
+        tracked->deadlineCycle = waiting.deadlineCycle;
+        dispatchLocked(std::move(tracked));
     }
     if (freed)
         spaceCv_.notify_all();
@@ -233,11 +342,12 @@ FleetService::pumpOnce()
         std::lock_guard<std::mutex> lock(mu_);
         if (finished_)
             return false;
-        if (session_.liveSlots() == 0 && !wait_.empty()) {
-            // Every channel halted: nothing will ever drain the wait
-            // queue — complete the stranded tickets instead of hanging
-            // their owners (the session strands its own jobs the same
-            // way).
+        if (session_.liveSlots() == 0 &&
+            (!wait_.empty() || !retryWait_.empty())) {
+            // Every slot halted or quarantined: nothing will ever
+            // drain the wait queue — complete the stranded tickets
+            // instead of hanging their owners (the session strands its
+            // own jobs the same way).
             for (Waiting &waiting : wait_) {
                 waiting.ticket->complete(refusalReport(
                     StatusCode::InvalidState,
@@ -246,6 +356,18 @@ FleetService::pumpOnce()
                 completed_.fetch_add(1, std::memory_order_relaxed);
             }
             wait_.clear();
+            // A pending retry has a real failure report from its last
+            // attempt — that, not a refusal, is the honest terminal
+            // state.
+            for (auto &tracked : retryWait_) {
+                runtime::JobReport final =
+                    std::move(tracked->lastReport);
+                final.attempts =
+                    static_cast<uint32_t>(tracked->attempt - 1);
+                tracked->ticket->complete(std::move(final));
+                completed_.fetch_add(1, std::memory_order_relaxed);
+            }
+            retryWait_.clear();
             spaceCv_.notify_all();
         }
         feedSessionLocked();
@@ -255,8 +377,15 @@ FleetService::pumpOnce()
     inFlightNow_.store(session_.jobsInFlight(),
                        std::memory_order_relaxed);
     liveSlotsNow_.store(session_.liveSlots(), std::memory_order_relaxed);
+    deadlineKilledNow_.store(session_.deadlineKills(),
+                             std::memory_order_relaxed);
+    requeuedNow_.store(session_.jobRequeues(),
+                       std::memory_order_relaxed);
+    quarantinedNow_.store(session_.quarantinedSlots(),
+                          std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
-    return !wait_.empty() || session_.jobsPending() > 0;
+    return !wait_.empty() || !retryWait_.empty() ||
+           session_.jobsPending() > 0;
 }
 
 bool
@@ -308,6 +437,12 @@ FleetService::shutdown()
         inFlightNow_.store(0, std::memory_order_relaxed);
         liveSlotsNow_.store(session_.liveSlots(),
                             std::memory_order_relaxed);
+        deadlineKilledNow_.store(session_.deadlineKills(),
+                                 std::memory_order_relaxed);
+        requeuedNow_.store(session_.jobRequeues(),
+                           std::memory_order_relaxed);
+        quarantinedNow_.store(session_.quarantinedSlots(),
+                              std::memory_order_relaxed);
     }
 }
 
@@ -338,6 +473,13 @@ FleetService::stats() const
     stats.liveSlots = liveSlotsNow_.load(std::memory_order_relaxed);
     stats.saturated = wait_.size() >= config_.maxQueueDepth;
     stats.simCycles = nowCycle_.load(std::memory_order_relaxed);
+    stats.retries = retries_;
+    stats.retryBacklog = retryWait_.size();
+    stats.deadlineKilled =
+        deadlineKilledNow_.load(std::memory_order_relaxed);
+    stats.requeued = requeuedNow_.load(std::memory_order_relaxed);
+    stats.quarantinedSlots =
+        quarantinedNow_.load(std::memory_order_relaxed);
     return stats;
 }
 
@@ -346,6 +488,19 @@ FleetService::saturated() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return wait_.size() >= config_.maxQueueDepth;
+}
+
+void
+FleetService::injectChannelHalt(int c)
+{
+    if (thread_.joinable())
+        throw StatusError(Status::make(
+            StatusCode::InvalidState,
+            "injectChannelHalt: the service runs a background thread; "
+            "the chaos drill requires paced mode"));
+    session_.system().forceHaltChannel(
+        c, Status::make(StatusCode::InternalError,
+                        "injected channel halt (chaos drill)"));
 }
 
 } // namespace serve

@@ -41,6 +41,7 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -62,6 +63,41 @@ enum class AdmissionPolicy
 };
 
 const char *admissionPolicyName(AdmissionPolicy policy);
+
+/**
+ * Deterministic retry (ISSUE 7). A job whose report carries a
+ * *transient* status (util::statusCodeTransient: parity quarantine,
+ * truncation, watchdog stall, cycle limit, internal error) is
+ * re-submitted — with its original stream and arrival cycle — until it
+ * succeeds, fails permanently, runs out of attempts, or passes its
+ * deadline. Backoff is measured in *simulated* cycles (attempt k waits
+ * backoffCycles x k before re-entering the queue), so the retry
+ * schedule is part of the simulated state and bit-identical across PU
+ * backends and host thread counts. Each attempt runs under a fresh
+ * session job id, so the fault plan's per-job hashes roll fresh dice —
+ * a job truncated or corrupted on one attempt retries clean, and its
+ * eventual Ok output is bit-identical to the fault-free golden.
+ */
+struct RetryPolicy
+{
+    /** Total attempts, the first included. 1 (default) = no retry. */
+    int maxAttempts = 1;
+    /** Simulated-cycle backoff unit; attempt k waits k x this. */
+    uint64_t backoffCycles = 0;
+};
+
+/** Per-submission options (ISSUE 7). */
+struct SubmitOptions
+{
+    /**
+     * Deadline in simulated cycles *relative to the arrival cycle*;
+     * 0 = none. A job past its deadline is cancelled in-queue or
+     * abandoned mid-flight (the slot is reclaimed through the
+     * containment path) and its ticket completes DeadlineExceeded.
+     * The deadline also bounds retries: no attempt starts after it.
+     */
+    uint64_t deadlineCycles = 0;
+};
 
 struct ServiceConfig
 {
@@ -85,6 +121,8 @@ struct ServiceConfig
     bool backgroundThread = true;
     /** Background thread: sleep this long when a round finds no work. */
     int idlePollMicros = 100;
+    /** Transient-failure retry (ISSUE 7). Off by default. */
+    RetryPolicy retry;
 };
 
 /** Service-level telemetry snapshot (the backpressure signals). */
@@ -100,9 +138,19 @@ struct ServiceStats
     uint64_t queueDepth = 0;      ///< Waiting jobs right now.
     uint64_t blockedSubmitters = 0; ///< Parked in submit() (Block).
     int jobsInFlight = 0;         ///< Armed on slots.
-    int liveSlots = 0;            ///< Slots on non-halted channels.
+    /** Slots still serving: neither on a halted channel nor
+     * quarantined — the service's live capacity (ISSUE 7). */
+    int liveSlots = 0;
     bool saturated = false;       ///< queueDepth >= maxQueueDepth.
     uint64_t simCycles = 0;       ///< Session clock (max over shards).
+    /// @name Recovery telemetry (ISSUE 7).
+    /// @{
+    uint64_t retries = 0;        ///< Transient failures re-submitted.
+    uint64_t retryBacklog = 0;   ///< Retries waiting out their backoff.
+    uint64_t deadlineKilled = 0; ///< Jobs cancelled past their deadline.
+    uint64_t requeued = 0;       ///< Jobs pulled off halted channels.
+    int quarantinedSlots = 0;    ///< Slots pulled by the health registry.
+    /// @}
 };
 
 /**
@@ -127,6 +175,14 @@ class JobTicket
      * mode call pump() until ready() instead — wait() would deadlock.
      */
     const runtime::JobReport &wait() const;
+
+    /**
+     * wait() with a host wall-clock timeout: true once the report is
+     * final, false on timeout (the ticket stays valid — call again or
+     * keep pumping). Host time here never touches the simulated
+     * schedule; it only bounds how long the *caller* parks.
+     */
+    bool waitFor(std::chrono::nanoseconds timeout) const;
 
     /** The final report; throws StatusError(InvalidState) if !ready(). */
     const runtime::JobReport &report() const;
@@ -167,6 +223,8 @@ class FleetService
      * InvalidState (after shutdown began).
      */
     JobTicket submit(BitBuffer stream);
+    /** submit() with per-job options (deadline, ISSUE 7). */
+    JobTicket submit(BitBuffer stream, const SubmitOptions &options);
 
     /**
      * submit() with an explicit arrival cycle on the session clock —
@@ -175,7 +233,8 @@ class FleetService
      * Must be <= the current session cycle (the caller releases
      * arrivals as simulated time passes them).
      */
-    JobTicket submitAt(BitBuffer stream, uint64_t arrival_cycle);
+    JobTicket submitAt(BitBuffer stream, uint64_t arrival_cycle,
+                       const SubmitOptions &options = {});
 
     /**
      * Paced mode: run one service round — transfer waiting jobs into
@@ -203,6 +262,16 @@ class FleetService
     bool saturated() const;
 
     /**
+     * Chaos drill (ISSUE 7): force channel `c` into the Halted state,
+     * exactly as a watchdog trip would land it. With
+     * SessionConfig::requeueStranded the channel's in-flight jobs are
+     * re-queued onto survivors on the next round; without it they
+     * strand with the injected status. Paced mode only (the background
+     * thread owns the session): throws InvalidState otherwise.
+     */
+    void injectChannelHalt(int c);
+
+    /**
      * The inner session, for offline inspection of per-job reports and
      * cycle accounting. Only touch after shutdown() (or between paced
      * pumps): the service thread owns it while running.
@@ -214,14 +283,46 @@ class FleetService
     {
         BitBuffer stream;
         uint64_t arrivalCycle = 0;
+        /** Absolute expiry on the session clock (0 = none). */
+        uint64_t deadlineCycle = 0;
         std::shared_ptr<JobTicket::State> ticket;
     };
 
-    JobTicket admit(BitBuffer stream, uint64_t arrival_cycle);
+    /**
+     * Per-job recovery state, shared between the session callback and
+     * the retry queue: alive across attempts, so the original stream
+     * and arrival cycle travel with the job while each attempt runs
+     * under a fresh session job id.
+     */
+    struct Tracked
+    {
+        std::shared_ptr<JobTicket::State> ticket;
+        /** Original stream; kept only while another attempt is
+         * possible (retry enabled and attempts remain). */
+        BitBuffer stream;
+        uint64_t arrivalCycle = 0;
+        uint64_t deadlineCycle = 0;
+        /** Attempt currently in flight (1 = first try). */
+        int attempt = 1;
+        /** Simulated cycle the next attempt may re-enter the queue. */
+        uint64_t retryEligibleCycle = 0;
+        /** Last failed attempt's report — completes the ticket if the
+         * pool dies before the retry runs. */
+        runtime::JobReport lastReport;
+    };
+
+    JobTicket admit(BitBuffer stream, uint64_t arrival_cycle,
+                    const SubmitOptions &options);
     /** One round; requires mu_ NOT held. True while work remains. */
     bool pumpOnce();
     /** Transfer waiting jobs into the session. Requires mu_ held. */
     void feedSessionLocked();
+    /** Hand one tracked job to the session. Requires mu_ held. */
+    void dispatchLocked(std::shared_ptr<Tracked> tracked);
+    /** Session callback: complete the ticket or queue a retry. Runs
+     * on the pumping thread inside Session::step; takes mu_. */
+    void onJobDone(const std::shared_ptr<Tracked> &tracked,
+                   const runtime::JobReport &report);
     /** Complete a ticket that never reached the session. */
     static JobTicket refuse(std::shared_ptr<JobTicket::State> state,
                             StatusCode code, const char *why);
@@ -233,6 +334,9 @@ class FleetService
     mutable std::mutex mu_;
     std::condition_variable spaceCv_; ///< Block-policy submitters.
     std::deque<Waiting> wait_;
+    /** Transient failures waiting out their simulated-cycle backoff.
+     * Already admitted: they bypass the admission bound on release. */
+    std::deque<std::shared_ptr<Tracked>> retryWait_;
     bool accepting_ = true;
     bool finished_ = false; ///< session_.finish() has run.
     /** FIFO discipline for Block: submitters take a turn number and
@@ -245,6 +349,7 @@ class FleetService
     uint64_t admitted_ = 0;
     uint64_t rejected_ = 0;
     uint64_t shed_ = 0;
+    uint64_t retries_ = 0;
     std::atomic<uint64_t> completed_{0}; ///< Bumped in callbacks.
     /** Session-clock snapshot, updated after every round so client
      * threads can stamp arrivals without touching the session. */
@@ -254,6 +359,9 @@ class FleetService
      * directly while it is being stepped. */
     std::atomic<int> inFlightNow_{0};
     std::atomic<int> liveSlotsNow_{0};
+    std::atomic<uint64_t> deadlineKilledNow_{0};
+    std::atomic<uint64_t> requeuedNow_{0};
+    std::atomic<int> quarantinedNow_{0};
     /** Set by shutdown() once the session settles. */
     const system::RunReport *runReport_ = nullptr;
 

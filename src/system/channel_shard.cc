@@ -1,5 +1,6 @@
 #include "system/channel_shard.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "system/pu_rtl_batch.h"
@@ -82,6 +83,47 @@ ChannelShard::containPu(int local, Status status)
     outputCtrl_->setPuFinished(local);
 }
 
+bool
+ChannelShard::cancelPu(int local, Status status)
+{
+    PuSlot &slot = pus_[local];
+    if (state_ != ShardState::Active)
+        return false;
+    if (slot.parked || slot.failed || !slot.hasJob)
+        return false;
+    if (puDrained(local))
+        return false; // Already drained: the job won, retire it.
+    containPu(local, std::move(status));
+    return true;
+}
+
+void
+ChannelShard::forceHalt(Status status)
+{
+    if (state_ != ShardState::Active && state_ != ShardState::Idle)
+        return;
+    haltStatus_ = std::move(status);
+    state_ = ShardState::Halted;
+}
+
+void
+ChannelShard::recomputeWatchdogBudget()
+{
+    watchdogBudget_ = watchdogCycles_;
+    if (watchdogStreamFactor_ <= 0.0 || inWidth_ <= 0)
+        return;
+    uint64_t max_tokens = 0;
+    for (const PuSlot &slot : pus_) {
+        if (slot.parked)
+            continue;
+        max_tokens = std::max(
+            max_tokens, slot.streamBits / uint64_t(inWidth_));
+    }
+    uint64_t scaled = static_cast<uint64_t>(watchdogStreamFactor_ *
+                                            double(max_tokens));
+    watchdogBudget_ = std::max(watchdogBudget_, scaled);
+}
+
 ChannelOutcome
 ChannelShard::run(int input_token_width, int output_token_width,
                   uint64_t max_cycles, uint64_t watchdog_cycles)
@@ -115,6 +157,7 @@ ChannelShard::beginRun(int input_token_width, int output_token_width,
     lastBeats_ = 0;
     haltStatus_ = Status::make(StatusCode::Ok);
     cycles_ = 0;
+    recomputeWatchdogBudget();
 
     if (batch_ && batch_->lanes() != numPus())
         panic("system: batched RTL engine has ", batch_->lanes(),
@@ -280,7 +323,7 @@ ChannelShard::step(uint64_t budget)
             if (activity || beats != lastBeats_) {
                 lastActivityCycle_ = cycles_;
                 lastBeats_ = beats;
-            } else if (cycles_ - lastActivityCycle_ > watchdogCycles_) {
+            } else if (cycles_ - lastActivityCycle_ > watchdogBudget_) {
                 haltStatus_ = Status::make(
                     StatusCode::WatchdogStall,
                     watchdogDump(cycles_ - lastActivityCycle_));
@@ -417,6 +460,7 @@ ChannelShard::retireJob(int local)
     slot.finishedSeen = false;
     slot.streamBits = 0;
     slot.emittedBits = 0;
+    recomputeWatchdogBudget();
     return job;
 }
 
@@ -463,6 +507,7 @@ ChannelShard::rearmPu(int local, uint64_t stream_bits, uint64_t job_id)
     // against the forward-progress watchdog.
     lastActivityCycle_ = cycles_;
     lastBeats_ = channel_->beatsDelivered() + channel_->beatsWritten();
+    recomputeWatchdogBudget();
     state_ = ShardState::Active;
 }
 

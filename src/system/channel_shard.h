@@ -233,6 +233,42 @@ class ChannelShard
     /** True when the slot holds no job and can be armed. */
     bool puParked(int local) const { return pus_[local].parked; }
 
+    /**
+     * Abandon `local`'s in-flight job (ISSUE 7: deadline enforcement):
+     * contain the unit with `status` exactly as a parity/overflow event
+     * would — killed in both controllers, in-flight bursts discarded,
+     * committed output flushed — so the slot drains within a few cycles
+     * and retireJob() reclaims it for the next job. No-op if the slot
+     * is parked, already drained/contained, or the shard is not Active.
+     * Returns true if the cancel took effect.
+     */
+    bool cancelPu(int local, Status status);
+
+    /**
+     * Force a channel-level halt (ISSUE 7: the chaos harness's fault
+     * drill): the shard transitions to Halted with `status`, exactly
+     * as a watchdog trip would land it, so the recovery layer's
+     * re-queue path can be exercised deterministically. No-op unless
+     * the shard is Active or Idle.
+     */
+    void forceHalt(Status status);
+
+    /**
+     * Scale the forward-progress watchdog with armed job size
+     * (ISSUE 7): the effective threshold is
+     * max(watchdog_cycles, factor x largest armed stream's tokens),
+     * re-computed whenever the armed set changes (beginRun / rearmPu /
+     * retireJob), so a large job's naturally longer quiet stretches
+     * (deep prefetch stalls, fault-injected latency storms) cannot
+     * false-trip a threshold tuned for small jobs. 0 (default)
+     * disables scaling — the threshold is watchdog_cycles verbatim.
+     * Set before beginRun().
+     */
+    void setWatchdogStreamFactor(double factor)
+    {
+        watchdogStreamFactor_ = factor;
+    }
+
     /// @}
 
     int channelIndex() const { return channelIndex_; }
@@ -307,6 +343,8 @@ class ChannelShard
 
     /** Quarantine one PU: kill it in both controllers, record why. */
     void containPu(int local, Status status);
+    /** Effective watchdog threshold for the currently armed set. */
+    void recomputeWatchdogBudget();
     /** Fill stats_ from whatever state the run reached. */
     void finalizeStats();
     /** Multi-line forward-progress diagnostic for a watchdog trip. */
@@ -337,6 +375,11 @@ class ChannelShard
     int outWidth_ = 0;
     uint64_t maxCycles_ = 0;
     uint64_t watchdogCycles_ = 0;
+    /** Stream-size scaling for the watchdog (0 = off). */
+    double watchdogStreamFactor_ = 0.0;
+    /** Effective threshold: max(watchdogCycles_, factor x max armed
+     * stream tokens). Equals watchdogCycles_ when scaling is off. */
+    uint64_t watchdogBudget_ = 0;
     uint64_t lastActivityCycle_ = 0;
     uint64_t lastBeats_ = 0;
     Status haltStatus_;

@@ -211,6 +211,7 @@ FleetSystem::build(int num_slots)
             layout.inputs, layout.outputs,
             std::max<uint64_t>(layout.bytes, burst_bytes),
             config_.faults, config_.trace);
+        shard->setWatchdogStreamFactor(config_.watchdogStreamFactor);
         auto &mem = shard->channel().memory();
         for (size_t l = 0; l < layout.inputs.size(); ++l) {
             if (!sessionMode_) {
@@ -550,6 +551,35 @@ FleetSystem::retireJob(int pu)
             Status::make(StatusCode::StreamTruncated, os.str());
     }
     return job;
+}
+
+Status
+FleetSystem::cancelJob(int pu, Status status)
+{
+    if (!sessionMode_)
+        return Status::make(StatusCode::InvalidState,
+                            "cancelJob: system was built one-shot");
+    if (pu < 0 || pu >= numPus())
+        return Status::make(StatusCode::InvalidArgument,
+                            "cancelJob: no such slot");
+    if (!shards_[puShard_[pu]]->cancelPu(puLocal_[pu],
+                                         std::move(status))) {
+        std::ostringstream os;
+        os << "cancelJob: slot " << pu
+           << " holds no cancellable in-flight job";
+        return Status::make(StatusCode::InvalidState, os.str());
+    }
+    return Status::make(StatusCode::Ok);
+}
+
+void
+FleetSystem::forceHaltChannel(int c, Status status)
+{
+    if (c < 0 || c >= numShards())
+        throw StatusError(Status::make(StatusCode::InvalidArgument,
+                                       "forceHaltChannel: no such "
+                                       "channel"));
+    shards_[c]->forceHalt(std::move(status));
 }
 
 const RunReport &

@@ -92,6 +92,15 @@ struct SystemConfig
      */
     uint64_t watchdogCycles = 200000;
     /**
+     * Scale the watchdog with armed job size (ISSUE 7): when nonzero,
+     * each channel's effective threshold is
+     * max(watchdogCycles, factor x largest armed stream's token count),
+     * re-computed as jobs arm and retire — so a large job's naturally
+     * longer quiet stretches cannot false-trip a threshold tuned for
+     * small ones. 0 (default) = fixed watchdogCycles.
+     */
+    double watchdogStreamFactor = 0.0;
+    /**
      * Cycle-level observability (ISSUE 3, trace/trace.h). Disabled by
      * default; disabled tracing allocates nothing and adds no per-cycle
      * work, and *enabled* tracing is purely observational — outputs,
@@ -230,6 +239,25 @@ class FleetSystem
      * surfaced as StreamTruncated, as in one-shot runs) and park the
      * slot for the next armJob. */
     RetiredJob retireJob(int pu);
+
+    /**
+     * Abandon `pu`'s in-flight job with `status` (ISSUE 7: per-job
+     * deadlines): the unit is contained exactly like a parity event —
+     * killed in both controllers, slot drains within a few cycles —
+     * and the eventual retireJob reports the job with `status`.
+     * Returns Ok when the cancel took effect; InvalidState when there
+     * is nothing to cancel (slot parked, already drained, or its
+     * channel not active).
+     */
+    Status cancelJob(int pu, Status status);
+
+    /**
+     * Force channel `c` into the Halted state with `status` (ISSUE 7:
+     * the chaos harness's forced-failure drill). In-flight jobs on the
+     * channel strand exactly as they would under a real watchdog trip,
+     * exercising the recovery layer's re-queue path deterministically.
+     */
+    void forceHaltChannel(int c, Status status);
 
     /** Settle every shard and assemble the session's RunReport (channel
      * outcomes, last-job PU outcomes, trace). Call once, last. */

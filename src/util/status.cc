@@ -28,6 +28,12 @@ statusCodeName(StatusCode code)
         return "InvalidState";
     case StatusCode::ResourceExhausted:
         return "ResourceExhausted";
+    case StatusCode::Shed:
+        return "Shed";
+    case StatusCode::Cancelled:
+        return "Cancelled";
+    case StatusCode::DeadlineExceeded:
+        return "DeadlineExceeded";
     }
     return "Unknown";
 }

@@ -48,11 +48,48 @@ enum class StatusCode
     InvalidState,
     /** Admission control turned the job away: the serving queue was at
      * its configured depth (serve/service.h) and the policy chose to
-     * reject or shed rather than block. */
+     * reject rather than block. */
     ResourceExhausted,
+    /** The job was dropped from the admission queue to make room for a
+     * newer one (ShedOldest policy, serve/service.h). Distinct from
+     * ResourceExhausted so callers can tell "you were turned away at
+     * the door" from "you were admitted, then evicted". */
+    Shed,
+    /** The job was abandoned by the service before it could be served:
+     * submitted (or parked on admission) after shutdown began. */
+    Cancelled,
+    /** The job exceeded its per-job deadline (simulated cycles) and was
+     * cancelled in-queue or killed mid-flight (ISSUE 7). */
+    DeadlineExceeded,
 };
 
 const char *statusCodeName(StatusCode code);
+
+/**
+ * Failure-recovery taxonomy (ISSUE 7, DESIGN.md §5g). A *transient*
+ * failure is one where re-running the same job can plausibly succeed:
+ * the fault was in the environment (a corrupted beat caught by parity,
+ * a short upload, a stalled or halted channel), not in the job. A
+ * *permanent* failure is deterministic for the job itself (malformed
+ * input, output overflow with the program's declared maxOutputExpansion
+ * honored) or an explicit terminal decision (deadline, shed, cancel) —
+ * retrying would reproduce it or violate the decision. `Ok` is neither.
+ * serve::FleetService's RetryPolicy re-submits only transient codes.
+ */
+inline bool
+statusCodeTransient(StatusCode code)
+{
+    switch (code) {
+    case StatusCode::ParityError:
+    case StatusCode::StreamTruncated:
+    case StatusCode::WatchdogStall:
+    case StatusCode::CycleLimitExceeded:
+    case StatusCode::InternalError:
+        return true;
+    default:
+        return false;
+    }
+}
 
 struct Status
 {

@@ -145,7 +145,7 @@ TEST(ServeService, BackgroundThreadServesConcurrentClients)
 // Admission edge cases
 // ---------------------------------------------------------------------------
 
-TEST(ServeAdmission, SubmitAfterShutdownReturnsInvalidState)
+TEST(ServeAdmission, SubmitAfterShutdownReturnsCancelled)
 {
     auto program = testprogs::blockFrequencies(32);
     FleetService service(program, smallConfig());
@@ -158,7 +158,8 @@ TEST(ServeAdmission, SubmitAfterShutdownReturnsInvalidState)
     JobTicket after = service.submit(randomStream(rng, 64));
     ASSERT_TRUE(after.valid());
     ASSERT_TRUE(after.ready()); // refused synchronously
-    EXPECT_EQ(after.report().status.code, StatusCode::InvalidState);
+    EXPECT_EQ(after.report().status.code, StatusCode::Cancelled);
+    EXPECT_FALSE(statusCodeTransient(after.report().status.code));
     EXPECT_EQ(service.stats().submitted, 2u);
     EXPECT_EQ(service.stats().admitted, 1u);
 
@@ -222,7 +223,8 @@ TEST(ServeAdmission, ShedOldestDropsTheOldestWaitingJob)
     JobTicket c = service.submit(randomStream(rng, 64)); // sheds a
 
     ASSERT_TRUE(a.ready());
-    EXPECT_EQ(a.report().status.code, StatusCode::ResourceExhausted);
+    EXPECT_EQ(a.report().status.code, StatusCode::Shed);
+    EXPECT_FALSE(statusCodeTransient(a.report().status.code));
     EXPECT_FALSE(b.ready());
     EXPECT_FALSE(c.ready());
     EXPECT_EQ(service.stats().shed, 1u);
@@ -290,7 +292,7 @@ TEST(ServeAdmission, BlockedSubmittersWakeInFifoOrder)
 TEST(ServeAdmission, ShutdownReleasesBlockedSubmitters)
 {
     // A submitter parked on a full queue must not hang shutdown: it is
-    // released with InvalidState and the queue drains normally.
+    // released with Cancelled and the queue drains normally.
     auto program = testprogs::blockFrequencies(32);
     ServiceConfig config = smallConfig();
     config.maxQueueDepth = 1;
@@ -311,7 +313,7 @@ TEST(ServeAdmission, ShutdownReleasesBlockedSubmitters)
     submitter.join();
     ASSERT_TRUE(blocked.valid());
     ASSERT_TRUE(blocked.ready());
-    EXPECT_EQ(blocked.report().status.code, StatusCode::InvalidState);
+    EXPECT_EQ(blocked.report().status.code, StatusCode::Cancelled);
     EXPECT_TRUE(filler.report().ok());
 }
 

@@ -133,6 +133,47 @@ TEST(Watchdog, FaultFreeAppsNeverTrip)
     }
 }
 
+TEST(Watchdog, ThresholdScalesWithArmedJobSize)
+{
+    // ISSUE 7 regression: a fixed watchdog threshold that is sane for
+    // small jobs false-trips on a large job whose DRAM reads are hit
+    // by injected latency spikes — each spike stalls the channel
+    // longer than the fixed threshold even though the unit is making
+    // forward progress between spikes. watchdogStreamFactor scales
+    // the effective threshold with the largest armed stream, so the
+    // same storm completes; factor 0 keeps the legacy fixed budget.
+    SystemConfig config;
+    config.numChannels = 1;
+    config.watchdogCycles = 150;
+    config.inputRegionBytes = 8192;
+    config.faults.seed = 5;
+    config.faults.latencySpikePermille = 1000; // every read spiked
+    config.faults.latencySpikeCycles = 400;
+
+    std::vector<BitBuffer> streams(1);
+    Rng rng(67);
+    for (int i = 0; i < 2048; ++i)
+        streams[0].appendBits(rng.next(), 8);
+
+    {
+        FleetSystem fixed(testprogs::identity(), config, streams);
+        const RunReport &report = fixed.run();
+        ASSERT_EQ(report.channels.size(), 1u);
+        EXPECT_EQ(report.channels[0].status.code,
+                  StatusCode::WatchdogStall)
+            << "fixed threshold should false-trip under the spikes: "
+            << report.summary();
+    }
+    {
+        SystemConfig scaled = config;
+        scaled.watchdogStreamFactor = 1.0; // budget >= 2048 cycles
+        FleetSystem fleet(testprogs::identity(), scaled, streams);
+        const RunReport &report = fleet.run();
+        EXPECT_TRUE(report.allOk()) << report.summary();
+        EXPECT_TRUE(fleet.output(0) == streams[0]);
+    }
+}
+
 TEST(Watchdog, CycleLimitIsContainedOutcome)
 {
     // An impossibly small maxCycles ends the run with a
