@@ -10,18 +10,22 @@
  * truncation (fault::truncatedJobTokens) is keyed stably no matter which
  * processing-unit slot the job eventually lands on.
  *
- * The queue itself is deliberately dumb — strict FIFO, no priorities —
- * because the scheduler's determinism argument (DESIGN.md §5e) rests on
- * the dispatch order being a pure function of simulated state. Anything
- * cleverer belongs in a layer above, reordering pushes.
+ * The queue itself is deliberately dumb — it stores jobs in strict
+ * arrival order and never reorders — because the scheduler's determinism
+ * argument (DESIGN.md §5e/§5h) rests on the dispatch order being a pure
+ * function of simulated state. Policy lives in runtime::Scheduler, which
+ * *picks an index* out of this queue (take()); the queue just preserves
+ * arrival order and stable ids.
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <utility>
 #include <vector>
 
+#include "runtime/scheduler.h"
 #include "util/bitbuf.h"
 #include "util/logging.h"
 
@@ -59,6 +63,9 @@ struct PendingJob
     /** Times the job was pulled off a halted channel and re-queued
      * onto survivors (ISSUE 7); surfaced in JobReport::requeues. */
     uint32_t requeues = 0;
+    /** Tenant / program-class / placement tag (ISSUE 8). Defaults are
+     * the single-tenant legacy behaviour. */
+    JobTag tag;
 };
 
 class JobQueue
@@ -67,12 +74,13 @@ class JobQueue
     /** Enqueue a stream; returns the job's id (sequential from 0). */
     uint64_t push(BitBuffer stream, JobCallback callback = nullptr,
                   uint64_t enqueue_cycle = 0, uint64_t host_submit_ns = 0,
-                  uint64_t deadline_cycle = 0)
+                  uint64_t deadline_cycle = 0, const JobTag &tag = {})
     {
         uint64_t id = nextId_++;
         jobs_.push_back(PendingJob{id, std::move(stream),
                                    std::move(callback), enqueue_cycle,
-                                   host_submit_ns, deadline_cycle, 0});
+                                   host_submit_ns, deadline_cycle, 0,
+                                   tag});
         return id;
     }
 
@@ -124,12 +132,34 @@ class JobQueue
         return jobs_.front();
     }
 
+    /** Read-only view of the job at queue position `index` (arrival
+     * order) — what Scheduler::pick sees. */
+    const PendingJob &at(size_t index) const
+    {
+        if (index >= jobs_.size())
+            panic("JobQueue::at(", index, ") on a queue of ",
+                  jobs_.size());
+        return jobs_[index];
+    }
+
     PendingJob pop()
     {
         if (jobs_.empty())
             panic("JobQueue::pop on an empty queue");
         PendingJob job = std::move(jobs_.front());
         jobs_.pop_front();
+        return job;
+    }
+
+    /** Remove and return the job at queue position `index`: how the
+     * Session honours a scheduler pick. take(0) == pop(). */
+    PendingJob take(size_t index)
+    {
+        if (index >= jobs_.size())
+            panic("JobQueue::take(", index, ") on a queue of ",
+                  jobs_.size());
+        PendingJob job = std::move(jobs_[index]);
+        jobs_.erase(jobs_.begin() + static_cast<ptrdiff_t>(index));
         return job;
     }
 

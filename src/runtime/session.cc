@@ -2,10 +2,11 @@
  * @file
  * Session scheduler implementation. The three-phase round (harvest →
  * arm → advance) and its fixed iteration order are the entire
- * determinism argument — see the header and DESIGN.md §5e. Nothing
+ * determinism argument — see the header and DESIGN.md §5e/§5h. Nothing
  * here reads host time, thread ids, or any other nondeterministic
- * input; the underlying FleetSystem::stepEpoch is itself bit-identical
- * at every worker count.
+ * input; the pluggable policies (runtime/scheduler.h) are pure
+ * functions of simulated state, and the underlying
+ * FleetSystem::stepEpoch is itself bit-identical at every worker count.
  */
 
 #include "runtime/session.h"
@@ -47,7 +48,9 @@ operator==(const JobReport &a, const JobReport &b)
     // hostSubmitNs / hostDoneNs are deliberately omitted: wall-clock
     // stamps vary run to run, while everything simulated must not.
     return a.jobId == b.jobId && a.status == b.status && a.pu == b.pu &&
-           a.channel == b.channel && a.armCycle == b.armCycle &&
+           a.channel == b.channel && a.tenant == b.tenant &&
+           a.programIndex == b.programIndex &&
+           a.armCycle == b.armCycle &&
            a.retireCycle == b.retireCycle &&
            a.streamBits == b.streamBits &&
            a.emittedBits == b.emittedBits &&
@@ -64,11 +67,25 @@ operator==(const JobReport &a, const JobReport &b)
 
 Session::Session(const lang::Program &program,
                  const SessionConfig &config)
-    : config_(config), system_(program, config.system, config.numSlots),
+    : Session(std::vector<lang::Program>(1, program), config)
+{
+}
+
+Session::Session(std::vector<lang::Program> programs,
+                 const SessionConfig &config,
+                 std::vector<system::SlotBinding> bindings)
+    : config_(config),
+      system_(std::move(programs), config.system, config.numSlots,
+              std::move(bindings)),
       slots_(system_.numPus())
 {
     if (config_.epochCycles == 0)
         panic("SessionConfig::epochCycles must be nonzero");
+    scheduler_ = config_.schedulerFactory
+                     ? config_.schedulerFactory()
+                     : makeScheduler(config_.scheduler);
+    if (!scheduler_)
+        panic("SessionConfig::schedulerFactory returned null");
     queueDepthTrack_.name = "session/queue_depth";
     inFlightTrack_.name = "session/jobs_in_flight";
     queueWaitTrack_.name = "session/queue_wait_cycles";
@@ -88,16 +105,40 @@ uint64_t
 Session::submitAt(BitBuffer stream, uint64_t enqueue_cycle,
                   JobCallback callback, uint64_t deadline_cycle)
 {
+    return submitJob(std::move(stream), JobTag{}, enqueue_cycle,
+                     std::move(callback), deadline_cycle);
+}
+
+uint64_t
+Session::submitJob(BitBuffer stream, const JobTag &tag,
+                   uint64_t enqueue_cycle, JobCallback callback,
+                   uint64_t deadline_cycle)
+{
     if (finished_)
         throw StatusError(Status::make(
             StatusCode::InvalidState,
             "submit: session already finished"));
     uint64_t id = queue_.push(std::move(stream), std::move(callback),
                               enqueue_cycle, hostNowNs(),
-                              deadline_cycle);
+                              deadline_cycle, tag);
     reports_.emplace_back();
     reported_.push_back(false);
     return id;
+}
+
+Session::SlotStateView
+Session::slotState(int pu) const
+{
+    const Slot &slot = slots_[pu];
+    SlotStateView view;
+    view.busy = slot.busy;
+    view.dead = slot.dead ||
+                system_.puShardState(pu) == system::ShardState::Halted;
+    view.quarantined = slot.quarantined;
+    view.programIndex = system_.slotProgramIndex(pu);
+    view.lane = system_.slotLane(pu);
+    view.jobId = slot.jobId;
+    return view;
 }
 
 void
@@ -109,6 +150,13 @@ Session::record(JobReport report, JobCallback &callback)
     reports_[id] = std::move(report);
     reported_[id] = true;
     ++jobsFinished_;
+    const JobReport &final = reports_[id];
+    TenantSessionStats &tenant = tenants_[final.tenant];
+    ++tenant.completed;
+    tenant.queueWaitCycles += final.queueWaitCycles();
+    tenant.serviceCycles += final.serviceCycles();
+    if (final.status.code == StatusCode::DeadlineExceeded)
+        ++tenant.deadlineKills;
     if (callback)
         callback(reports_[id]);
 }
@@ -116,13 +164,16 @@ Session::record(JobReport report, JobCallback &callback)
 void
 Session::finishJobEarly(uint64_t job_id, int pu, Status status,
                         JobCallback &callback, uint64_t enqueue_cycle,
-                        uint64_t host_submit_ns, uint32_t requeues)
+                        uint64_t host_submit_ns, uint32_t requeues,
+                        const JobTag &tag)
 {
     JobReport report;
     report.jobId = job_id;
     report.status = std::move(status);
     report.pu = pu;
     report.channel = pu >= 0 ? system_.puChannel(pu) : -1;
+    report.tenant = tag.tenant;
+    report.programIndex = tag.programIndex;
     report.requeues = requeues;
     report.enqueueCycle = enqueue_cycle;
     // Never armed: the whole latency is queue wait, so the admission
@@ -153,6 +204,8 @@ Session::harvest()
             report.status = retired.outcome.status;
             report.pu = pu;
             report.channel = system_.puChannel(pu);
+            report.tenant = slot.tag.tenant;
+            report.programIndex = slot.tag.programIndex;
             report.armCycle = retired.armCycle;
             report.retireCycle = retired.retireCycle;
             report.streamBits = retired.streamBits;
@@ -196,6 +249,7 @@ Session::harvest()
                     job.deadlineCycle = slot.deadlineCycle;
                     job.requeues =
                         static_cast<uint32_t>(slot.requeues + 1);
+                    job.tag = slot.tag;
                     requeued.push_back(std::move(job));
                     ++jobRequeues_;
                     slot.busy = false;
@@ -220,6 +274,8 @@ Session::harvest()
                 Status::make(system_.puShardStatus(pu).code, os.str());
             report.pu = pu;
             report.channel = system_.puChannel(pu);
+            report.tenant = slot.tag.tenant;
+            report.programIndex = slot.tag.programIndex;
             report.retireCycle =
                 system_.shard(system_.puChannel(pu)).cycles();
             report.requeues = static_cast<uint32_t>(slot.requeues);
@@ -277,7 +333,7 @@ Session::expireDeadlines()
                        Status::make(StatusCode::DeadlineExceeded,
                                     os.str()),
                        job.callback, job.enqueueCycle, job.hostSubmitNs,
-                       job.requeues);
+                       job.requeues, job.tag);
     }
     // Mid-flight expiry: abandon the job through the containment path
     // (killPu + flush). The slot drains within a few cycles and the
@@ -303,6 +359,22 @@ Session::expireDeadlines()
 void
 Session::armFromQueue()
 {
+    // Two sweeps over the parked live slots (ISSUE 8): sweep one
+    // honours JobTag::preferredLane placement hints; sweep two relaxes
+    // them to program-match only, so a hint can steer a job but never
+    // leave a compatible slot idle (work conservation). With the
+    // default FIFO policy, a single program, and no hints, sweep one
+    // arms everything and the pop order is cycle-exact with the
+    // pre-scheduler runtime.
+    armSweep(false);
+    armSweep(true);
+    strandOrphans();
+}
+
+void
+Session::armSweep(bool relax_hints)
+{
+    const uint64_t now = cycles();
     for (int pu = 0; pu < system_.numPus() && !queue_.empty(); ++pu) {
         Slot &slot = slots_[pu];
         if (slot.busy || slot.dead || slot.quarantined)
@@ -311,8 +383,25 @@ Session::armFromQueue()
             slot.dead = true;
             continue;
         }
+        SlotView view;
+        view.pu = pu;
+        view.programIndex = system_.slotProgramIndex(pu);
+        view.lane = system_.slotLane(pu);
         while (!queue_.empty()) {
-            PendingJob job = queue_.pop();
+            std::vector<QueuedJobView> queued(queue_.size());
+            for (size_t i = 0; i < queue_.size(); ++i) {
+                const PendingJob &pending = queue_.at(i);
+                queued[i].id = pending.id;
+                queued[i].enqueueCycle = pending.enqueueCycle;
+                queued[i].streamBits = pending.stream.sizeBits();
+                queued[i].tag = pending.tag;
+            }
+            int picked =
+                scheduler_->pick(view, queued, now, relax_hints);
+            if (picked < 0)
+                break;
+            QueuedJobView picked_view = queued[picked];
+            PendingJob job = queue_.take(static_cast<size_t>(picked));
             // Kept pre-truncation so a halted channel's jobs can be
             // re-armed elsewhere (armJob consumes the original).
             BitBuffer stream_copy;
@@ -322,20 +411,22 @@ Session::armFromQueue()
                 system_.armJob(pu, std::move(job.stream), job.id);
             if (!armed.ok()) {
                 // A malformed job (bad alignment, oversized stream)
-                // fails alone; the slot takes the next one.
+                // fails alone; the slot re-picks among the rest.
                 finishJobEarly(job.id, pu, std::move(armed),
                                job.callback, job.enqueueCycle,
-                               job.hostSubmitNs, job.requeues);
+                               job.hostSubmitNs, job.requeues, job.tag);
                 continue;
             }
+            scheduler_->onArm(picked_view, now);
             slot.busy = true;
             slot.jobId = job.id;
             slot.callback = std::move(job.callback);
             slot.enqueueCycle = job.enqueueCycle;
-            slot.admittedCycle = cycles();
+            slot.admittedCycle = now;
             slot.hostSubmitNs = job.hostSubmitNs;
             slot.deadlineCycle = job.deadlineCycle;
             slot.requeues = job.requeues;
+            slot.tag = job.tag;
             slot.stream = std::move(stream_copy);
             totalQueueWaitCycles_ +=
                 slot.admittedCycle > slot.enqueueCycle
@@ -343,6 +434,58 @@ Session::armFromQueue()
                     : 0;
             break;
         }
+    }
+}
+
+void
+Session::strandOrphans()
+{
+    if (queue_.empty())
+        return;
+    // After both sweeps, anything still queued either lost the
+    // capacity race this round (fine — it waits) or can *never* arm:
+    // its program index is unknown, or every slot bound to its program
+    // is dead/quarantined while other programs' slots keep serving.
+    // Report those now rather than letting them wait forever behind a
+    // live pool. The all-slots-dead case is left to step(), which
+    // strands the whole queue with its legacy message.
+    std::vector<bool> live_per_program(
+        static_cast<size_t>(system_.numPrograms()), false);
+    bool any_live = false;
+    for (int pu = 0; pu < system_.numPus(); ++pu) {
+        const Slot &slot = slots_[pu];
+        if (slot.dead || slot.quarantined ||
+            system_.puShardState(pu) == system::ShardState::Halted)
+            continue;
+        live_per_program[system_.slotProgramIndex(pu)] = true;
+        any_live = true;
+    }
+    if (!any_live)
+        return;
+    for (size_t i = 0; i < queue_.size();) {
+        const PendingJob &pending = queue_.at(i);
+        uint32_t program = pending.tag.programIndex;
+        Status stranded;
+        if (program >= live_per_program.size()) {
+            std::ostringstream os;
+            os << "job " << pending.id
+               << " targets unknown program index " << program;
+            stranded =
+                Status::make(StatusCode::InvalidArgument, os.str());
+        } else if (!live_per_program[program]) {
+            std::ostringstream os;
+            os << "job " << pending.id
+               << " cannot run: no live slot is bound to program "
+               << program;
+            stranded = Status::make(StatusCode::InvalidState, os.str());
+        } else {
+            ++i;
+            continue;
+        }
+        PendingJob job = queue_.take(i);
+        finishJobEarly(job.id, -1, std::move(stranded), job.callback,
+                       job.enqueueCycle, job.hostSubmitNs, job.requeues,
+                       job.tag);
     }
 }
 
@@ -372,7 +515,7 @@ Session::step()
                              "no live processing-unit slots remain "
                              "(every channel halted)"),
                 job.callback, job.enqueueCycle, job.hostSubmitNs,
-                job.requeues);
+                job.requeues, job.tag);
         }
         return false;
     }
@@ -394,6 +537,28 @@ Session::sampleSessionTracks()
     sampleTrack(requeueTrack_, now, jobRequeues_);
     sampleTrack(quarantineTrack_, now,
                 static_cast<uint64_t>(quarantinedSlots_));
+    // Per-tenant breakdown (ISSUE 8): cumulative queue-wait and
+    // service cycles per tenant id. Tracks appear when the tenant's
+    // first report finalizes; std::map keeps the assembly order (and
+    // thus the fenced trace) tenant-sorted and deterministic.
+    for (const auto &entry : tenants_) {
+        auto it = tenantTracks_.find(entry.first);
+        if (it == tenantTracks_.end()) {
+            it = tenantTracks_.emplace(entry.first,
+                                       std::make_pair(
+                                           trace::CounterTrack{},
+                                           trace::CounterTrack{}))
+                     .first;
+            it->second.first.name = trace::tenantTrackName(
+                entry.first, "queue_wait_cycles");
+            it->second.second.name =
+                trace::tenantTrackName(entry.first, "service_cycles");
+        }
+        sampleTrack(it->second.first, now,
+                    entry.second.queueWaitCycles);
+        sampleTrack(it->second.second, now,
+                    entry.second.serviceCycles);
+    }
 }
 
 int
@@ -426,10 +591,16 @@ Session::finish()
 {
     drain();
     finished_ = true;
-    if (config_.system.trace.events)
-        system_.setSessionTracks(
-            {queueDepthTrack_, inFlightTrack_, queueWaitTrack_,
-             deadlineKillTrack_, requeueTrack_, quarantineTrack_});
+    if (config_.system.trace.events) {
+        std::vector<trace::CounterTrack> tracks = {
+            queueDepthTrack_,    inFlightTrack_, queueWaitTrack_,
+            deadlineKillTrack_,  requeueTrack_,  quarantineTrack_};
+        for (const auto &entry : tenantTracks_) {
+            tracks.push_back(entry.second.first);
+            tracks.push_back(entry.second.second);
+        }
+        system_.setSessionTracks(std::move(tracks));
+    }
     return system_.finishSession();
 }
 

@@ -10,33 +10,44 @@
  * are a fixed resource that a server keeps continuously fed, not a
  * batch device that runs one stream set to completion.
  *
- * A Session owns a session-mode FleetSystem (one program, numSlots
- * parked units) and drives it in scheduler rounds:
+ * A Session owns a session-mode FleetSystem (numSlots parked units,
+ * each pre-armed with one of the session's programs) and drives it in
+ * scheduler rounds:
  *
  *   1. *Harvest*, in global PU order: every drained slot's job is read
  *      back, retired into a JobReport, and its callback fired; jobs
  *      stranded on a halted channel are reported with the channel's
  *      status and the slot is marked dead.
- *   2. *Arm*, in global PU order: parked live slots take the queue's
- *      next jobs (strict FIFO).
+ *   2. *Arm*, in global PU order, two sweeps (ISSUE 8): each parked
+ *      live slot asks the configured Scheduler which queued job to run.
+ *      Sweep one honours placement hints (JobTag::preferredLane);
+ *      sweep two relaxes them, so no live slot idles while a
+ *      program-compatible job is queued (work conservation).
  *   3. *Advance*: every channel shard steps up to epochCycles cycles
  *      on the worker pool (shards park early when they go idle).
  *
  * Determinism: harvesting and arming happen only at round boundaries,
- * in a fixed order, and the queue is FIFO — so the job→slot schedule is
- * a pure function of simulated state, and every result (JobReports and
- * the final RunReport, traces included) is bit-identical at any host
- * thread count and across PU backends. The determinism suite asserts
+ * in a fixed order, and every scheduling policy is a pure function of
+ * simulated state (runtime/scheduler.h) — so the job→slot schedule is
+ * bit-identical at any host thread count and across PU backends, for
+ * every policy. The determinism and sched-property suites assert
  * exactly this.
  *
- * Jobs for different programs need different circuits: run one Session
- * per program, or partition the slot pool across several Sessions.
+ * Multi-tenancy (ISSUE 8): jobs carry a JobTag (tenant, program class,
+ * priority, placement hint); a Session can host several compiled
+ * programs at once via per-slot SlotBindings (the mix is checked
+ * against the device area model at construction), and per-tenant
+ * queue-wait/service accounting is kept alongside the global counters.
  */
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "runtime/job_queue.h"
+#include "runtime/scheduler.h"
 #include "system/fleet_system.h"
 
 namespace fleet {
@@ -79,6 +90,31 @@ struct SessionConfig
      * stranding semantics.
      */
     bool requeueStranded = false;
+    /**
+     * Scheduling policy (ISSUE 8): FIFO (legacy, default), strict
+     * priority classes, shortest-job-first, or weighted fair queuing
+     * across tenants. With the default (Fifo, no factory) the arm
+     * order is cycle-exact with the pre-scheduler runtime.
+     */
+    SchedulerConfig scheduler;
+    /**
+     * Pluggable override: when set, the session builds its scheduler
+     * from this factory instead of makeScheduler(scheduler). The
+     * returned policy must be a pure function of simulated state
+     * (runtime/scheduler.h) or the bit-identity fences break.
+     */
+    std::function<std::unique_ptr<Scheduler>()> schedulerFactory;
+};
+
+/** Per-tenant session accounting (ISSUE 8): the scheduler-side slice
+ * of the queue-wait/service breakdown (the serving layer adds
+ * admission-side counters in serve::ServiceStats). */
+struct TenantSessionStats
+{
+    uint64_t completed = 0; ///< Reports finalized for this tenant.
+    uint64_t queueWaitCycles = 0;
+    uint64_t serviceCycles = 0;
+    uint64_t deadlineKills = 0;
 };
 
 /** Final, per-job result — the runtime's analogue of a PuOutcome. */
@@ -91,6 +127,10 @@ struct JobReport
     Status status;
     int pu = -1;      ///< Slot the job ran on (-1: never armed).
     int channel = -1; ///< Channel owning that slot.
+    /** Multi-tenant classification carried from submit (ISSUE 8);
+     * part of operator== — the tagged schedule is fenced too. */
+    uint32_t tenant = 0;
+    uint32_t programIndex = 0;
     uint64_t armCycle = 0;
     uint64_t retireCycle = 0;
     uint64_t streamBits = 0;  ///< Input bits actually armed.
@@ -193,6 +233,17 @@ class Session
     Session(const lang::Program &program, const SessionConfig &config);
 
     /**
+     * Multi-program session (ISSUE 8): host every program in the list
+     * at once, slots bound per `bindings` (empty = all slots run
+     * programs[0] on lane 0). The program mix is validated against the
+     * device area model at construction — see
+     * system::FleetSystem::checkProgramMix.
+     */
+    Session(std::vector<lang::Program> programs,
+            const SessionConfig &config,
+            std::vector<system::SlotBinding> bindings = {});
+
+    /**
      * Enqueue a job; returns its id (sequential from 0). The stream
      * must be a whole number of input tokens and fit the configured
      * input region — violations surface in the job's report
@@ -213,6 +264,21 @@ class Session
     uint64_t submitAt(BitBuffer stream, uint64_t enqueue_cycle,
                       JobCallback callback = nullptr,
                       uint64_t deadline_cycle = 0);
+
+    /**
+     * submitAt() with a multi-tenant JobTag (ISSUE 8): tenant id for
+     * fair queuing and per-tenant accounting, program class (which
+     * bound program the job targets — a job only arms on slots bound
+     * to that program), strict priority, and placement hint. A tag
+     * naming an unknown program index is reported InvalidArgument; a
+     * tag whose program has no live slots left (all halted or
+     * quarantined while other slots keep serving) is reported
+     * InvalidState.
+     */
+    uint64_t submitJob(BitBuffer stream, const JobTag &tag,
+                       uint64_t enqueue_cycle,
+                       JobCallback callback = nullptr,
+                       uint64_t deadline_cycle = 0);
 
     /**
      * One scheduler round: harvest drained jobs, arm queued jobs onto
@@ -273,6 +339,36 @@ class Session
     system::FleetSystem &system() { return system_; }
     const system::FleetSystem &system() const { return system_; }
 
+    /// @name Scheduler observability (ISSUE 8, the property harness).
+    /// @{
+
+    /** The session's wait queue, read-only (arrival order). */
+    const JobQueue &queue() const { return queue_; }
+
+    /** The active scheduling policy. */
+    const Scheduler &scheduler() const { return *scheduler_; }
+
+    /** Point-in-time view of one slot, for work-conservation checks. */
+    struct SlotStateView
+    {
+        bool busy = false;
+        bool dead = false;
+        bool quarantined = false;
+        uint32_t programIndex = 0;
+        int lane = 0;
+        uint64_t jobId = 0; ///< Valid while busy.
+    };
+    SlotStateView slotState(int pu) const;
+
+    /** Per-tenant queue-wait/service breakdown, keyed by tenant id
+     * (tenants appear when their first report finalizes). */
+    const std::map<uint32_t, TenantSessionStats> &tenantStats() const
+    {
+        return tenants_;
+    }
+
+    /// @}
+
   private:
     /** Slot bookkeeping: which job a slot holds, if any. */
     struct Slot
@@ -292,6 +388,8 @@ class Session
         /** Absolute expiry cycle (0 = none) for mid-flight kills. */
         uint64_t deadlineCycle = 0;
         uint64_t requeues = 0;
+        /** Multi-tenant tag carried from the pending job (ISSUE 8). */
+        JobTag tag;
         /** Pre-truncation stream copy, kept only under
          * requeueStranded so a halted channel's jobs can re-run. */
         BitBuffer stream;
@@ -303,17 +401,25 @@ class Session
     /** Health scoring at retire time; may quarantine the slot. */
     void scoreSlotHealth(int pu, const Status &status);
     void armFromQueue();
+    /** One scheduler-driven arm pass over the parked live slots. */
+    void armSweep(bool relax_hints);
+    /** Strand queued jobs that can never arm (unknown program, or a
+     * program with zero live slots while others keep serving). */
+    void strandOrphans();
     /** Sample the scheduler tracks for this round (events mode only). */
     void sampleSessionTracks();
     /** Report a job that never produced a RetiredJob (arm rejection or
      * a halted channel) and fire its callback. */
     void finishJobEarly(uint64_t job_id, int pu, Status status,
                         JobCallback &callback, uint64_t enqueue_cycle,
-                        uint64_t host_submit_ns, uint32_t requeues = 0);
+                        uint64_t host_submit_ns, uint32_t requeues,
+                        const JobTag &tag);
     void record(JobReport report, JobCallback &callback);
 
     SessionConfig config_;
     system::FleetSystem system_;
+    /** The pluggable policy (runtime/scheduler.h); never null. */
+    std::unique_ptr<Scheduler> scheduler_;
     JobQueue queue_;
     std::vector<Slot> slots_; ///< Indexed by global PU index.
     std::vector<JobReport> reports_; ///< Indexed by job id.
@@ -334,6 +440,15 @@ class Session
     uint64_t deadlineKills_ = 0;
     uint64_t jobRequeues_ = 0;
     int quarantinedSlots_ = 0;
+    /** Per-tenant accounting, updated as reports finalize; std::map so
+     * iteration (and thus the trace assembly) is tenant-ordered and
+     * deterministic. */
+    std::map<uint32_t, TenantSessionStats> tenants_;
+    /** Per-tenant counter tracks (events mode): cumulative queue-wait
+     * and service cycles, sampled per round like the global tracks. */
+    std::map<uint32_t, std::pair<trace::CounterTrack,
+                                 trace::CounterTrack>>
+        tenantTracks_;
 };
 
 } // namespace runtime

@@ -113,7 +113,15 @@ refusalReport(StatusCode code, const char *why)
 
 FleetService::FleetService(const lang::Program &program,
                            const ServiceConfig &config)
-    : config_(config), session_(program, config.session)
+    : FleetService(std::vector<lang::Program>(1, program), config)
+{
+}
+
+FleetService::FleetService(std::vector<lang::Program> programs,
+                           const ServiceConfig &config,
+                           std::vector<system::SlotBinding> bindings)
+    : config_(config),
+      session_(std::move(programs), config.session, std::move(bindings))
 {
     // A zero-depth queue under Block would park submitters forever
     // (nothing can ever be "waiting"); one slot of waiting room keeps
@@ -169,10 +177,14 @@ FleetService::admit(BitBuffer stream, uint64_t arrival_cycle,
     auto state = std::make_shared<JobTicket::State>();
     std::unique_lock<std::mutex> lock(mu_);
     ++submitted_;
-    if (!accepting_)
+    TenantStats &tenant = tenants_[options.tag.tenant];
+    ++tenant.submitted;
+    if (!accepting_) {
+        ++tenant.cancelled;
         return refuse(std::move(state), StatusCode::Cancelled,
                       "submit after shutdown: the service is no longer "
                       "accepting jobs");
+    }
 
     // FIFO fairness under Block: a newcomer may not slip past parked
     // submitters, so it parks whenever anyone is already waiting for a
@@ -188,13 +200,16 @@ FleetService::admit(BitBuffer stream, uint64_t arrival_cycle,
         });
         ++blockHead_; // pass the turn on even when released by shutdown
         spaceCv_.notify_all();
-        if (!accepting_)
+        if (!accepting_) {
+            ++tenants_[options.tag.tenant].cancelled;
             return refuse(std::move(state), StatusCode::Cancelled,
                           "submit released by shutdown while blocked "
                           "on admission");
+        }
     } else if (wait_.size() >= config_.maxQueueDepth) {
         if (config_.policy == AdmissionPolicy::Reject) {
             ++rejected_;
+            ++tenant.rejected;
             return refuse(std::move(state),
                           StatusCode::ResourceExhausted,
                           "admission queue full (Reject policy)");
@@ -205,6 +220,7 @@ FleetService::admit(BitBuffer stream, uint64_t arrival_cycle,
         Waiting oldest = std::move(wait_.front());
         wait_.pop_front();
         ++shed_;
+        ++tenants_[oldest.tag.tenant].shed;
         oldest.ticket->complete(refusalReport(
             StatusCode::Shed,
             "shed from the admission queue to make room "
@@ -217,9 +233,11 @@ FleetService::admit(BitBuffer stream, uint64_t arrival_cycle,
     waiting.deadlineCycle = options.deadlineCycles
                                 ? arrival_cycle + options.deadlineCycles
                                 : 0;
+    waiting.tag = options.tag;
     waiting.ticket = state;
     wait_.push_back(std::move(waiting));
     ++admitted_;
+    ++tenants_[options.tag.tenant].admitted;
     JobTicket ticket;
     ticket.state_ = std::move(state);
     return ticket;
@@ -236,12 +254,13 @@ FleetService::dispatchLocked(std::shared_ptr<Tracked> tracked)
     else
         stream = std::move(tracked->stream);
     auto self = tracked;
-    session_.submitAt(
-        std::move(stream), tracked->arrivalCycle,
+    session_.submitJob(
+        std::move(stream), tracked->tag, tracked->arrivalCycle,
         [this, self](const runtime::JobReport &report) {
             onJobDone(self, report);
         },
         tracked->deadlineCycle);
+    ++tenants_[tracked->tag.tenant].inSession;
 }
 
 void
@@ -252,6 +271,8 @@ FleetService::onJobDone(const std::shared_ptr<Tracked> &tracked,
     // is mid-round, so only service-side state is touched here; the
     // retry itself re-enters through feedSessionLocked next round.
     std::lock_guard<std::mutex> lock(mu_);
+    TenantStats &tenant = tenants_[tracked->tag.tenant];
+    --tenant.inSession;
     const bool attempts_left =
         config_.retry.maxAttempts > tracked->attempt;
     const bool within_deadline =
@@ -271,11 +292,17 @@ FleetService::onJobDone(const std::shared_ptr<Tracked> &tracked,
                 static_cast<uint64_t>(tracked->attempt);
         ++tracked->attempt;
         ++retries_;
+        ++tenant.retries;
         retryWait_.push_back(tracked);
         return;
     }
     runtime::JobReport final = report;
     final.attempts = static_cast<uint32_t>(tracked->attempt);
+    ++tenant.completed;
+    tenant.queueWaitCycles += final.queueWaitCycles();
+    tenant.serviceCycles += final.serviceCycles();
+    if (final.status.code == StatusCode::DeadlineExceeded)
+        ++tenant.deadlineKilled;
     tracked->ticket->complete(std::move(final));
     completed_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -286,10 +313,22 @@ FleetService::feedSessionLocked()
     // Keep the session's appetite ahead of harvest: up to two rounds'
     // worth of jobs pending inside it (one being served, one staged),
     // so a slot drained this round re-arms next round without a
-    // bubble. Queue-wait accounting is unaffected — submitAt carries
+    // bubble. Queue-wait accounting is unaffected — dispatch carries
     // each job's original arrival cycle.
+    //
+    // Under a non-FIFO scheduler (ISSUE 8) the staging bound would
+    // defeat the policy: priority/SJF/WFQ can only reorder jobs the
+    // *session* can see, so the whole admitted backlog is handed over
+    // and the session queue becomes the scheduling pool. The FIFO
+    // default keeps the legacy 2x bound (and its byte-identical
+    // feed order).
+    const bool fifo_default =
+        config_.session.scheduler.policy ==
+            runtime::SchedulerPolicy::Fifo &&
+        !config_.session.schedulerFactory;
     const uint64_t target =
-        2 * static_cast<uint64_t>(session_.liveSlots());
+        fifo_default ? 2 * static_cast<uint64_t>(session_.liveSlots())
+                     : UINT64_MAX;
     const uint64_t now = session_.cycles();
 
     // Retries first: they were admitted long ago, so they outrank the
@@ -329,6 +368,7 @@ FleetService::feedSessionLocked()
         tracked->stream = std::move(waiting.stream);
         tracked->arrivalCycle = waiting.arrivalCycle;
         tracked->deadlineCycle = waiting.deadlineCycle;
+        tracked->tag = waiting.tag;
         dispatchLocked(std::move(tracked));
     }
     if (freed)
@@ -353,6 +393,7 @@ FleetService::pumpOnce()
                     StatusCode::InvalidState,
                     "no live processing-unit slots remain "
                     "(every channel halted)"));
+                ++tenants_[waiting.tag.tenant].completed;
                 completed_.fetch_add(1, std::memory_order_relaxed);
             }
             wait_.clear();
@@ -364,6 +405,7 @@ FleetService::pumpOnce()
                     std::move(tracked->lastReport);
                 final.attempts =
                     static_cast<uint32_t>(tracked->attempt - 1);
+                ++tenants_[tracked->tag.tenant].completed;
                 tracked->ticket->complete(std::move(final));
                 completed_.fetch_add(1, std::memory_order_relaxed);
             }
@@ -480,6 +522,17 @@ FleetService::stats() const
     stats.requeued = requeuedNow_.load(std::memory_order_relaxed);
     stats.quarantinedSlots =
         quarantinedNow_.load(std::memory_order_relaxed);
+    // Per-tenant breakdown (ISSUE 8): terminal buckets come from the
+    // maintained counters; the live waiting / retryBacklog buckets are
+    // recomputed from the actual deques so the conservation law in
+    // TenantStats holds by construction of the state, not by mirrored
+    // arithmetic.
+    std::map<uint32_t, TenantStats> tenants = tenants_;
+    for (const Waiting &waiting : wait_)
+        ++tenants[waiting.tag.tenant].waiting;
+    for (const auto &tracked : retryWait_)
+        ++tenants[tracked->tag.tenant].retryBacklog;
+    stats.tenants.assign(tenants.begin(), tenants.end());
     return stats;
 }
 

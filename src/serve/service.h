@@ -45,9 +45,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "runtime/session.h"
 
@@ -97,6 +100,14 @@ struct SubmitOptions
      * The deadline also bounds retries: no attempt starts after it.
      */
     uint64_t deadlineCycles = 0;
+    /**
+     * Multi-tenant classification (ISSUE 8): tenant id for fair
+     * queuing and per-tenant telemetry, program class (which of the
+     * session's bound programs the job targets), strict priority, and
+     * an optional placement hint. Carried through every attempt and
+     * into the final JobReport.
+     */
+    runtime::JobTag tag;
 };
 
 struct ServiceConfig
@@ -125,6 +136,37 @@ struct ServiceConfig
     RetryPolicy retry;
 };
 
+/**
+ * Per-tenant serving telemetry (ISSUE 8). The counters obey a
+ * conservation law that the serve tests assert at every pump step:
+ *
+ *   submitted == rejected + cancelled + shed + completed
+ *              + waiting + retryBacklog + inSession
+ *
+ * i.e. every submit() is, at any instant, in exactly one terminal
+ * bucket (rejected / cancelled / shed / completed) or one live bucket
+ * (waiting in the admission queue, waiting out a retry backoff, or
+ * inside the session).
+ */
+struct TenantStats
+{
+    uint64_t submitted = 0; ///< submit() calls for this tenant.
+    uint64_t admitted = 0;  ///< Entered the wait queue.
+    uint64_t rejected = 0;  ///< Turned away at the bound (Reject).
+    uint64_t cancelled = 0; ///< Refused at/after shutdown.
+    uint64_t shed = 0;      ///< Dropped to make room (ShedOldest).
+    uint64_t completed = 0; ///< Tickets holding a final report.
+    uint64_t waiting = 0;      ///< In the admission queue right now.
+    uint64_t retryBacklog = 0; ///< Waiting out a retry backoff.
+    uint64_t inSession = 0;    ///< Handed to the session, no report yet.
+    uint64_t retries = 0;      ///< Transient failures re-submitted.
+    uint64_t deadlineKilled = 0; ///< Completed DeadlineExceeded.
+    /** Cumulative simulated queue-wait / service cycles over this
+     * tenant's completed reports (the scheduler-side breakdown). */
+    uint64_t queueWaitCycles = 0;
+    uint64_t serviceCycles = 0;
+};
+
 /** Service-level telemetry snapshot (the backpressure signals). */
 struct ServiceStats
 {
@@ -151,6 +193,9 @@ struct ServiceStats
     uint64_t requeued = 0;       ///< Jobs pulled off halted channels.
     int quarantinedSlots = 0;    ///< Slots pulled by the health registry.
     /// @}
+    /** Per-tenant breakdown (ISSUE 8), sorted by tenant id. Tenants
+     * appear on their first submit(). */
+    std::vector<std::pair<uint32_t, TenantStats>> tenants;
 };
 
 /**
@@ -209,6 +254,15 @@ class FleetService
     /** Build the session and, unless paced, start the service thread. */
     FleetService(const lang::Program &program,
                  const ServiceConfig &config);
+    /**
+     * Multi-program service (ISSUE 8): host several compiled programs
+     * behind one admission boundary, slots bound per `bindings` (see
+     * runtime::Session's multi-program constructor — the mix is
+     * area-checked against the device model at construction).
+     */
+    FleetService(std::vector<lang::Program> programs,
+                 const ServiceConfig &config,
+                 std::vector<system::SlotBinding> bindings = {});
     /** Calls shutdown() if the caller has not. */
     ~FleetService();
 
@@ -285,6 +339,8 @@ class FleetService
         uint64_t arrivalCycle = 0;
         /** Absolute expiry on the session clock (0 = none). */
         uint64_t deadlineCycle = 0;
+        /** Multi-tenant classification (ISSUE 8). */
+        runtime::JobTag tag;
         std::shared_ptr<JobTicket::State> ticket;
     };
 
@@ -302,6 +358,8 @@ class FleetService
         BitBuffer stream;
         uint64_t arrivalCycle = 0;
         uint64_t deadlineCycle = 0;
+        /** Multi-tenant classification (ISSUE 8). */
+        runtime::JobTag tag;
         /** Attempt currently in flight (1 = first try). */
         int attempt = 1;
         /** Simulated cycle the next attempt may re-enter the queue. */
@@ -350,6 +408,14 @@ class FleetService
     uint64_t rejected_ = 0;
     uint64_t shed_ = 0;
     uint64_t retries_ = 0;
+    /**
+     * Per-tenant serving counters (ISSUE 8), under mu_. Terminal and
+     * in-session buckets are maintained at each transition; stats()
+     * recomputes `waiting` and `retryBacklog` by scanning the actual
+     * deques, so the conservation law in TenantStats is a real
+     * invariant of the state, not a bookkeeping tautology.
+     */
+    std::map<uint32_t, TenantStats> tenants_;
     std::atomic<uint64_t> completed_{0}; ///< Bumped in callbacks.
     /** Session-clock snapshot, updated after every round so client
      * threads can stamp arrivals without touching the session. */

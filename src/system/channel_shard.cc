@@ -57,9 +57,10 @@ ChannelShard::addPu(std::unique_ptr<ProcessingUnit> pu, int global_index,
 }
 
 void
-ChannelShard::attachBatch(std::shared_ptr<RtlBatch> batch)
+ChannelShard::attachBatch(std::shared_ptr<RtlBatch> batch,
+                          std::vector<int> locals)
 {
-    batch_ = std::move(batch);
+    batches_.push_back(BatchBinding{std::move(batch), std::move(locals)});
 }
 
 void
@@ -159,9 +160,37 @@ ChannelShard::beginRun(int input_token_width, int output_token_width,
     cycles_ = 0;
     recomputeWatchdogBudget();
 
-    if (batch_ && batch_->lanes() != numPus())
-        panic("system: batched RTL engine has ", batch_->lanes(),
-              " lanes for ", numPus(), " PUs");
+    // Resolve which batched engine lane (if any) drives each local PU.
+    // An empty locals list is the legacy arrangement: lane l <-> local
+    // l, covering the whole channel.
+    laneOfLocal_.assign(pus_.size(), {-1, -1});
+    for (size_t b = 0; b < batches_.size(); ++b) {
+        BatchBinding &binding = batches_[b];
+        if (binding.locals.empty() &&
+            binding.batch->lanes() != numPus()) {
+            panic("system: batched RTL engine has ",
+                  binding.batch->lanes(), " lanes for ", numPus(),
+                  " PUs");
+        }
+        int lanes = binding.batch->lanes();
+        if (!binding.locals.empty() &&
+            static_cast<int>(binding.locals.size()) != lanes) {
+            panic("system: batched RTL engine has ", lanes,
+                  " lanes but ", binding.locals.size(),
+                  " bound local PUs");
+        }
+        for (int lane = 0; lane < lanes; ++lane) {
+            int local = binding.locals.empty() ? lane
+                                               : binding.locals[lane];
+            if (local < 0 || local >= numPus())
+                panic("system: batch lane ", lane,
+                      " binds out-of-range local PU ", local);
+            if (laneOfLocal_[local].first >= 0)
+                panic("system: local PU ", local,
+                      " bound to two batched engines");
+            laneOfLocal_[local] = {static_cast<int>(b), lane};
+        }
+    }
     cycleIn_.assign(pus_.size(), PuInputs{});
     state_ = ShardState::Active;
 }
@@ -198,11 +227,13 @@ ChannelShard::step(uint64_t budget)
                     in_buf.empty();
                 in.outputReady = out_buf.freeBits() >= uint64_t(out_width);
                 cycleIn_[l] = in;
-                if (batch_)
-                    batch_->setLaneInputs(static_cast<int>(l), in);
+                if (laneOfLocal_[l].first >= 0) {
+                    batches_[laneOfLocal_[l].first].batch->setLaneInputs(
+                        laneOfLocal_[l].second, in);
+                }
             }
-            if (batch_)
-                batch_->evalAll();
+            for (BatchBinding &binding : batches_)
+                binding.batch->evalAll();
 
             // Phase 2: act on each PU's outputs (handshakes mutate only
             // that PU's buffers), classify the cycle, track completion.
@@ -221,9 +252,11 @@ ChannelShard::step(uint64_t budget)
                 auto &out_buf = outputCtrl_->buffer(static_cast<int>(l));
 
                 const PuInputs &in = cycleIn_[l];
-                PuOutputs out = batch_
-                                    ? batch_->laneOutputs(static_cast<int>(l))
-                                    : slot.pu->eval(in);
+                PuOutputs out =
+                    laneOfLocal_[l].first >= 0
+                        ? batches_[laneOfLocal_[l].first]
+                              .batch->laneOutputs(laneOfLocal_[l].second)
+                        : slot.pu->eval(in);
                 slot.lastIn = in;
                 slot.lastOut = out;
 
@@ -276,14 +309,17 @@ ChannelShard::step(uint64_t budget)
             inputCtrl_->tick();
             outputCtrl_->tick();
             channel_->tick();
-            if (batch_) {
-                // One vectorized clock edge for the whole group. Failed
-                // lanes advance too, but nothing observes them again.
-                batch_->step();
-            } else {
-                for (auto &slot : pus_)
-                    if (!slot.failed && !slot.parked)
-                        slot.pu->step();
+            // One vectorized clock edge per batched group. Failed lanes
+            // advance too, but nothing observes them again. Unbatched
+            // slots step per-unit.
+            for (BatchBinding &binding : batches_)
+                binding.batch->step();
+            for (size_t l = 0; l < pus_.size(); ++l) {
+                PuSlot &slot = pus_[l];
+                if (laneOfLocal_[l].first < 0 && !slot.failed &&
+                    !slot.parked) {
+                    slot.pu->step();
+                }
             }
 
             // Containment events raised by this cycle's ticks. Polled

@@ -152,13 +152,18 @@ class ChannelShard
                uint64_t stream_bits);
 
     /**
-     * Attach the batched RTL engine whose lane l is the PU with local
-     * index l. When present, run() evaluates and steps all PUs through
-     * the batch's vectorized group calls instead of per-unit
+     * Attach a batched RTL engine whose lane l is the PU with local
+     * index locals[l] (empty locals = identity: lane l is local l,
+     * covering every PU — the legacy single-program arrangement). When
+     * a local is covered by a batch, run() evaluates and steps it
+     * through the batch's vectorized group calls instead of per-unit
      * eval()/step() — observably identical, since phase 1 of the cycle
-     * loop only reads per-PU controller state.
+     * loop only reads per-PU controller state. Multi-program sessions
+     * (ISSUE 8) attach one batch per program hosted on the channel,
+     * each covering the slots bound to that program.
      */
-    void attachBatch(std::shared_ptr<RtlBatch> batch);
+    void attachBatch(std::shared_ptr<RtlBatch> batch,
+                     std::vector<int> locals = {});
 
     /**
      * Run this channel until all attached PUs are finished or contained
@@ -362,8 +367,17 @@ class ChannelShard
     std::unique_ptr<memctl::InputController> inputCtrl_;
     std::unique_ptr<memctl::OutputController> outputCtrl_;
     std::vector<PuSlot> pus_;
-    /** Non-null = group-evaluate all PUs through the batched engine. */
-    std::shared_ptr<RtlBatch> batch_;
+    /** One batched RTL engine + the local PU index behind each of its
+     * lanes. Locals covered by a binding are group-evaluated. */
+    struct BatchBinding
+    {
+        std::shared_ptr<RtlBatch> batch;
+        std::vector<int> locals; ///< Empty = identity over all PUs.
+    };
+    std::vector<BatchBinding> batches_;
+    /** Per-local (batch index, lane in batch); (-1, -1) = unbatched,
+     * evaluated per-unit. Resolved by beginRun(). */
+    std::vector<std::pair<int, int>> laneOfLocal_;
     /** Per-cycle scratch: every live PU's gathered input ports. */
     std::vector<PuInputs> cycleIn_;
     uint64_t cycles_ = 0;

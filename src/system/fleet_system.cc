@@ -5,11 +5,13 @@
 #include <chrono>
 #include <cmath>
 #include <functional>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <thread>
 
 #include "compile/compiler.h"
+#include "model/area.h"
 #include "system/pu_fast.h"
 #include "system/pu_rtl.h"
 #include "system/pu_rtl_batch.h"
@@ -81,20 +83,147 @@ FleetSystem::resolveThreads(int jobs) const
 FleetSystem::FleetSystem(const lang::Program &program,
                          const SystemConfig &config,
                          std::vector<BitBuffer> streams)
-    : program_(program), config_(config), streams_(std::move(streams))
+    : programs_(1, program), config_(config), streams_(std::move(streams))
 {
     if (streams_.empty())
         fatal("FleetSystem: needs at least one stream");
+    bindings_.resize(streams_.size());
     build(static_cast<int>(streams_.size()));
 }
 
 FleetSystem::FleetSystem(const lang::Program &program,
                          const SystemConfig &config, int num_slots)
-    : program_(program), config_(config), sessionMode_(true)
+    : FleetSystem(std::vector<lang::Program>(1, program), config,
+                  num_slots)
 {
+}
+
+FleetSystem::FleetSystem(std::vector<lang::Program> programs,
+                         const SystemConfig &config, int num_slots,
+                         std::vector<SlotBinding> bindings)
+    : programs_(std::move(programs)), config_(config),
+      bindings_(std::move(bindings)), sessionMode_(true)
+{
+    if (programs_.empty())
+        fatal("FleetSystem: session needs at least one program");
     if (num_slots < 1)
         fatal("FleetSystem: session needs at least one slot");
+    if (bindings_.empty())
+        bindings_.resize(num_slots);
+    if (static_cast<int>(bindings_.size()) != num_slots) {
+        std::ostringstream os;
+        os << "FleetSystem: " << bindings_.size() << " slot bindings for "
+           << num_slots << " slots";
+        throw StatusError(
+            Status::make(StatusCode::InvalidArgument, os.str()));
+    }
+    for (size_t p = 0; p < bindings_.size(); ++p) {
+        if (bindings_[p].program >= programs_.size()) {
+            std::ostringstream os;
+            os << "FleetSystem: slot " << p
+               << " binds unknown program index " << bindings_[p].program
+               << " (have " << programs_.size() << ")";
+            throw StatusError(
+                Status::make(StatusCode::InvalidArgument, os.str()));
+        }
+    }
+    // One channel-wide controller configuration serves every slot, so
+    // the hosted programs must agree on both token widths.
+    for (size_t g = 1; g < programs_.size(); ++g) {
+        if (programs_[g].inputTokenWidth != programs_[0].inputTokenWidth ||
+            programs_[g].outputTokenWidth !=
+                programs_[0].outputTokenWidth) {
+            std::ostringstream os;
+            os << "FleetSystem: program " << g << " token widths ("
+               << programs_[g].inputTokenWidth << " in, "
+               << programs_[g].outputTokenWidth
+               << " out) differ from program 0 ("
+               << programs_[0].inputTokenWidth << " in, "
+               << programs_[0].outputTokenWidth
+               << " out); a session's programs must share widths";
+            throw StatusError(
+                Status::make(StatusCode::InvalidArgument, os.str()));
+        }
+    }
+    // A genuine mix must fit the device: every slot's unit coexists on
+    // the fabric at once (per-slot program binding is static).
+    if (programs_.size() > 1) {
+        Status fit = checkProgramMix(programs_, bindings_, config_);
+        if (!fit.ok())
+            throw StatusError(std::move(fit));
+    }
     build(num_slots);
+}
+
+Status
+FleetSystem::checkProgramMix(const std::vector<lang::Program> &programs,
+                             const std::vector<SlotBinding> &bindings,
+                             const SystemConfig &config,
+                             const model::Device &device)
+{
+    if (programs.empty())
+        return Status::make(StatusCode::InvalidArgument,
+                            "checkProgramMix: no programs");
+    std::vector<bool> used(programs.size(), false);
+    for (const SlotBinding &b : bindings) {
+        if (b.program >= programs.size()) {
+            std::ostringstream os;
+            os << "checkProgramMix: binding references unknown program "
+               << b.program;
+            return Status::make(StatusCode::InvalidArgument, os.str());
+        }
+        used[b.program] = true;
+    }
+
+    // Per-program PU cost, estimated from the compiled circuit exactly
+    // as the single-program area model does (model/area.h); compile
+    // each distinct bound program once.
+    std::vector<model::Resources> per(programs.size());
+    for (size_t g = 0; g < programs.size(); ++g) {
+        if (!used[g])
+            continue;
+        compile::CompiledUnit unit =
+            compile::compileProgram(programs[g]);
+        per[g] = model::estimatePuResources(unit.circuit,
+                                            config.inputCtrl);
+    }
+
+    model::Resources total;
+    for (const SlotBinding &b : bindings)
+        total += per[b.program];
+    model::Resources ctrl =
+        model::estimateControllerResources(config.inputCtrl);
+    for (int c = 0; c < config.numChannels; ++c)
+        total += ctrl;
+
+    auto budget = [&](uint64_t raw) {
+        uint64_t shell = static_cast<uint64_t>(raw *
+                                               device.shellFraction);
+        return raw > shell ? raw - shell : 0;
+    };
+    struct Check
+    {
+        const char *what;
+        uint64_t need, have;
+    };
+    const Check checks[] = {
+        {"LUTs", total.luts, budget(device.luts)},
+        {"FFs", total.ffs, budget(device.ffs)},
+        {"BRAM36", total.bram36, budget(device.bram36)},
+        {"DSPs", total.dsps, budget(device.dsps)},
+    };
+    for (const Check &check : checks) {
+        if (check.need > check.have) {
+            std::ostringstream os;
+            os << "program mix does not fit " << device.name << ": needs "
+               << check.need << " " << check.what << " but only "
+               << check.have << " remain net of the shell ("
+               << bindings.size() << " slots, " << config.numChannels
+               << " channels); bind fewer slots or smaller programs";
+            return Status::make(StatusCode::ResourceExhausted, os.str());
+        }
+    }
+    return Status::make(StatusCode::Ok);
 }
 
 void
@@ -108,9 +237,17 @@ FleetSystem::build(int num_slots)
 
     // Tell the controllers the PU token widths so the per-PU buffers
     // can carry the one-token skid space that keeps non-dividing token
-    // widths from wedging at bufferBursts = 1 (memctl/params.h).
-    config_.inputCtrl.tokenBits = program_.inputTokenWidth;
-    config_.outputCtrl.tokenBits = program_.outputTokenWidth;
+    // widths from wedging at bufferBursts = 1 (memctl/params.h). The
+    // hosted programs are validated width-equal, so program 0 speaks
+    // for all.
+    config_.inputCtrl.tokenBits = programs_[0].inputTokenWidth;
+    config_.outputCtrl.tokenBits = programs_[0].outputTokenWidth;
+
+    // Resolve each slot's backend: the binding override or the global.
+    slotBackends_.resize(num_slots);
+    for (int p = 0; p < num_slots; ++p)
+        slotBackends_[p] =
+            bindings_[p].backend.value_or(config_.backend);
 
     // Fault injection: stream truncation models a short or interrupted
     // upload. It must happen before memory layout *and* before FastPu
@@ -125,17 +262,18 @@ FleetSystem::build(int num_slots)
             continue;
         }
         const BitBuffer &stream = streams_[p];
-        if (stream.sizeBits() % program_.inputTokenWidth != 0)
+        const int in_width = slotProgram(p).inputTokenWidth;
+        if (stream.sizeBits() % in_width != 0)
             fatal("FleetSystem: stream ", p,
                   " is not a whole number of tokens");
-        uint64_t tokens = stream.sizeBits() / program_.inputTokenWidth;
+        uint64_t tokens = stream.sizeBits() / in_width;
         truncation_[p] = {tokens, tokens};
         if (!config_.faults.enabled())
             continue;
         uint64_t keep = fault::truncatedStreamTokens(
             config_.faults, static_cast<int>(p), tokens);
         if (keep != tokens) {
-            streams_[p].resizeBits(keep * program_.inputTokenWidth);
+            streams_[p].resizeBits(keep * in_width);
             truncation_[p].first = keep;
         }
     }
@@ -180,7 +318,7 @@ FleetSystem::build(int num_slots)
         // Auto sizing honors the program's declared worst-case output
         // expansion (never below the historical 2x), plus slack for
         // cleanup-cycle output that is independent of stream length.
-        double expansion = std::max(2.0, program_.maxOutputExpansion);
+        double expansion = std::max(2.0, slotProgram(p).maxOutputExpansion);
         uint64_t out_bytes =
             config_.outputRegionBytes != 0
                 ? config_.outputRegionBytes
@@ -226,53 +364,84 @@ FleetSystem::build(int num_slots)
         shards_.push_back(std::move(shard));
     }
 
-    // Instantiate the processing units. The RTL program is compiled
-    // exactly once (circuit, and for the tape engines the optimizer +
-    // tape) and shared by every replica. FastPu construction pre-runs
-    // the functional simulator over the unit's whole stream — the
-    // dominant construction cost — and units are independent, so build
-    // them on the worker pool. Session slots start with an empty
-    // stream; armJob re-targets the unit per job.
-    std::optional<compile::CompiledUnit> compiled;
-    std::shared_ptr<const RtlTapeEngine> engine;
-    std::vector<std::shared_ptr<RtlBatch>> batches(channels);
-    switch (config_.backend) {
-      case PuBackend::Fast:
-        break;
-      case PuBackend::RtlInterp:
-        compiled.emplace(compile::compileProgram(program_));
-        break;
-      case PuBackend::RtlTape:
-        engine = std::make_shared<const RtlTapeEngine>(program_);
-        break;
-      case PuBackend::Rtl:
-        engine = std::make_shared<const RtlTapeEngine>(program_);
-        // One SoA batch per channel: lane l = the PU with local index l.
-        for (int ch = 0; ch < channels; ++ch) {
-            int lanes = static_cast<int>(layouts[ch].globalPu.size());
-            if (lanes == 0)
-                continue;
-            batches[ch] = std::make_shared<RtlBatch>(engine, lanes);
-            shards_[ch]->attachBatch(batches[ch]);
+    // Instantiate the processing units. Each hosted program's RTL is
+    // compiled exactly once (circuit, and for the tape engines the
+    // optimizer + tape) and shared by every slot bound to it. FastPu
+    // construction pre-runs the functional simulator over the unit's
+    // whole stream — the dominant construction cost — and units are
+    // independent, so build them on the worker pool (the shared tables
+    // below are finalized serially first). Session slots start with an
+    // empty stream; armJob re-targets the unit per job.
+    std::vector<std::optional<compile::CompiledUnit>> compiled(
+        programs_.size());
+    std::vector<std::shared_ptr<const RtlTapeEngine>> engines(
+        programs_.size());
+    auto needCompiled = [&](uint32_t g) {
+        if (!compiled[g])
+            compiled[g].emplace(compile::compileProgram(programs_[g]));
+    };
+    auto needEngine = [&](uint32_t g) {
+        if (!engines[g])
+            engines[g] =
+                std::make_shared<const RtlTapeEngine>(programs_[g]);
+    };
+    // Group the SoA-batched slots by (channel, program): one RtlBatch
+    // per group, attached with the channel-local lanes it drives. A
+    // single-program all-Rtl session degenerates to the legacy one
+    // whole-channel batch.
+    std::vector<std::map<uint32_t, std::vector<int>>> rtlGroups(channels);
+    for (int p = 0; p < num_slots; ++p) {
+        const uint32_t g = bindings_[p].program;
+        switch (slotBackends_[p]) {
+          case PuBackend::Fast:
+            break;
+          case PuBackend::RtlInterp:
+            needCompiled(g);
+            break;
+          case PuBackend::RtlTape:
+            needEngine(g);
+            break;
+          case PuBackend::Rtl:
+            needEngine(g);
+            rtlGroups[puShard_[p]][g].push_back(p);
+            break;
         }
-        break;
+    }
+    // Per-slot (batch, lane-in-batch) for RtlBatchLane construction.
+    std::vector<std::pair<std::shared_ptr<RtlBatch>, int>> slotBatch(
+        num_slots);
+    for (int ch = 0; ch < channels; ++ch) {
+        for (auto &[g, globals] : rtlGroups[ch]) {
+            auto batch = std::make_shared<RtlBatch>(
+                engines[g], static_cast<int>(globals.size()));
+            std::vector<int> locals;
+            locals.reserve(globals.size());
+            for (size_t lane = 0; lane < globals.size(); ++lane) {
+                locals.push_back(puLocal_[globals[lane]]);
+                slotBatch[globals[lane]] = {batch,
+                                            static_cast<int>(lane)};
+            }
+            shards_[ch]->attachBatch(std::move(batch),
+                                     std::move(locals));
+        }
     }
     std::vector<std::unique_ptr<ProcessingUnit>> pus(num_slots);
     parallelFor(resolveThreads(num_slots), num_slots, [&](int p) {
-        switch (config_.backend) {
+        const uint32_t g = bindings_[p].program;
+        switch (slotBackends_[p]) {
           case PuBackend::Fast:
             pus[p] = std::make_unique<FastPu>(
-                program_, sessionMode_ ? BitBuffer{} : streams_[p]);
+                programs_[g], sessionMode_ ? BitBuffer{} : streams_[p]);
             break;
           case PuBackend::RtlInterp:
-            pus[p] = std::make_unique<RtlPu>(*compiled);
+            pus[p] = std::make_unique<RtlPu>(*compiled[g]);
             break;
           case PuBackend::RtlTape:
-            pus[p] = std::make_unique<TapeRtlPu>(engine);
+            pus[p] = std::make_unique<TapeRtlPu>(engines[g]);
             break;
           case PuBackend::Rtl:
-            pus[p] = std::make_unique<RtlBatchLane>(batches[puShard_[p]],
-                                                    puLocal_[p]);
+            pus[p] = std::make_unique<RtlBatchLane>(slotBatch[p].first,
+                                                    slotBatch[p].second);
             break;
         }
     });
@@ -305,8 +474,8 @@ FleetSystem::run()
             "FleetSystem::run() called twice; construct a fresh system "
             "or serve many streams through runtime::Session"));
     auto start = std::chrono::steady_clock::now();
-    const int in_width = program_.inputTokenWidth;
-    const int out_width = program_.outputTokenWidth;
+    const int in_width = programs_[0].inputTokenWidth;
+    const int out_width = programs_[0].outputTokenWidth;
 
     // Channels never communicate (Section 5), so each shard runs its
     // whole simulation independently; the system's cycle count is the
@@ -426,8 +595,8 @@ FleetSystem::beginSession()
 {
     if (!sessionMode_ || sessionBegun_)
         return;
-    const int in_width = program_.inputTokenWidth;
-    const int out_width = program_.outputTokenWidth;
+    const int in_width = programs_[0].inputTokenWidth;
+    const int out_width = programs_[0].outputTokenWidth;
     for (auto &shard : shards_)
         shard->beginRun(in_width, out_width, config_.maxCycles,
                         config_.watchdogCycles);
@@ -460,7 +629,8 @@ FleetSystem::armJob(int pu, BitBuffer stream, uint64_t job_id)
            << " (retire the drained job first)";
         return Status::make(StatusCode::InvalidState, os.str());
     }
-    if (stream.sizeBits() % program_.inputTokenWidth != 0) {
+    const int in_width = slotProgram(pu).inputTokenWidth;
+    if (stream.sizeBits() % in_width != 0) {
         std::ostringstream os;
         os << "armJob: job " << job_id
            << "'s stream is not a whole number of tokens";
@@ -470,13 +640,13 @@ FleetSystem::armJob(int pu, BitBuffer stream, uint64_t job_id)
     // Per-job stream truncation — the same upload-fault hash the
     // one-shot path applies, keyed by job id instead of PU index, so a
     // job's fate is independent of which slot it lands on.
-    uint64_t tokens = stream.sizeBits() / program_.inputTokenWidth;
+    uint64_t tokens = stream.sizeBits() / in_width;
     truncation_[pu] = {tokens, tokens};
     if (config_.faults.enabled()) {
         uint64_t keep =
             fault::truncatedJobTokens(config_.faults, job_id, tokens);
         if (keep != tokens) {
-            stream.resizeBits(keep * program_.inputTokenWidth);
+            stream.resizeBits(keep * in_width);
             truncation_[pu].first = keep;
         }
     }
@@ -497,7 +667,7 @@ FleetSystem::armJob(int pu, BitBuffer stream, uint64_t job_id)
     auto &mem = shard.channel().memory();
     std::copy(bytes.begin(), bytes.end(),
               mem.begin() + inputRegions_[pu].baseAddr);
-    if (config_.backend == PuBackend::Fast)
+    if (slotBackends_[pu] == PuBackend::Fast)
         static_cast<FastPu &>(shard.processingUnit(local)).rearm(stream);
     shard.rearmPu(local, stream.sizeBits(), job_id);
     return Status::make(StatusCode::Ok);

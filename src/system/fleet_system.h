@@ -32,7 +32,9 @@
  * 125 MHz.
  */
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -41,6 +43,7 @@
 #include "lang/ast.h"
 #include "memctl/input_controller.h"
 #include "memctl/output_controller.h"
+#include "model/device.h"
 #include "system/channel_shard.h"
 #include "system/pu.h"
 #include "system/run_report.h"
@@ -58,6 +61,28 @@ enum class PuBackend
           ///< default cycle-accurate backend.
     RtlTape,   ///< Compiled RTL, one scalar tape evaluator per PU.
     RtlInterp, ///< Per-node RTL interpreter (the reference engine).
+};
+
+/**
+ * Session mode, multi-program hosting (ISSUE 8): which compiled program
+ * a slot pre-arms, which placement lane it belongs to, and optionally a
+ * per-slot PU backend override. All three are pure configuration —
+ * frozen at construction and never derived from runtime state — so
+ * schedules stay bit-identical across host thread counts and the
+ * cross-backend fences hold.
+ */
+struct SlotBinding
+{
+    /** Index into the session's program list. */
+    uint32_t program = 0;
+    /**
+     * Placement-lane label the scheduler's JobTag::preferredLane hints
+     * match against (e.g. lane 0 = latency-critical Fast slots, lane 1
+     * = audit RtlTape slots). Never inspected by the simulator itself.
+     */
+    int lane = 0;
+    /** Per-slot backend; empty = SystemConfig::backend. */
+    std::optional<PuBackend> backend;
 };
 
 struct SystemConfig
@@ -164,7 +189,36 @@ class FleetSystem
      */
     FleetSystem(const lang::Program &program, const SystemConfig &config,
                 int num_slots);
+
+    /**
+     * Multi-program session (ISSUE 8): host several compiled programs
+     * at once, each slot pre-armed with the program its SlotBinding
+     * names. Empty bindings = every slot runs programs[0] on lane 0
+     * (the single-program behaviour). All programs must share input
+     * and output token widths (one channel-wide controller
+     * configuration serves every slot); a mix of two or more programs
+     * is checked against the device area model at construction
+     * (checkProgramMix) — violations throw
+     * StatusError(ResourceExhausted / InvalidArgument).
+     */
+    FleetSystem(std::vector<lang::Program> programs,
+                const SystemConfig &config, int num_slots,
+                std::vector<SlotBinding> bindings = {});
     ~FleetSystem();
+
+    /**
+     * Configure-time area check for a program mix: estimates each bound
+     * program's per-PU resources (model/area.h) plus the per-channel
+     * controllers, and compares the total against the device net of its
+     * shell. Pure — no system state; callable standalone (the property
+     * tests exercise it against tiny synthetic devices). Returns Ok
+     * when the mix fits, ResourceExhausted (with the limiting resource)
+     * when it does not, InvalidArgument for malformed bindings.
+     */
+    static Status checkProgramMix(
+        const std::vector<lang::Program> &programs,
+        const std::vector<SlotBinding> &bindings,
+        const SystemConfig &config, const model::Device &device = {});
 
     /**
      * Run until every unit has finished or been contained and all output
@@ -286,6 +340,22 @@ class FleetSystem
     int numShards() const { return static_cast<int>(shards_.size()); }
     /** The memory channel that owns `pu`. */
     int puChannel(int pu) const { return puShard_[pu]; }
+
+    /// @name Per-slot program bindings (ISSUE 8).
+    /// @{
+    int numPrograms() const { return static_cast<int>(programs_.size()); }
+    uint32_t slotProgramIndex(int pu) const
+    {
+        return bindings_[pu].program;
+    }
+    int slotLane(int pu) const { return bindings_[pu].lane; }
+    PuBackend slotBackend(int pu) const { return slotBackends_[pu]; }
+    const lang::Program &slotProgram(int pu) const
+    {
+        return programs_[bindings_[pu].program];
+    }
+    /// @}
+
     const dram::DramChannel &channel(int c) const
     {
         return shards_[c]->channel();
@@ -300,8 +370,15 @@ class FleetSystem
     /** Read `bits` payload bits from `pu`'s output region. */
     BitBuffer readOutput(int pu, uint64_t bits) const;
 
-    lang::Program program_;
+    /** The hosted programs; one-shot and legacy session constructors
+     * store exactly one. Token widths are validated equal across the
+     * list, so programs_[0] defines the channel-wide widths. */
+    std::vector<lang::Program> programs_;
     SystemConfig config_;
+    /** One binding per slot (defaulted when the caller passes none). */
+    std::vector<SlotBinding> bindings_;
+    /** Resolved per-slot backend: binding override or the global. */
+    std::vector<PuBackend> slotBackends_;
     std::vector<BitBuffer> streams_; ///< Empty in session mode.
     std::vector<std::unique_ptr<ChannelShard>> shards_;
     std::vector<int> puShard_; ///< Global PU index -> owning shard.

@@ -168,6 +168,16 @@ struct CounterTrack
 
 bool operator==(const CounterTrack &a, const CounterTrack &b);
 
+/** Canonical session-track name for a per-tenant metric (ISSUE 8):
+ * "session/tenant<k>/<metric>". The job runtime emits cumulative
+ * queue_wait_cycles and service_cycles tracks per tenant under these
+ * names, alongside the global session tracks. */
+inline std::string
+tenantTrackName(uint32_t tenant, const char *metric)
+{
+    return "session/tenant" + std::to_string(tenant) + "/" + metric;
+}
+
 /** Everything observed on one memory channel. */
 struct ChannelTrace
 {

@@ -65,6 +65,111 @@ TEST(JobQueue, FifoWithSequentialIds)
     EXPECT_EQ(queue.push(std::move(a)), 2u); // ids keep counting
 }
 
+TEST(JobQueue, TakeExpiredEdgeCases)
+{
+    JobQueue queue;
+    // Empty queue: nothing to expire, no side effects.
+    EXPECT_TRUE(queue.takeExpired(1000).empty());
+    EXPECT_TRUE(queue.empty());
+
+    // Mixed deadlines: 0 means "no deadline" and never expires, even
+    // at a huge now; expiry is inclusive (deadline <= now).
+    BitBuffer stream;
+    stream.appendBits(0xAB, 8);
+    queue.push(stream, nullptr, 10, 0, 0);   // id 0: no deadline
+    queue.push(stream, nullptr, 11, 0, 500); // id 1: expires at 500
+    queue.push(stream, nullptr, 12, 0, 200); // id 2: expires at 200
+    queue.push(stream, nullptr, 13, 0, 900); // id 3: survives
+    std::vector<PendingJob> expired = queue.takeExpired(500);
+    ASSERT_EQ(expired.size(), 2u);
+    // FIFO order among the expired, not deadline order.
+    EXPECT_EQ(expired[0].id, 1u);
+    EXPECT_EQ(expired[1].id, 2u);
+    // Survivors keep their relative order.
+    ASSERT_EQ(queue.size(), 2u);
+    EXPECT_EQ(queue.at(0).id, 0u);
+    EXPECT_EQ(queue.at(0).enqueueCycle, 10u);
+    EXPECT_EQ(queue.at(1).id, 3u);
+
+    // All-expired: the queue empties in one call.
+    EXPECT_EQ(queue.takeExpired(0).size(), 0u); // now too early
+    std::vector<PendingJob> rest = queue.takeExpired(UINT64_MAX);
+    ASSERT_EQ(rest.size(), 1u); // only id 3 carries a deadline
+    EXPECT_EQ(rest[0].id, 3u);
+    EXPECT_EQ(queue.size(), 1u); // id 0 (deadline 0) waits forever
+}
+
+TEST(JobQueue, RequeueFrontPreservesIdentityAndOrder)
+{
+    JobQueue queue;
+    BitBuffer stream;
+    stream.appendBits(0xCD, 8);
+    queue.push(stream, nullptr, 5, 0, 0);
+    queue.push(stream, nullptr, 6, 0, 0);
+
+    // A popped job goes back to the *front* under its original id,
+    // arrival cycle, and requeue count — and ids keep counting from
+    // where push left off.
+    PendingJob job = queue.pop();
+    EXPECT_EQ(job.id, 0u);
+    job.requeues = 3;
+    job.tag.tenant = 7;
+    queue.requeueFront(std::move(job));
+    EXPECT_EQ(queue.size(), 2u);
+    EXPECT_EQ(queue.front().id, 0u);
+    EXPECT_EQ(queue.front().enqueueCycle, 5u);
+    EXPECT_EQ(queue.front().requeues, 3u);
+    EXPECT_EQ(queue.front().tag.tenant, 7u);
+    EXPECT_EQ(queue.push(stream), 2u);
+
+    // A foreign id (never assigned by this queue's push) panics.
+    PendingJob foreign;
+    foreign.id = 99;
+    EXPECT_THROW(queue.requeueFront(std::move(foreign)), PanicError);
+}
+
+TEST(JobQueue, RequeueThenExpireStillHonoursDeadline)
+{
+    // The recovery path re-queues a stranded job at the front; if its
+    // deadline has meanwhile passed, the next expiry sweep must still
+    // claim it (position in the deque is irrelevant to expiry).
+    JobQueue queue;
+    BitBuffer stream;
+    stream.appendBits(0xEF, 8);
+    queue.push(stream, nullptr, 0, 0, 300); // id 0
+    queue.push(stream, nullptr, 0, 0, 0);   // id 1: no deadline
+    PendingJob job = queue.pop();
+    job.requeues = 1;
+    queue.requeueFront(std::move(job));
+    std::vector<PendingJob> expired = queue.takeExpired(300);
+    ASSERT_EQ(expired.size(), 1u);
+    EXPECT_EQ(expired[0].id, 0u);
+    EXPECT_EQ(expired[0].requeues, 1u);
+    ASSERT_EQ(queue.size(), 1u);
+    EXPECT_EQ(queue.front().id, 1u);
+}
+
+TEST(JobQueue, TakeByIndexMatchesSchedulerContract)
+{
+    // take(0) == pop(); take(i) removes exactly the i-th job and
+    // preserves everyone else's order — what Session::armSweep relies
+    // on when honouring a scheduler pick.
+    JobQueue queue;
+    BitBuffer stream;
+    stream.appendBits(0x11, 8);
+    for (int j = 0; j < 4; ++j)
+        queue.push(stream, nullptr, static_cast<uint64_t>(j));
+    PendingJob second = queue.take(1);
+    EXPECT_EQ(second.id, 1u);
+    ASSERT_EQ(queue.size(), 3u);
+    EXPECT_EQ(queue.at(0).id, 0u);
+    EXPECT_EQ(queue.at(1).id, 2u);
+    EXPECT_EQ(queue.at(2).id, 3u);
+    EXPECT_EQ(queue.take(0).id, 0u); // take(0) behaves like pop()
+    EXPECT_THROW(queue.take(5), PanicError);
+    EXPECT_THROW(queue.at(5), PanicError);
+}
+
 // ---------------------------------------------------------------------------
 // Session basics: deep queues over a small pool.
 // ---------------------------------------------------------------------------
