@@ -39,6 +39,7 @@
 #include "serve/load_gen.h"
 #include "serve/service.h"
 #include "sim/simulator.h"
+#include "system/pu_backend.h"
 
 using namespace fleet;
 
@@ -376,20 +377,28 @@ main(int argc, char **argv)
 
     // Determinism variants replayed against the Fast/1 reference for
     // every seed. RtlInterp is the slow reference engine; the full run
-    // covers it, smoke keeps CI latency down with the other three.
+    // covers it, smoke keeps CI latency down with the other four
+    // (rtljit silently demotes to rtltape when no host compiler is
+    // available — the determinism fence holds either way).
     struct Variant
     {
         system::PuBackend backend;
         int threads;
-        const char *label;
+        std::string label;
+    };
+    auto makeVariant = [](system::PuBackend backend, int threads) {
+        return Variant{backend, threads,
+                       std::string(system::puBackendName(backend)) +
+                           "/" + std::to_string(threads)};
     };
     std::vector<Variant> variants = {
-        {system::PuBackend::Fast, 4, "Fast/4"},
-        {system::PuBackend::Rtl, 4, "RtlBatch/4"},
-        {system::PuBackend::RtlTape, 1, "RtlTape/1"},
+        makeVariant(system::PuBackend::Fast, 4),
+        makeVariant(system::PuBackend::Rtl, 4),
+        makeVariant(system::PuBackend::RtlTape, 1),
+        makeVariant(system::PuBackend::RtlJit, 2),
     };
     if (!opts.smoke)
-        variants.push_back({system::PuBackend::RtlInterp, 2, "RtlInterp/2"});
+        variants.push_back(makeVariant(system::PuBackend::RtlInterp, 2));
 
     bool ok = true;
     std::vector<SoakResult> results;
@@ -442,7 +451,7 @@ main(int argc, char **argv)
                              "DETERMINISM VIOLATION: seed %llu: %s "
                              "diverged from the Fast/1 reference\n",
                              static_cast<unsigned long long>(seed),
-                             variant.label);
+                             variant.label.c_str());
                 ok = false;
             }
         }

@@ -39,10 +39,11 @@
  *                 Chrome trace_event JSON per app (PREFIX_<app>.json,
  *                 openable in Perfetto). Implies counter collection.
  *  --backend B    PU backend: fast (default), rtl (batched tape engine),
- *                 rtl-tape (scalar tape per PU), rtl-interp (per-node
- *                 interpreter). All are bit-identical, so every reported
- *                 number except wall-clock must match across backends —
- *                 combine with --baseline to prove it in CI.
+ *                 rtltape (scalar tape per PU), rtlinterp (per-node
+ *                 interpreter), rtljit (native-compiled tape, ISSUE 9).
+ *                 All are bit-identical, so every reported number except
+ *                 wall-clock must match across backends — combine with
+ *                 --baseline to prove it in CI.
  */
 
 #include <algorithm>
@@ -60,6 +61,7 @@
 #include "fault/fault.h"
 #include "model/area.h"
 #include "model/power.h"
+#include "system/pu_backend.h"
 
 using namespace fleet;
 
@@ -83,22 +85,6 @@ struct RunOptions
     system::PuBackend backend = system::PuBackend::Fast;
     std::string backendName = "fast";
 };
-
-bool
-parseBackend(const std::string &name, system::PuBackend *out)
-{
-    if (name == "fast")
-        *out = system::PuBackend::Fast;
-    else if (name == "rtl")
-        *out = system::PuBackend::Rtl;
-    else if (name == "rtl-tape")
-        *out = system::PuBackend::RtlTape;
-    else if (name == "rtl-interp")
-        *out = system::PuBackend::RtlInterp;
-    else
-        return false;
-    return true;
-}
 
 struct AppResult
 {
@@ -446,22 +432,22 @@ main(int argc, char **argv)
             opts.tracePrefix = argv[++i];
         } else if (std::strcmp(argv[i], "--backend") == 0 &&
                    i + 1 < argc) {
-            opts.backendName = argv[++i];
-            if (!parseBackend(opts.backendName, &opts.backend)) {
-                std::fprintf(stderr,
-                             "unknown backend '%s' (want fast, rtl, "
-                             "rtl-tape, or rtl-interp)\n",
-                             opts.backendName.c_str());
+            auto parsed = system::parsePuBackend(argv[++i]);
+            if (!parsed) {
+                std::fprintf(stderr, "unknown backend '%s' (want %s)\n",
+                             argv[i], system::kPuBackendChoices);
                 return 2;
             }
+            opts.backend = *parsed;
+            opts.backendName = system::puBackendName(*parsed);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--json PATH] "
                          "[--threads N] [--faults SEED] "
                          "[--baseline PATH] [--counters] "
                          "[--trace PREFIX] "
-                         "[--backend fast|rtl|rtl-tape|rtl-interp]\n",
-                         argv[0]);
+                         "[--backend %s]\n",
+                         argv[0], system::kPuBackendChoices);
             return 2;
         }
     }

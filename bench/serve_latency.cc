@@ -40,7 +40,8 @@
  *                    exact match required (the simulator is
  *                    deterministic), nonzero exit on drift.
  *  --threads N       host worker threads (0 = one per hardware thread).
- *  --backend B       fast | rtl (cycle-accurate batched RTL).
+ *  --backend B       fast | rtl | rtltape | rtlinterp | rtljit
+ *                    (system/pu_backend.h; rtl* are cycle-accurate).
  *  --faults SEED     run every load point under the FaultPlan storm
  *                    keyed by SEED with the recovery stack armed
  *                    (retry, quarantine, requeue — ISSUE 7): the
@@ -59,6 +60,7 @@
 #include "bench_common.h"
 #include "serve/load_gen.h"
 #include "serve/service.h"
+#include "system/pu_backend.h"
 
 using namespace fleet;
 
@@ -442,13 +444,14 @@ crosscheckDeterminism(const apps::Application &app,
         {"1 host thread", opts.backendName, opts.backend, 1},
         {"2 host threads", opts.backendName, opts.backend, 2},
     };
-    if (opts.backend == system::PuBackend::Fast)
-        variants.push_back(
-            {"rtl backend", "rtl", system::PuBackend::Rtl, opts.threads});
-    else
-        variants.push_back(
-            {"fast backend", "fast", system::PuBackend::Fast,
-             opts.threads});
+    auto cross = opts.backend == system::PuBackend::Fast
+                     ? system::PuBackend::Rtl
+                     : system::PuBackend::Fast;
+    variants.push_back({opts.backend == system::PuBackend::Fast
+                            ? "rtl backend"
+                            : "fast backend",
+                        system::puBackendName(cross), cross,
+                        opts.threads});
 
     bool ok = true;
     for (const auto &variant : variants) {
@@ -497,22 +500,20 @@ main(int argc, char **argv)
             opts.faultSeed = std::strtoull(argv[++i], nullptr, 0);
         } else if (std::strcmp(argv[i], "--backend") == 0 &&
                    i + 1 < argc) {
-            opts.backendName = argv[++i];
-            if (opts.backendName == "fast") {
-                opts.backend = system::PuBackend::Fast;
-            } else if (opts.backendName == "rtl") {
-                opts.backend = system::PuBackend::Rtl;
-            } else {
-                std::fprintf(stderr, "unknown backend %s\n",
-                             opts.backendName.c_str());
+            auto parsed = system::parsePuBackend(argv[++i]);
+            if (!parsed) {
+                std::fprintf(stderr, "unknown backend %s (choices: %s)\n",
+                             argv[i], system::kPuBackendChoices);
                 return 2;
             }
+            opts.backend = *parsed;
+            opts.backendName = system::puBackendName(*parsed);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--json PATH] "
                          "[--baseline PATH] [--threads N] "
-                         "[--backend fast|rtl] [--faults SEED]\n",
-                         argv[0]);
+                         "[--backend %s] [--faults SEED]\n",
+                         argv[0], system::kPuBackendChoices);
             return 2;
         }
     }

@@ -9,17 +9,25 @@
  *   --counters      collect and print per-component counters after the
  *                   run (bytes moved, DRAM beats, stall breakdown);
  *   --trace PATH    also record span events and write a Chrome
- *                   trace_event JSON to PATH (open in Perfetto).
+ *                   trace_event JSON to PATH (open in Perfetto);
+ *   --backend B     PU backend (fast | rtl | rtltape | rtlinterp |
+ *                   rtljit — system/pu_backend.h). Every backend is
+ *                   bit-identical; rtljit compiles the tape to native
+ *                   code at session start and falls back to rtltape
+ *                   when no host compiler is available.
  *
  * stripTraceFlags() removes these from argv before the example's own
  * positional parsing, so `./quickstart 16 4096 --counters` works.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "system/fleet_system.h"
+#include "system/pu_backend.h"
 
 namespace fleet {
 namespace examples {
@@ -28,13 +36,17 @@ struct TraceOptions
 {
     bool counters = false;
     std::string tracePath;
+    std::optional<system::PuBackend> backend;
 
     /** Enable collection on the system config (counters implies the
-     * cheap counter mode; --trace additionally records events). */
+     * cheap counter mode; --trace additionally records events), and
+     * apply the --backend override when one was given. */
     void apply(system::SystemConfig &config) const
     {
         config.trace.counters = counters || !tracePath.empty();
         config.trace.events = !tracePath.empty();
+        if (backend)
+            config.backend = *backend;
     }
 
     /** tracePath with `suffix` spliced in before the extension, for
@@ -76,8 +88,9 @@ struct TraceOptions
     }
 };
 
-/** Remove --counters / --trace PATH from argv (compacting in place) and
- * return the parsed options; positional arguments keep their order. */
+/** Remove --counters / --trace PATH / --backend B from argv (compacting
+ * in place) and return the parsed options; positional arguments keep
+ * their order. An unknown backend name exits with a usage message. */
 inline TraceOptions
 stripTraceFlags(int &argc, char **argv)
 {
@@ -88,6 +101,16 @@ stripTraceFlags(int &argc, char **argv)
             opts.counters = true;
         } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             opts.tracePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--backend") == 0 &&
+                   i + 1 < argc) {
+            auto parsed = system::parsePuBackend(argv[++i]);
+            if (!parsed) {
+                std::fprintf(stderr,
+                             "unknown backend %s (choices: %s)\n",
+                             argv[i], system::kPuBackendChoices);
+                std::exit(2);
+            }
+            opts.backend = *parsed;
         } else {
             argv[kept++] = argv[i];
         }

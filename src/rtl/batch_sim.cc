@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <type_traits>
 
+#include "rtl/jit.h"
 #include "util/logging.h"
 
 namespace fleet {
@@ -283,7 +284,7 @@ evalOpsBatched32(const TapeOp *ops, size_t num_ops, uint32_t *base,
 template <typename T>
 [[gnu::always_inline]] inline void
 stepBatchedT(const TapeProgram &t, T *slots, T *reg_values,
-             std::vector<std::vector<T>> &bram_mems, T *latch_tmp,
+             std::vector<AlignedVec<T>> &bram_mems, T *latch_tmp,
              const int L, int lane_lo, int lane_hi)
 {
     // Same commit ordering as TapeSimulator::step(): BRAM reads latch
@@ -336,7 +337,7 @@ stepBatchedT(const TapeProgram &t, T *slots, T *reg_values,
 
 FLEET_BATCH_TARGET_CLONES void
 stepBatched64(const TapeProgram &t, uint64_t *slots, uint64_t *reg_values,
-              std::vector<std::vector<uint64_t>> &bram_mems,
+              std::vector<AlignedVec<uint64_t>> &bram_mems,
               uint64_t *latch_tmp, const int L, int lane_lo, int lane_hi)
 {
     stepBatchedT<uint64_t>(t, slots, reg_values, bram_mems, latch_tmp, L,
@@ -345,7 +346,7 @@ stepBatched64(const TapeProgram &t, uint64_t *slots, uint64_t *reg_values,
 
 FLEET_BATCH_TARGET_CLONES void
 stepBatched32(const TapeProgram &t, uint32_t *slots, uint32_t *reg_values,
-              std::vector<std::vector<uint32_t>> &bram_mems,
+              std::vector<AlignedVec<uint32_t>> &bram_mems,
               uint32_t *latch_tmp, const int L, int lane_lo, int lane_hi)
 {
     stepBatchedT<uint32_t>(t, slots, reg_values, bram_mems, latch_tmp, L,
@@ -354,8 +355,8 @@ stepBatched32(const TapeProgram &t, uint32_t *slots, uint32_t *reg_values,
 
 template <typename T>
 void
-resetLaneT(const TapeProgram &t, int lanes, int lane, std::vector<T> &slots,
-           std::vector<T> &reg_values, std::vector<std::vector<T>> &bram_mems)
+resetLaneT(const TapeProgram &t, int lanes, int lane, AlignedVec<T> &slots,
+           AlignedVec<T> &reg_values, std::vector<AlignedVec<T>> &bram_mems)
 {
     for (int32_t s = 0; s < t.numSlots; ++s)
         slots[size_t(s) * lanes + lane] = 0;
@@ -413,8 +414,32 @@ BatchSimulator::resetLane(int lane)
 }
 
 void
+BatchSimulator::attachJit(std::shared_ptr<const JitProgram> jit)
+{
+    if (!jit)
+        panic("rtl: batch: attachJit(nullptr)");
+    if (jit->lanes() != lanes_ || jit->elementBits() != elementBits() ||
+        jit->key() != JitProgram::cacheKey(*tape_, lanes_))
+        panic("rtl: batch: jit kernel does not match this tape/lanes");
+    jit_ = std::move(jit);
+    bramPtrs_.clear();
+    if (elem32_)
+        for (auto &mem : bramMems32_)
+            bramPtrs_.push_back(mem.data());
+    else
+        for (auto &mem : bramMems64_)
+            bramPtrs_.push_back(mem.data());
+}
+
+void
 BatchSimulator::evalAll()
 {
+    if (jit_) {
+        jit_->eval(elem32_ ? (void *)slots32_.data()
+                           : (void *)slots64_.data(),
+                   0, lanes_);
+        return;
+    }
     if (elem32_)
         evalOpsBatched32(tape_->ops.data(), tape_->ops.size(),
                          slots32_.data(), lanes_);
@@ -426,6 +451,12 @@ BatchSimulator::evalAll()
 void
 BatchSimulator::evalLane(int lane)
 {
+    if (jit_) {
+        jit_->eval(elem32_ ? (void *)slots32_.data()
+                           : (void *)slots64_.data(),
+                   lane, lane + 1);
+        return;
+    }
     if (elem32_)
         evalTapeOps<uint32_t>(tape_->ops, slots32_.data(), lanes_, lane);
     else
@@ -435,6 +466,15 @@ BatchSimulator::evalLane(int lane)
 void
 BatchSimulator::stepRange(int lane_lo, int lane_hi)
 {
+    if (jit_) {
+        if (elem32_)
+            jit_->step(slots32_.data(), regValues32_.data(),
+                       bramPtrs_.data(), lane_lo, lane_hi);
+        else
+            jit_->step(slots64_.data(), regValues64_.data(),
+                       bramPtrs_.data(), lane_lo, lane_hi);
+        return;
+    }
     if (elem32_)
         stepBatched32(*tape_, slots32_.data(), regValues32_.data(),
                       bramMems32_, latchTmp32_.data(), lanes_, lane_lo,
@@ -460,8 +500,14 @@ BatchSimulator::stepLane(int lane)
 uint64_t
 BatchSimulator::regValue(int lane, int reg_index) const
 {
-    size_t idx = size_t(reg_index) * lanes_ + lane;
-    return elem32_ ? regValues32_.at(idx) : regValues64_.at(idx);
+    // Read the register's published out slot, not the regValues_
+    // staging row: the two are equal after every reset and clock edge
+    // (publish copies staging to the slot), and reading the slot lets
+    // the native jit step skip the staging array entirely when no
+    // register is chained off another register's output (rtl/jit.cc).
+    size_t idx =
+        size_t(tape_->regs.at(size_t(reg_index)).out) * lanes_ + lane;
+    return elem32_ ? slots32_.at(idx) : slots64_.at(idx);
 }
 
 uint64_t

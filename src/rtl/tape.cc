@@ -426,13 +426,80 @@ TapeProgram::compile(const Circuit &circuit, bool optimize)
         NodeId m = source_map[i];
         t.nodeSlot[i] = m == kNoNode ? -1 : slot[m];
     }
+    t.outputSlots.reserve(c->outputs().size());
+    for (const auto &o : c->outputs())
+        t.outputSlots.push_back(o.node == kNoNode ? -1 : slot[o.node]);
     t.sourceNodes = circuit.nodes().size();
     uint64_t remaining = t.ops.size() + t.constSlots.size() +
                          c->inputs().size() + c->regs().size() +
                          c->brams().size();
     t.nodesEliminated = remaining < t.sourceNodes ? t.sourceNodes - remaining
                                                   : 0;
+    if (opt_result) {
+        t.optSourceNodes = opt_result->stats.sourceNodes;
+        t.optResultNodes = opt_result->stats.resultNodes;
+        t.optDeadNodes = opt_result->stats.deadNodes;
+    } else {
+        t.optSourceNodes = circuit.nodes().size();
+        t.optResultNodes = circuit.nodes().size();
+        t.optDeadNodes = 0;
+    }
     return t;
+}
+
+uint64_t
+TapeProgram::contentHash() const
+{
+    // FNV-1a over every field that affects evaluation, mixed field by
+    // field (never via memcpy of the structs: padding bytes are
+    // indeterminate and would poison the hash).
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    auto mixSlot = [&](int32_t s) { mix(uint64_t(uint32_t(s))); };
+    mix(uint64_t(numSlots));
+    mix(uint64_t(fits32));
+    mix(ops.size());
+    for (const TapeOp &op : ops) {
+        mix(uint64_t(op.op) | uint64_t(op.sa) << 8 | uint64_t(op.sb) << 16);
+        mix(uint64_t(uint32_t(op.dst)) | uint64_t(uint32_t(op.a)) << 32);
+        mix(uint64_t(uint32_t(op.b)) | uint64_t(uint32_t(op.c)) << 32);
+        mix(op.imm);
+    }
+    mix(constSlots.size());
+    for (const auto &[s, v] : constSlots) {
+        mixSlot(s);
+        mix(v);
+    }
+    mix(inputSlot.size());
+    for (int32_t s : inputSlot)
+        mixSlot(s);
+    mix(outputSlots.size());
+    for (int32_t s : outputSlots)
+        mixSlot(s);
+    for (int w : inputWidth)
+        mix(uint64_t(w));
+    mix(regs.size());
+    for (const RegSpec &r : regs) {
+        mixSlot(r.next);
+        mixSlot(r.enable);
+        mixSlot(r.out);
+        mix(r.init);
+    }
+    mix(brams.size());
+    for (const BramSpec &b : brams) {
+        mixSlot(b.rdAddr);
+        mixSlot(b.wrEn);
+        mixSlot(b.wrAddr);
+        mixSlot(b.wrData);
+        mixSlot(b.rdData);
+        mix(uint64_t(b.elements));
+    }
+    return h;
 }
 
 int32_t

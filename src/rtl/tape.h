@@ -126,6 +126,15 @@ struct TapeProgram
     std::vector<std::pair<int32_t, uint64_t>> constSlots;
     std::vector<int32_t> inputSlot; ///< Per input port; -1 = eliminated.
     std::vector<int> inputWidth;
+    /**
+     * Per output port, the slot of its driving node (the circuit's
+     * observable roots, in circuit output order). The JIT backend
+     * (rtl/jit.h) keeps chunk-internal intermediates in registers and
+     * materializes only these slots, the step-read slots (register
+     * next/enable, BRAM ports) and chunk-boundary values — every
+     * exactly-observed value in the fits32 sense above.
+     */
+    std::vector<int32_t> outputSlots;
     std::vector<RegSpec> regs;
     std::vector<BramSpec> brams;
     /** Source-circuit NodeId -> slot; -1 for eliminated nodes. */
@@ -146,11 +155,25 @@ struct TapeProgram
      */
     bool fits32 = false;
 
-    /// @name Compile-time statistics (surfaced as trace counters).
+    /// @name Compile-time statistics (surfaced as trace counters and
+    /// in bench/micro_rtl_engines JSON so speedup regressions can be
+    /// attributed to optimizer behaviour, not just engine behaviour).
     /// @{
     uint64_t sourceNodes = 0;
     uint64_t nodesEliminated = 0; ///< Source nodes with no slot of their own.
+    uint64_t optSourceNodes = 0;  ///< Optimizer input node count.
+    uint64_t optResultNodes = 0;  ///< Nodes after DCE/folding/simplify.
+    uint64_t optDeadNodes = 0;    ///< Nodes unreachable from roots.
     /// @}
+
+    /**
+     * Content hash over everything that determines evaluation semantics
+     * (ops field-by-field, const values, reg/BRAM specs, slot count,
+     * fits32) — NOT over the compile statistics above. Two tapes with
+     * equal hashes evaluate identically, which is what the JIT backend
+     * (rtl/jit.h) keys its on-disk artifact cache on.
+     */
+    uint64_t contentHash() const;
 
     /**
      * Lower a circuit to a tape. With optimize (default) the circuit is

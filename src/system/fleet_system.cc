@@ -12,6 +12,7 @@
 
 #include "compile/compiler.h"
 #include "model/area.h"
+#include "rtl/jit.h"
 #include "system/pu_fast.h"
 #include "system/pu_rtl.h"
 #include "system/pu_rtl_batch.h"
@@ -388,8 +389,12 @@ FleetSystem::build(int num_slots)
     // Group the SoA-batched slots by (channel, program): one RtlBatch
     // per group, attached with the channel-local lanes it drives. A
     // single-program all-Rtl session degenerates to the legacy one
-    // whole-channel batch.
+    // whole-channel batch. RtlJit groups identically — the native
+    // kernel rides inside the group's BatchSimulator — but is kept in
+    // its own group map so a mixed Rtl + RtlJit binding never silently
+    // upgrades the interpreter slots.
     std::vector<std::map<uint32_t, std::vector<int>>> rtlGroups(channels);
+    std::vector<std::map<uint32_t, std::vector<int>>> jitGroups(channels);
     for (int p = 0; p < num_slots; ++p) {
         const uint32_t g = bindings_[p].program;
         switch (slotBackends_[p]) {
@@ -405,24 +410,59 @@ FleetSystem::build(int num_slots)
             needEngine(g);
             rtlGroups[puShard_[p]][g].push_back(p);
             break;
+          case PuBackend::RtlJit:
+            needEngine(g);
+            jitGroups[puShard_[p]][g].push_back(p);
+            break;
         }
     }
     // Per-slot (batch, lane-in-batch) for RtlBatchLane construction.
     std::vector<std::pair<std::shared_ptr<RtlBatch>, int>> slotBatch(
         num_slots);
+    auto attachGroup = [&](int ch, uint32_t g,
+                           const std::vector<int> &globals,
+                           std::shared_ptr<const rtl::JitProgram> jit) {
+        auto batch = std::make_shared<RtlBatch>(
+            engines[g], static_cast<int>(globals.size()));
+        if (jit)
+            batch->attachJit(std::move(jit));
+        std::vector<int> locals;
+        locals.reserve(globals.size());
+        for (size_t lane = 0; lane < globals.size(); ++lane) {
+            locals.push_back(puLocal_[globals[lane]]);
+            slotBatch[globals[lane]] = {batch, static_cast<int>(lane)};
+        }
+        shards_[ch]->attachBatch(std::move(batch), std::move(locals));
+    };
+    for (int ch = 0; ch < channels; ++ch)
+        for (auto &[g, globals] : rtlGroups[ch])
+            attachGroup(ch, g, globals, nullptr);
+    // Arm-time native compilation (ISSUE 9): one kernel per
+    // (program, lane count), deduplicated across channels by the
+    // in-process registry and across processes by the on-disk artifact
+    // cache. Compilation is best-effort: any failure (FLEET_JIT_DISABLE,
+    // no toolchain, compile/dlopen error) demotes the group to the
+    // scalar tape interpreter with one structured log line per program
+    // — never an abort — and slotBackend() reports the demotion.
+    std::vector<char> jitFallbackLogged(programs_.size(), 0);
     for (int ch = 0; ch < channels; ++ch) {
-        for (auto &[g, globals] : rtlGroups[ch]) {
-            auto batch = std::make_shared<RtlBatch>(
-                engines[g], static_cast<int>(globals.size()));
-            std::vector<int> locals;
-            locals.reserve(globals.size());
-            for (size_t lane = 0; lane < globals.size(); ++lane) {
-                locals.push_back(puLocal_[globals[lane]]);
-                slotBatch[globals[lane]] = {batch,
-                                            static_cast<int>(lane)};
+        for (auto &[g, globals] : jitGroups[ch]) {
+            rtl::JitOptions jopts;
+            jopts.lanes = static_cast<int>(globals.size());
+            Status jit_status;
+            auto jit = rtl::JitProgram::compile(*engines[g]->tape(),
+                                                jopts, &jit_status);
+            if (jit) {
+                attachGroup(ch, g, globals, std::move(jit));
+                continue;
             }
-            shards_[ch]->attachBatch(std::move(batch),
-                                     std::move(locals));
+            if (!jitFallbackLogged[g]) {
+                jitFallbackLogged[g] = 1;
+                inform("rtl-jit: fallback backend=rtltape program=", g,
+                       " reason=", jit_status.toString());
+            }
+            for (int p : globals)
+                slotBackends_[p] = PuBackend::RtlTape;
         }
     }
     std::vector<std::unique_ptr<ProcessingUnit>> pus(num_slots);
@@ -440,6 +480,7 @@ FleetSystem::build(int num_slots)
             pus[p] = std::make_unique<TapeRtlPu>(engines[g]);
             break;
           case PuBackend::Rtl:
+          case PuBackend::RtlJit:
             pus[p] = std::make_unique<RtlBatchLane>(slotBatch[p].first,
                                                     slotBatch[p].second);
             break;

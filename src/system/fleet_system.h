@@ -61,6 +61,12 @@ enum class PuBackend
           ///< default cycle-accurate backend.
     RtlTape,   ///< Compiled RTL, one scalar tape evaluator per PU.
     RtlInterp, ///< Per-node RTL interpreter (the reference engine).
+    RtlJit, ///< Compiled RTL lowered to native code (rtl/jit.h): each
+            ///< channel's PU population runs a shared-object kernel
+            ///< generated and compiled at construction (arm) time,
+            ///< bit-identical to Rtl/RtlTape/RtlInterp. Falls back to
+            ///< RtlTape per slot when no host toolchain is available
+            ///< (slotBackend() reports the backend actually used).
 };
 
 /**

@@ -156,6 +156,8 @@ void
 RtlBatchLane::appendCounters(trace::CounterSet &out) const
 {
     batch_->engine().appendCounters(out, batch_->lanes());
+    if (batch_->jitAttached())
+        out.set("backend_rtl_jit", 1);
 }
 
 } // namespace system

@@ -89,6 +89,14 @@ class RtlBatch
     int lanes() const { return sim_.lanes(); }
     const RtlTapeEngine &engine() const { return *engine_; }
 
+    /** Attach a native kernel for this group (rtl/jit.h); see
+     * rtl::BatchSimulator::attachJit for the matching contract. */
+    void attachJit(std::shared_ptr<const rtl::JitProgram> jit)
+    {
+        sim_.attachJit(std::move(jit));
+    }
+    bool jitAttached() const { return sim_.jitAttached(); }
+
     void setLaneInputs(int lane, const PuInputs &in);
     /** Evaluate every lane (vectorized group path). */
     void evalAll();

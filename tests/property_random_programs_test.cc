@@ -5,7 +5,11 @@
 #include <string>
 #include <vector>
 
+#include "compile/compiler.h"
 #include "lang/builder.h"
+#include "rtl/batch_sim.h"
+#include "rtl/jit.h"
+#include "rtl/tape.h"
 #include "sim/simulator.h"
 #include "system/fleet_system.h"
 #include "system/pu_fast.h"
@@ -430,8 +434,9 @@ trace::CounterSet
 stripEngineKeys(const trace::CounterSet &in)
 {
     static const char *const engine_keys[] = {
-        "backend_rtl",  "backend_rtl_tape", "circuit_nodes",
-        "tape_ops",     "nodes_eliminated", "batch_width",
+        "backend_rtl",  "backend_rtl_tape", "backend_rtl_jit",
+        "circuit_nodes", "tape_ops",        "nodes_eliminated",
+        "batch_width",
     };
     trace::CounterSet out;
     out.name = in.name;
@@ -486,8 +491,13 @@ TEST_P(RandomProgramEngineEquivalence, RtlEnginesBitIdentical)
     ASSERT_TRUE(interp_report.allOk())
         << "seed " << seed << ": " << interp_report.summary();
 
+    // RtlJit exercises the native kernel when a host toolchain is
+    // available and the documented fallback demotion to RtlTape when
+    // not (e.g. the FLEET_JIT_DISABLE=1 CI leg) — identical outputs
+    // either way, so the assertion holds in both modes.
     const system::PuBackend engines[] = {system::PuBackend::RtlTape,
-                                         system::PuBackend::Rtl};
+                                         system::PuBackend::Rtl,
+                                         system::PuBackend::RtlJit};
     for (system::PuBackend backend : engines) {
         for (int threads : {1, 4}) {
             system::FleetSystem sys(program, config(backend, threads),
@@ -522,6 +532,112 @@ TEST_P(RandomProgramEngineEquivalence, RtlEnginesBitIdentical)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramEngineEquivalence,
+                         ::testing::Range<uint64_t>(1, 9));
+
+class RandomProgramJitBitIdentity
+    : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+/**
+ * JIT vs interpreter bit-identity at the BatchSimulator level, on the
+ * exactly-observed state: output ports each cycle, every register and
+ * every BRAM word at the end. Non-power-of-two lane counts exercise
+ * the generated vector main loop plus its scalar tail; a mid-run
+ * resetLane models containPu slot reuse after a kill/quarantine, and a
+ * single-lane catch-up drives the jit's [lane, lane+1) range — the
+ * shape stepRange uses when lanes die mid-run.
+ */
+TEST_P(RandomProgramJitBitIdentity, MatchesInterpreterLaneForLane)
+{
+    uint64_t seed = GetParam();
+    RandomProgramGenerator generator(seed);
+    Program program = generator.generate();
+    auto unit = compile::compileProgram(program);
+    auto tape = std::make_shared<const rtl::TapeProgram>(
+        rtl::TapeProgram::compile(unit.circuit));
+
+    for (int lanes : {5, 11}) {
+        rtl::JitOptions jopts;
+        jopts.lanes = lanes;
+        Status jit_status;
+        auto jit = rtl::JitProgram::compile(*tape, jopts, &jit_status);
+        if (!jit)
+            GTEST_SKIP() << "jit unavailable: " << jit_status.toString();
+
+        rtl::BatchSimulator ref(tape, lanes);
+        rtl::BatchSimulator jbs(tape, lanes);
+        jbs.attachJit(jit);
+
+        std::vector<Rng> rngs;
+        for (int l = 0; l < lanes; ++l)
+            rngs.emplace_back(seed * 31 + l);
+        auto feed = [&](int l) {
+            uint64_t tok =
+                rngs[l].next() & mask64(program.inputTokenWidth);
+            for (rtl::BatchSimulator *s : {&ref, &jbs}) {
+                s->setInput(l, unit.inInputToken, tok);
+                s->setInput(l, unit.inInputValid, 1);
+                s->setInput(l, unit.inInputFinished, 0);
+                s->setInput(l, unit.inOutputReady, 1);
+            }
+        };
+        auto expect_outputs = [&](int l, const char *where) {
+            for (rtl::NodeId out :
+                 {unit.outInputReady, unit.outOutputToken,
+                  unit.outOutputValid, unit.outOutputFinished})
+                ASSERT_EQ(jbs.value(l, out), ref.value(l, out))
+                    << "seed " << seed << " lanes " << lanes << " lane "
+                    << l << " " << where;
+        };
+
+        const int reset_lane = int(seed % uint64_t(lanes));
+        for (int cycle = 0; cycle < 140; ++cycle) {
+            if (cycle == 60) {
+                // containPu slot reuse: the lane is reset and re-armed
+                // with a fresh stream while its neighbours keep state.
+                ref.resetLane(reset_lane);
+                jbs.resetLane(reset_lane);
+                rngs[reset_lane] = Rng(seed * 131 + 7);
+            }
+            for (int l = 0; l < lanes; ++l)
+                feed(l);
+            ref.evalAll();
+            jbs.evalAll();
+            for (int l = 0; l < lanes; ++l)
+                expect_outputs(l, "full-width");
+            ref.step();
+            jbs.step();
+        }
+
+        // Single-lane catch-up (the other lanes are dead or drained).
+        for (int cycle = 0; cycle < 20; ++cycle) {
+            feed(reset_lane);
+            ref.evalLane(reset_lane);
+            jbs.evalLane(reset_lane);
+            expect_outputs(reset_lane, "single-lane");
+            ref.stepLane(reset_lane);
+            jbs.stepLane(reset_lane);
+        }
+
+        for (int l = 0; l < lanes; ++l) {
+            for (size_t r = 0; r < tape->regs.size(); ++r)
+                ASSERT_EQ(jbs.regValue(l, int(r)),
+                          ref.regValue(l, int(r)))
+                    << "seed " << seed << " lanes " << lanes << " lane "
+                    << l << " reg " << r;
+            for (size_t m = 0; m < tape->brams.size(); ++m)
+                for (uint32_t a = 0; a < tape->brams[m].elements; ++a)
+                    ASSERT_EQ(jbs.bramWord(l, int(m), int(a)),
+                              ref.bramWord(l, int(m), int(a)))
+                        << "seed " << seed << " lanes " << lanes
+                        << " lane " << l << " bram " << m << " addr "
+                        << a;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramJitBitIdentity,
                          ::testing::Range<uint64_t>(1, 9));
 
 } // namespace
