@@ -1,0 +1,154 @@
+#include "cluster/link.h"
+
+#include <utility>
+
+namespace fleet {
+namespace cluster {
+
+namespace {
+
+/** SplitMix64 finalizer — the same mixing discipline fault/fault.cc
+ * uses, duplicated here because those helpers are file-local. */
+uint64_t
+mix64(uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Per-message spike dice: hash of (seed, sequence number). */
+uint64_t
+spikeHash(uint64_t seed, uint64_t seq)
+{
+    return mix64(mix64(seed ^ 0xc2b2ae3d27d4eb4fULL) ^
+                 (seq + 0x6a09e667f3bcc909ULL));
+}
+
+/** True with probability rate/denominator, from a uniform hash. */
+bool
+chance(uint64_t hash, uint32_t rate, uint64_t denominator)
+{
+    if (rate == 0)
+        return false;
+    return hash % denominator < rate;
+}
+
+uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+bool
+operator==(const LinkCounters &a, const LinkCounters &b)
+{
+    return a.messagesAccepted == b.messagesAccepted &&
+           a.messagesDelivered == b.messagesDelivered &&
+           a.bytesAccepted == b.bytesAccepted &&
+           a.bytesDelivered == b.bytesDelivered &&
+           a.bitsAccepted == b.bitsAccepted &&
+           a.bitsDelivered == b.bitsDelivered &&
+           a.offersRefused == b.offersRefused &&
+           a.spikes == b.spikes && a.busyCycles == b.busyCycles &&
+           a.lastDeliverCycle == b.lastDeliverCycle;
+}
+
+Link::Link(std::string name, const LinkParams &params)
+    : name_(std::move(name)), params_(params)
+{
+}
+
+bool
+Link::offer(LinkMessage msg, uint64_t now)
+{
+    const uint64_t bytes = ceilDiv(msg.payload.sizeBits(), 8);
+    if (params_.windowBytes != 0 &&
+        windowUsed_ + bytes > params_.windowBytes &&
+        // A message larger than the whole window must still pass once
+        // the link is empty, or it could never cross at all.
+        !(windowUsed_ == 0 && bytes > params_.windowBytes)) {
+        ++counters_.offersRefused;
+        return false;
+    }
+
+    // Serialization start: after the previous message finishes, and
+    // never inside a partition window.
+    uint64_t tx_start = now > lastTxEnd_ ? now : lastTxEnd_;
+    if (params_.partitionEndCycle > params_.partitionBeginCycle &&
+        tx_start >= params_.partitionBeginCycle &&
+        tx_start < params_.partitionEndCycle) {
+        tx_start = params_.partitionEndCycle;
+    }
+    const uint64_t tx_cycles =
+        params_.bytesPerCycle ? ceilDiv(bytes, params_.bytesPerCycle)
+                              : 0;
+    lastTxEnd_ = tx_start + tx_cycles;
+
+    uint64_t spike = 0;
+    if (chance(spikeHash(params_.seed, nextSeq_),
+               params_.spikePermille, 1000)) {
+        spike = params_.spikeCycles;
+        ++counters_.spikes;
+    }
+    uint64_t deliver = lastTxEnd_ + params_.latencyCycles + spike;
+    // In-order delivery even when only the predecessor spiked.
+    if (deliver < lastDeliver_)
+        deliver = lastDeliver_;
+    lastDeliver_ = deliver;
+
+    msg.seq = nextSeq_++;
+    msg.offerCycle = now;
+    msg.deliverCycle = deliver;
+    windowUsed_ += bytes;
+    ++counters_.messagesAccepted;
+    counters_.bytesAccepted += bytes;
+    counters_.bitsAccepted += msg.payload.sizeBits();
+    counters_.busyCycles += tx_cycles;
+    inFlight_.push_back(std::move(msg));
+    return true;
+}
+
+bool
+Link::deliverable(uint64_t now) const
+{
+    return !inFlight_.empty() && inFlight_.front().deliverCycle <= now;
+}
+
+LinkMessage
+Link::pop()
+{
+    LinkMessage msg = std::move(inFlight_.front());
+    inFlight_.pop_front();
+    const uint64_t bytes = ceilDiv(msg.payload.sizeBits(), 8);
+    windowUsed_ -= bytes;
+    ++counters_.messagesDelivered;
+    counters_.bytesDelivered += bytes;
+    counters_.bitsDelivered += msg.payload.sizeBits();
+    counters_.lastDeliverCycle = msg.deliverCycle;
+    return msg;
+}
+
+trace::CounterSet
+Link::counterSet() const
+{
+    trace::CounterSet set;
+    set.name = name_;
+    set.set("messages_accepted", counters_.messagesAccepted);
+    set.set("messages_delivered", counters_.messagesDelivered);
+    set.set("bytes_accepted", counters_.bytesAccepted);
+    set.set("bytes_delivered", counters_.bytesDelivered);
+    set.set("payload_bits_accepted", counters_.bitsAccepted);
+    set.set("payload_bits_delivered", counters_.bitsDelivered);
+    set.set("offers_refused", counters_.offersRefused);
+    set.set("latency_spikes", counters_.spikes);
+    set.set("busy_cycles", counters_.busyCycles);
+    set.set("last_deliver_cycle", counters_.lastDeliverCycle);
+    return set;
+}
+
+} // namespace cluster
+} // namespace fleet

@@ -28,7 +28,9 @@ bool
 operator==(const JobTag &a, const JobTag &b)
 {
     return a.tenant == b.tenant && a.programIndex == b.programIndex &&
-           a.priority == b.priority && a.preferredLane == b.preferredLane;
+           a.priority == b.priority &&
+           a.preferredLane == b.preferredLane &&
+           a.preferredDevice == b.preferredDevice;
 }
 
 int
@@ -44,6 +46,10 @@ Scheduler::pick(const SlotView &slot,
             continue;
         if (!relax_hints && job.tag.preferredLane >= 0 &&
             job.tag.preferredLane != slot.lane) {
+            continue;
+        }
+        if (!relax_hints && job.tag.preferredDevice >= 0 &&
+            job.tag.preferredDevice != slot.device) {
             continue;
         }
         candidates.push_back(static_cast<int>(i));

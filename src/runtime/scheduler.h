@@ -64,6 +64,10 @@ struct JobTag
     uint32_t priority = 0;
     /** Placement hint: preferred SlotBinding::lane, or -1 for any. */
     int preferredLane = -1;
+    /** Placement hint (ISSUE 10): preferred cluster device, or -1 for
+     * any. Like preferredLane, a preference, not a partition — the
+     * relaxed arm sweep ignores it so no live slot idles. */
+    int preferredDevice = -1;
 };
 
 bool operator==(const JobTag &a, const JobTag &b);
@@ -74,6 +78,8 @@ struct SlotView
     int pu = -1;
     uint32_t programIndex = 0;
     int lane = 0;
+    /** Cluster device hosting the slot (ISSUE 10); 0 on one device. */
+    int device = 0;
 };
 
 /** Immutable view of one queued job, in queue (arrival) order. */

@@ -48,7 +48,8 @@ operator==(const JobReport &a, const JobReport &b)
     // hostSubmitNs / hostDoneNs are deliberately omitted: wall-clock
     // stamps vary run to run, while everything simulated must not.
     return a.jobId == b.jobId && a.status == b.status && a.pu == b.pu &&
-           a.channel == b.channel && a.tenant == b.tenant &&
+           a.channel == b.channel && a.device == b.device &&
+           a.tenant == b.tenant &&
            a.programIndex == b.programIndex &&
            a.armCycle == b.armCycle &&
            a.retireCycle == b.retireCycle &&
@@ -75,9 +76,9 @@ Session::Session(std::vector<lang::Program> programs,
                  const SessionConfig &config,
                  std::vector<system::SlotBinding> bindings)
     : config_(config),
-      system_(std::move(programs), config.system, config.numSlots,
-              std::move(bindings)),
-      slots_(system_.numPus())
+      cluster_(std::move(programs), config.system, config.numSlots,
+               std::move(bindings), config.numDevices, config.link),
+      slots_(cluster_.numSlots())
 {
     if (config_.epochCycles == 0)
         panic("SessionConfig::epochCycles must be nonzero");
@@ -92,7 +93,7 @@ Session::Session(std::vector<lang::Program> programs,
     deadlineKillTrack_.name = "session/deadline_kills";
     requeueTrack_.name = "session/requeues";
     quarantineTrack_.name = "session/quarantined_slots";
-    system_.beginSession();
+    cluster_.beginSession();
 }
 
 uint64_t
@@ -132,11 +133,12 @@ Session::slotState(int pu) const
     const Slot &slot = slots_[pu];
     SlotStateView view;
     view.busy = slot.busy;
-    view.dead = slot.dead ||
-                system_.puShardState(pu) == system::ShardState::Halted;
+    view.dead = slot.dead || cluster_.slotShardState(pu) ==
+                                 system::ShardState::Halted;
     view.quarantined = slot.quarantined;
-    view.programIndex = system_.slotProgramIndex(pu);
-    view.lane = system_.slotLane(pu);
+    view.programIndex = cluster_.slotProgramIndex(pu);
+    view.lane = cluster_.slotLane(pu);
+    view.device = cluster_.slotDevice(pu);
     view.jobId = slot.jobId;
     return view;
 }
@@ -171,7 +173,8 @@ Session::finishJobEarly(uint64_t job_id, int pu, Status status,
     report.jobId = job_id;
     report.status = std::move(status);
     report.pu = pu;
-    report.channel = pu >= 0 ? system_.puChannel(pu) : -1;
+    report.channel = pu >= 0 ? cluster_.slotChannel(pu) : -1;
+    report.device = pu >= 0 ? cluster_.slotDevice(pu) : -1;
     report.tenant = tag.tenant;
     report.programIndex = tag.programIndex;
     report.requeues = requeues;
@@ -190,20 +193,21 @@ Session::harvest()
     // re-enter the FIFO *front* after the scan so the arm phase sees
     // them before anything newly queued.
     std::vector<PendingJob> requeued;
-    for (int pu = 0; pu < system_.numPus(); ++pu) {
+    for (int pu = 0; pu < cluster_.numSlots(); ++pu) {
         Slot &slot = slots_[pu];
         if (!slot.busy)
             continue;
-        if (system_.puDrained(pu)) {
+        if (cluster_.puDrained(pu)) {
             // Read the output region before retiring: retireJob parks
             // the slot and the next arm reuses the region.
-            BitBuffer output = system_.jobOutput(pu);
-            system::RetiredJob retired = system_.retireJob(pu);
+            BitBuffer output = cluster_.jobOutput(pu);
+            system::RetiredJob retired = cluster_.retireJob(pu);
             JobReport report;
             report.jobId = retired.jobId;
             report.status = retired.outcome.status;
             report.pu = pu;
-            report.channel = system_.puChannel(pu);
+            report.channel = cluster_.slotChannel(pu);
+            report.device = cluster_.slotDevice(pu);
             report.tenant = slot.tag.tenant;
             report.programIndex = slot.tag.programIndex;
             report.armCycle = retired.armCycle;
@@ -227,17 +231,18 @@ Session::harvest()
             scoreSlotHealth(pu, report.status);
             record(std::move(report), slot.callback);
             slot.callback = nullptr;
-        } else if (system_.puShardState(pu) ==
+        } else if (cluster_.slotShardState(pu) ==
                    system::ShardState::Halted) {
             if (config_.requeueStranded) {
                 // Recovery path (ISSUE 7): pull the job off the dead
                 // channel and re-run it on a survivor, provided one
                 // exists. The slot itself is still retired for good.
                 bool survivor = false;
-                for (int other = 0; other < system_.numPus(); ++other)
+                for (int other = 0; other < cluster_.numSlots();
+                     ++other)
                     survivor |= !slots_[other].dead &&
                                 !slots_[other].quarantined &&
-                                system_.puShardState(other) !=
+                                cluster_.slotShardState(other) !=
                                     system::ShardState::Halted;
                 if (survivor) {
                     PendingJob job;
@@ -266,18 +271,19 @@ Session::harvest()
             // every other channel keeps serving.
             std::ostringstream os;
             os << "job " << slot.jobId << " stranded on halted channel "
-               << system_.puChannel(pu) << ": "
-               << system_.puShardStatus(pu).toString();
+               << cluster_.slotChannel(pu) << ": "
+               << cluster_.slotShardStatus(pu).toString();
             JobReport report;
             report.jobId = slot.jobId;
-            report.status =
-                Status::make(system_.puShardStatus(pu).code, os.str());
+            report.status = Status::make(
+                cluster_.slotShardStatus(pu).code, os.str());
             report.pu = pu;
-            report.channel = system_.puChannel(pu);
+            report.channel = cluster_.slotChannel(pu);
+            report.device = cluster_.slotDevice(pu);
             report.tenant = slot.tag.tenant;
             report.programIndex = slot.tag.programIndex;
             report.retireCycle =
-                system_.shard(system_.puChannel(pu)).cycles();
+                cluster_.channelCycles(cluster_.slotChannel(pu));
             report.requeues = static_cast<uint32_t>(slot.requeues);
             report.enqueueCycle = slot.enqueueCycle;
             report.admittedCycle = slot.admittedCycle;
@@ -339,17 +345,17 @@ Session::expireDeadlines()
     // (killPu + flush). The slot drains within a few cycles and the
     // next harvest retires it with DeadlineExceeded, reclaiming the
     // slot for the queue.
-    for (int pu = 0; pu < system_.numPus(); ++pu) {
+    for (int pu = 0; pu < cluster_.numSlots(); ++pu) {
         Slot &slot = slots_[pu];
         if (!slot.busy || slot.deadlineCycle == 0 ||
             now < slot.deadlineCycle)
             continue;
-        if (system_.puShardState(pu) == system::ShardState::Halted)
+        if (cluster_.slotShardState(pu) == system::ShardState::Halted)
             continue; // Harvest's stranded/requeue path owns it.
         std::ostringstream os;
         os << "job " << slot.jobId << " exceeded its deadline (cycle "
            << slot.deadlineCycle << ") in flight; slot reclaimed";
-        Status cancelled = system_.cancelJob(
+        Status cancelled = cluster_.cancelJob(
             pu, Status::make(StatusCode::DeadlineExceeded, os.str()));
         if (cancelled.ok())
             ++deadlineKills_;
@@ -375,18 +381,20 @@ void
 Session::armSweep(bool relax_hints)
 {
     const uint64_t now = cycles();
-    for (int pu = 0; pu < system_.numPus() && !queue_.empty(); ++pu) {
+    for (int pu = 0; pu < cluster_.numSlots() && !queue_.empty();
+         ++pu) {
         Slot &slot = slots_[pu];
         if (slot.busy || slot.dead || slot.quarantined)
             continue;
-        if (system_.puShardState(pu) == system::ShardState::Halted) {
+        if (cluster_.slotShardState(pu) == system::ShardState::Halted) {
             slot.dead = true;
             continue;
         }
         SlotView view;
         view.pu = pu;
-        view.programIndex = system_.slotProgramIndex(pu);
-        view.lane = system_.slotLane(pu);
+        view.programIndex = cluster_.slotProgramIndex(pu);
+        view.lane = cluster_.slotLane(pu);
+        view.device = cluster_.slotDevice(pu);
         while (!queue_.empty()) {
             std::vector<QueuedJobView> queued(queue_.size());
             for (size_t i = 0; i < queue_.size(); ++i) {
@@ -408,7 +416,7 @@ Session::armSweep(bool relax_hints)
             if (config_.requeueStranded)
                 stream_copy = job.stream;
             Status armed =
-                system_.armJob(pu, std::move(job.stream), job.id);
+                cluster_.armJob(pu, std::move(job.stream), job.id);
             if (!armed.ok()) {
                 // A malformed job (bad alignment, oversized stream)
                 // fails alone; the slot re-picks among the rest.
@@ -450,14 +458,14 @@ Session::strandOrphans()
     // live pool. The all-slots-dead case is left to step(), which
     // strands the whole queue with its legacy message.
     std::vector<bool> live_per_program(
-        static_cast<size_t>(system_.numPrograms()), false);
+        static_cast<size_t>(cluster_.numPrograms()), false);
     bool any_live = false;
-    for (int pu = 0; pu < system_.numPus(); ++pu) {
+    for (int pu = 0; pu < cluster_.numSlots(); ++pu) {
         const Slot &slot = slots_[pu];
         if (slot.dead || slot.quarantined ||
-            system_.puShardState(pu) == system::ShardState::Halted)
+            cluster_.slotShardState(pu) == system::ShardState::Halted)
             continue;
-        live_per_program[system_.slotProgramIndex(pu)] = true;
+        live_per_program[cluster_.slotProgramIndex(pu)] = true;
         any_live = true;
     }
     if (!any_live)
@@ -519,7 +527,7 @@ Session::step()
         }
         return false;
     }
-    system_.stepEpoch(config_.epochCycles);
+    cluster_.stepEpoch(config_.epochCycles);
     return true;
 }
 
@@ -589,6 +597,12 @@ Session::drain()
 const system::RunReport &
 Session::finish()
 {
+    return finishCluster().devices[0];
+}
+
+const cluster::ClusterReport &
+Session::finishCluster()
+{
     drain();
     finished_ = true;
     if (config_.system.trace.events) {
@@ -599,9 +613,20 @@ Session::finish()
             tracks.push_back(entry.second.first);
             tracks.push_back(entry.second.second);
         }
-        system_.setSessionTracks(std::move(tracks));
+        cluster_.setSessionTracks(std::move(tracks));
     }
-    return system_.finishSession();
+    clusterReport_ = &cluster_.finishSession();
+    return *clusterReport_;
+}
+
+const cluster::ClusterReport &
+Session::clusterReport() const
+{
+    if (!clusterReport_)
+        throw StatusError(Status::make(
+            StatusCode::InvalidState,
+            "clusterReport: session has not finished"));
+    return *clusterReport_;
 }
 
 const JobReport &
@@ -623,10 +648,7 @@ Session::done(uint64_t job_id) const
 uint64_t
 Session::cycles() const
 {
-    uint64_t max_cycles = 0;
-    for (int c = 0; c < system_.numShards(); ++c)
-        max_cycles = std::max(max_cycles, system_.shard(c).cycles());
-    return max_cycles;
+    return cluster_.cycles();
 }
 
 } // namespace runtime

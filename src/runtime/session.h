@@ -10,9 +10,10 @@
  * are a fixed resource that a server keeps continuously fed, not a
  * batch device that runs one stream set to completion.
  *
- * A Session owns a session-mode FleetSystem (numSlots parked units,
- * each pre-armed with one of the session's programs) and drives it in
- * scheduler rounds:
+ * A Session owns a cluster::Cluster of session-mode FleetSystems
+ * (numDevices devices × numSlots parked units, each pre-armed with one
+ * of the session's programs; one device by default, where the cluster
+ * is a zero-cost rename) and drives it in scheduler rounds:
  *
  *   1. *Harvest*, in global PU order: every drained slot's job is read
  *      back, retired into a JobReport, and its callback fired; jobs
@@ -46,6 +47,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "runtime/job_queue.h"
 #include "runtime/scheduler.h"
 #include "system/fleet_system.h"
@@ -59,8 +61,23 @@ struct SessionConfig
      * session-mode FleetSystem (system::SystemConfig::inputRegionBytes
      * bounds the largest acceptable job stream). */
     system::SystemConfig system;
-    /** Processing-unit slots in the pool. */
+    /** Processing-unit slots in the pool, *per device*. */
     int numSlots = 8;
+    /**
+     * Cluster width (ISSUE 10): how many identical simulated devices
+     * the session schedules across. Slots are pooled under global
+     * device-major indices (device 0's slots first), and placement is
+     * just scheduling: the same pluggable policy picks jobs for every
+     * device's slots in one fixed-order arm sweep, so the placement is
+     * a pure function of simulated state like everything else. With
+     * the default of 1 the session is cycle-exact with the
+     * pre-cluster, single-FleetSystem runtime.
+     */
+    int numDevices = 1;
+    /** Inter-device link model (cluster::LinkParams); only observable
+     * through cluster()/finishCluster() since independent jobs never
+     * cross devices — pipelines (cluster/pipeline.h) do. */
+    cluster::LinkParams link;
     /**
      * Cycles each shard advances per scheduler round. Smaller epochs
      * re-arm drained slots sooner (less idle tail per job) but cross
@@ -125,8 +142,9 @@ struct JobReport
      * a containment code (Parity, OutputOverflow); or the channel
      * status for a job stranded by a halted channel. */
     Status status;
-    int pu = -1;      ///< Slot the job ran on (-1: never armed).
-    int channel = -1; ///< Channel owning that slot.
+    int pu = -1;      ///< Global slot the job ran on (-1: never armed).
+    int channel = -1; ///< Global channel owning that slot.
+    int device = -1;  ///< Cluster device owning that slot (ISSUE 10).
     /** Multi-tenant classification carried from submit (ISSUE 8);
      * part of operator== — the tagged schedule is fenced too. */
     uint32_t tenant = 0;
@@ -292,12 +310,23 @@ class Session
     void drain();
 
     /**
-     * Drain, then settle the underlying system: every shard's
+     * Drain, then settle the underlying cluster: every shard's
      * ChannelOutcome and the session trace are assembled into the
      * returned RunReport (which the determinism fences compare across
-     * thread counts). Call once, last.
+     * thread counts). Call once, last. Returns *device 0's* report —
+     * on a 1-device session this is the whole result and is bit-exact
+     * with the pre-cluster runtime; multi-device callers read
+     * finishCluster()/clusterReport() for every device plus the link
+     * fabric.
      */
     const system::RunReport &finish();
+
+    /** finish(), returning the whole ClusterReport (ISSUE 10). */
+    const cluster::ClusterReport &finishCluster();
+
+    /** The settled ClusterReport; throws StatusError(InvalidState)
+     * before finish()/finishCluster(). */
+    const cluster::ClusterReport &clusterReport() const;
 
     /** A finished job's report. Throws StatusError(InvalidState) while
      * the job is still queued or in flight. */
@@ -336,8 +365,31 @@ class Session
     /** Simulated cycle count (max over channels so far). */
     uint64_t cycles() const;
 
-    system::FleetSystem &system() { return system_; }
-    const system::FleetSystem &system() const { return system_; }
+    /** Device 0's simulator — the legacy single-device accessor; every
+     * pre-cluster caller (tests, benches) still reads through it. */
+    system::FleetSystem &system() { return cluster_.deviceSystem(0); }
+    const system::FleetSystem &system() const
+    {
+        return cluster_.deviceSystem(0);
+    }
+
+    /// @name Cluster observability (ISSUE 10).
+    /// @{
+    cluster::Cluster &cluster() { return cluster_; }
+    const cluster::Cluster &cluster() const { return cluster_; }
+    int numDevices() const { return cluster_.numDevices(); }
+    /** One device's containment/throughput counters. */
+    system::SystemStats deviceStats(int device) const
+    {
+        return cluster_.device(device).stats();
+    }
+    /** Halt a *global* channel mid-session (fault-drill hook; the
+     * serving layer's injectChannelHalt routes through this). */
+    void forceHaltChannel(int global_channel, Status status)
+    {
+        cluster_.forceHaltChannel(global_channel, std::move(status));
+    }
+    /// @}
 
     /// @name Scheduler observability (ISSUE 8, the property harness).
     /// @{
@@ -356,6 +408,7 @@ class Session
         bool quarantined = false;
         uint32_t programIndex = 0;
         int lane = 0;
+        int device = 0; ///< Cluster device hosting the slot.
         uint64_t jobId = 0; ///< Valid while busy.
     };
     SlotStateView slotState(int pu) const;
@@ -417,7 +470,11 @@ class Session
     void record(JobReport report, JobCallback &callback);
 
     SessionConfig config_;
-    system::FleetSystem system_;
+    /** The device pool (ISSUE 10): numDevices identical FleetSystems
+     * under global slot indices. Every former direct FleetSystem call
+     * forwards through the cluster's device-major index translation —
+     * with one device, a zero-cost rename. */
+    cluster::Cluster cluster_;
     /** The pluggable policy (runtime/scheduler.h); never null. */
     std::unique_ptr<Scheduler> scheduler_;
     JobQueue queue_;
@@ -426,6 +483,9 @@ class Session
     std::vector<bool> reported_;     ///< Indexed by job id.
     uint64_t jobsFinished_ = 0;
     bool finished_ = false;
+    /** Set by finish(): the cluster's settled report (owned by
+     * cluster_; stable for the session's remaining lifetime). */
+    const cluster::ClusterReport *clusterReport_ = nullptr;
     /** Scheduler observability (trace events mode): queue depth, jobs
      * in flight, and cumulative queue-wait cycles, sampled per round
      * on the session clock (consecutive equal samples deduplicated). */

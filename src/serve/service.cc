@@ -129,6 +129,8 @@ FleetService::FleetService(std::vector<lang::Program> programs,
     if (config_.policy == AdmissionPolicy::Block &&
         config_.maxQueueDepth == 0)
         config_.maxQueueDepth = 1;
+    deviceCompleted_.assign(
+        static_cast<size_t>(session_.numDevices()), 0);
     liveSlotsNow_.store(session_.liveSlots(), std::memory_order_relaxed);
     if (config_.backgroundThread)
         thread_ = std::thread([this] { serviceThread(); });
@@ -303,6 +305,9 @@ FleetService::onJobDone(const std::shared_ptr<Tracked> &tracked,
     tenant.serviceCycles += final.serviceCycles();
     if (final.status.code == StatusCode::DeadlineExceeded)
         ++tenant.deadlineKilled;
+    if (final.device >= 0 &&
+        final.device < static_cast<int>(deviceCompleted_.size()))
+        ++deviceCompleted_[final.device];
     tracked->ticket->complete(std::move(final));
     completed_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -533,6 +538,8 @@ FleetService::stats() const
     for (const auto &tracked : retryWait_)
         ++tenants[tracked->tag.tenant].retryBacklog;
     stats.tenants.assign(tenants.begin(), tenants.end());
+    stats.numDevices = static_cast<int>(deviceCompleted_.size());
+    stats.deviceCompleted = deviceCompleted_;
     return stats;
 }
 
@@ -551,7 +558,7 @@ FleetService::injectChannelHalt(int c)
             StatusCode::InvalidState,
             "injectChannelHalt: the service runs a background thread; "
             "the chaos drill requires paced mode"));
-    session_.system().forceHaltChannel(
+    session_.forceHaltChannel(
         c, Status::make(StatusCode::InternalError,
                         "injected channel halt (chaos drill)"));
 }

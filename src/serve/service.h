@@ -196,6 +196,14 @@ struct ServiceStats
     /** Per-tenant breakdown (ISSUE 8), sorted by tenant id. Tenants
      * appear on their first submit(). */
     std::vector<std::pair<uint32_t, TenantStats>> tenants;
+    /// @name Cluster breakdown (ISSUE 10).
+    /// @{
+    int numDevices = 1; ///< Devices the session schedules across.
+    /** Jobs completed per cluster device (index = device id); counts
+     * only reports that actually armed on a slot, so refusals and
+     * never-armed strandings appear in no device's bucket. */
+    std::vector<uint64_t> deviceCompleted;
+    /// @}
 };
 
 /**
@@ -416,6 +424,9 @@ class FleetService
      * invariant of the state, not a bookkeeping tautology.
      */
     std::map<uint32_t, TenantStats> tenants_;
+    /** Jobs completed per cluster device (ISSUE 10), under mu_;
+     * indexed by JobReport::device for reports that armed. */
+    std::vector<uint64_t> deviceCompleted_;
     std::atomic<uint64_t> completed_{0}; ///< Bumped in callbacks.
     /** Session-clock snapshot, updated after every round so client
      * threads can stamp arrivals without touching the session. */

@@ -45,6 +45,7 @@
 #include "memctl/output_controller.h"
 #include "model/device.h"
 #include "system/channel_shard.h"
+#include "system/device.h"
 #include "system/pu.h"
 #include "system/run_report.h"
 #include "util/bitbuf.h"
@@ -52,44 +53,9 @@
 namespace fleet {
 namespace system {
 
-enum class PuBackend
-{
-    Fast, ///< Functional-trace replay (cross-checked against the RTL
-          ///< engines).
-    Rtl,  ///< Compiled RTL: optimizer + op tape, evaluated batched
-          ///< (structure-of-arrays) across each channel's PUs. The
-          ///< default cycle-accurate backend.
-    RtlTape,   ///< Compiled RTL, one scalar tape evaluator per PU.
-    RtlInterp, ///< Per-node RTL interpreter (the reference engine).
-    RtlJit, ///< Compiled RTL lowered to native code (rtl/jit.h): each
-            ///< channel's PU population runs a shared-object kernel
-            ///< generated and compiled at construction (arm) time,
-            ///< bit-identical to Rtl/RtlTape/RtlInterp. Falls back to
-            ///< RtlTape per slot when no host toolchain is available
-            ///< (slotBackend() reports the backend actually used).
-};
-
-/**
- * Session mode, multi-program hosting (ISSUE 8): which compiled program
- * a slot pre-arms, which placement lane it belongs to, and optionally a
- * per-slot PU backend override. All three are pure configuration —
- * frozen at construction and never derived from runtime state — so
- * schedules stay bit-identical across host thread counts and the
- * cross-backend fences hold.
- */
-struct SlotBinding
-{
-    /** Index into the session's program list. */
-    uint32_t program = 0;
-    /**
-     * Placement-lane label the scheduler's JobTag::preferredLane hints
-     * match against (e.g. lane 0 = latency-critical Fast slots, lane 1
-     * = audit RtlTape slots). Never inspected by the simulator itself.
-     */
-    int lane = 0;
-    /** Per-slot backend; empty = SystemConfig::backend. */
-    std::optional<PuBackend> backend;
-};
+// PuBackend, SlotBinding, and SystemStats moved to system/device.h
+// (ISSUE 10) alongside the Device interface; this header re-exports
+// them transitively for every existing include site.
 
 struct SystemConfig
 {
@@ -150,33 +116,7 @@ struct SystemConfig
     SystemConfig() { outputCtrl.blockingAddressing = false; }
 };
 
-struct SystemStats
-{
-    uint64_t cycles = 0;
-    uint64_t inputBytes = 0;
-    uint64_t outputBytes = 0;
-    double clockMHz = 125.0;
-    /** Host worker threads the run actually used. */
-    int threadsUsed = 1;
-    /** Host wall-clock seconds spent inside run(). */
-    double wallSeconds = 0.0;
-    /** Per-channel utilization breakdown, indexed by channel. */
-    std::vector<ChannelStats> channels;
-
-    double seconds() const { return cycles / (clockMHz * 1e6); }
-    /** Input-side processing throughput (the paper's headline metric). */
-    double inputGBps() const
-    {
-        return inputBytes / seconds() / 1e9;
-    }
-    double outputGBps() const { return outputBytes / seconds() / 1e9; }
-    double bytesPerCycle() const
-    {
-        return cycles ? double(inputBytes) / double(cycles) : 0.0;
-    }
-};
-
-class FleetSystem
+class FleetSystem : public Device
 {
   public:
     /**
@@ -255,7 +195,7 @@ class FleetSystem
     bool sessionMode() const { return sessionMode_; }
 
     /** Start the session clock: beginRun on every shard. */
-    void beginSession();
+    void beginSession() override;
 
     /**
      * Arm a parked slot with a job: applies the fault plan's per-job
@@ -267,24 +207,24 @@ class FleetSystem
      * InvalidArgument when the stream is not whole tokens or exceeds
      * the input region.
      */
-    Status armJob(int pu, BitBuffer stream, uint64_t job_id);
+    Status armJob(int pu, BitBuffer stream, uint64_t job_id) override;
 
     /** Step every Active shard up to `epoch_cycles` cycles (worker
      * pool). Shards park early when they drain; the schedule depends
      * only on simulated state, so any thread count is bit-identical. */
-    void stepEpoch(uint64_t epoch_cycles);
+    void stepEpoch(uint64_t epoch_cycles) override;
 
     /** True once `pu`'s armed job drained (finished or contained, input
      * lane idle, every output bit flushed — the region is readable). */
-    bool puDrained(int pu) const;
+    bool puDrained(int pu) const override;
 
     /** Shard state of the channel owning `pu`. */
-    ShardState puShardState(int pu) const
+    ShardState puShardState(int pu) const override
     {
         return shards_[puShard_[pu]]->state();
     }
     /** The halt status of the channel owning `pu` (Ok if healthy). */
-    const Status &puShardStatus(int pu) const
+    const Status &puShardStatus(int pu) const override
     {
         return shards_[puShard_[pu]]->haltStatus();
     }
@@ -293,12 +233,12 @@ class FleetSystem
      * A drained job's flushed output. Read *before* retireJob +
      * re-arm: the slot's output region is reused by the next job.
      */
-    BitBuffer jobOutput(int pu) const;
+    BitBuffer jobOutput(int pu) const override;
 
     /** Retire a drained job: capture its outcome (with the truncation
      * surfaced as StreamTruncated, as in one-shot runs) and park the
      * slot for the next armJob. */
-    RetiredJob retireJob(int pu);
+    RetiredJob retireJob(int pu) override;
 
     /**
      * Abandon `pu`'s in-flight job with `status` (ISSUE 7: per-job
@@ -309,7 +249,7 @@ class FleetSystem
      * is nothing to cancel (slot parked, already drained, or its
      * channel not active).
      */
-    Status cancelJob(int pu, Status status);
+    Status cancelJob(int pu, Status status) override;
 
     /**
      * Force channel `c` into the Halted state with `status` (ISSUE 7:
@@ -317,11 +257,11 @@ class FleetSystem
      * channel strand exactly as they would under a real watchdog trip,
      * exercising the recovery layer's re-queue path deterministically.
      */
-    void forceHaltChannel(int c, Status status);
+    void forceHaltChannel(int c, Status status) override;
 
     /** Settle every shard and assemble the session's RunReport (channel
      * outcomes, last-job PU outcomes, trace). Call once, last. */
-    const RunReport &finishSession();
+    const RunReport &finishSession() override;
 
     /**
      * Hand the scheduler's own observability tracks (queue depth, jobs
@@ -330,11 +270,11 @@ class FleetSystem
      * TraceReport as TraceReport::sessionTracks. No-op content-wise
      * when tracing is disabled. Call before finishSession.
      */
-    void setSessionTracks(std::vector<trace::CounterTrack> tracks);
+    void setSessionTracks(std::vector<trace::CounterTrack> tracks) override;
 
     /// @}
 
-    SystemStats stats() const;
+    SystemStats stats() const override;
 
     /** Per-PU stall breakdown (valid after run()). */
     const PuStats &puStats(int pu) const
@@ -342,20 +282,26 @@ class FleetSystem
         return shards_[puShard_[pu]]->puStats(puLocal_[pu]);
     }
 
-    int numPus() const { return static_cast<int>(puShard_.size()); }
-    int numShards() const { return static_cast<int>(shards_.size()); }
+    int numPus() const override { return static_cast<int>(puShard_.size()); }
+    int numShards() const override { return static_cast<int>(shards_.size()); }
     /** The memory channel that owns `pu`. */
-    int puChannel(int pu) const { return puShard_[pu]; }
+    int puChannel(int pu) const override { return puShard_[pu]; }
 
     /// @name Per-slot program bindings (ISSUE 8).
     /// @{
-    int numPrograms() const { return static_cast<int>(programs_.size()); }
-    uint32_t slotProgramIndex(int pu) const
+    int numPrograms() const override
+    {
+        return static_cast<int>(programs_.size());
+    }
+    uint32_t slotProgramIndex(int pu) const override
     {
         return bindings_[pu].program;
     }
-    int slotLane(int pu) const { return bindings_[pu].lane; }
-    PuBackend slotBackend(int pu) const { return slotBackends_[pu]; }
+    int slotLane(int pu) const override { return bindings_[pu].lane; }
+    PuBackend slotBackend(int pu) const override
+    {
+        return slotBackends_[pu];
+    }
     const lang::Program &slotProgram(int pu) const
     {
         return programs_[bindings_[pu].program];
@@ -367,6 +313,12 @@ class FleetSystem
         return shards_[c]->channel();
     }
     const ChannelShard &shard(int c) const { return *shards_[c]; }
+
+    /** Live cycle count of channel `c`'s shard. */
+    uint64_t shardCycles(int c) const override
+    {
+        return shards_[c]->cycles();
+    }
 
   private:
     /** Worker threads to use for `jobs` independent jobs. */

@@ -59,7 +59,11 @@ TraceReport::writeChromeTrace(const std::string &path) const
     for (const auto &channel : channels) {
         const int pid = channel.channel;
         char name[64];
-        std::snprintf(name, sizeof(name), "channel %d", pid);
+        if (channel.label.empty())
+            std::snprintf(name, sizeof(name), "channel %d", pid);
+        else
+            std::snprintf(name, sizeof(name), "%s",
+                          channel.label.c_str());
         writeMeta(f, pid, 0, "process_name", name, first);
         writeMeta(f, pid, 0, "thread_name", "dram", first);
         for (size_t l = 0; l < channel.lanes.size(); ++l) {

@@ -139,9 +139,10 @@ ChannelTrace::find(std::string_view name) const
 bool
 operator==(const ChannelTrace &a, const ChannelTrace &b)
 {
-    return a.channel == b.channel && a.cycles == b.cycles &&
-           a.counters == b.counters && a.histograms == b.histograms &&
-           a.lanes == b.lanes && a.tracks == b.tracks;
+    return a.channel == b.channel && a.label == b.label &&
+           a.cycles == b.cycles && a.counters == b.counters &&
+           a.histograms == b.histograms && a.lanes == b.lanes &&
+           a.tracks == b.tracks;
 }
 
 // ---------------------------------------------------------------------------

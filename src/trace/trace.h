@@ -182,6 +182,13 @@ tenantTrackName(uint32_t tenant, const char *metric)
 struct ChannelTrace
 {
     int channel = -1;
+    /**
+     * Process-row label for the Chrome export; empty = the default
+     * "channel <n>". The cluster layer (ISSUE 10) sets
+     * "dev<d>/channel <c>" when merging device traces so each device
+     * renders as its own group of process rows.
+     */
+    std::string label;
     uint64_t cycles = 0;
     /** Counters mode: dram / input_ctrl / output_ctrl / one per PU. */
     std::vector<CounterSet> counters;

@@ -251,6 +251,106 @@ TEST(Determinism, SessionJobMixTracedThreadCountInvariant)
     }
 }
 
+TEST(Determinism, TwoDeviceClusterSessionThreadCountInvariant)
+{
+    // ISSUE 10 extension of the session fence: the same job mix
+    // scheduled across a 2-device cluster — tracing on, fault plan on,
+    // more jobs than the doubled slot pool — must produce identical
+    // JobReports (device placement included) and an identical
+    // ClusterReport (every device's RunReport, the link counters, and
+    // the link tracks) at 1 and 4 host threads.
+    auto program = testprogs::blockFrequencies(32);
+    Rng stream_rng(77);
+    std::vector<BitBuffer> streams;
+    for (int j = 0; j < 24; ++j) {
+        BitBuffer s;
+        uint64_t bytes = 40 + stream_rng.nextBelow(400);
+        for (uint64_t i = 0; i < bytes; ++i)
+            s.appendBits(stream_rng.next(), 8);
+        streams.push_back(std::move(s));
+    }
+
+    for (bool faulty : {false, true}) {
+        auto runSession = [&](int threads) {
+            runtime::SessionConfig config;
+            config.system.numChannels = 3;
+            config.system.numThreads = threads;
+            config.system.trace.counters = true;
+            config.system.trace.events = true;
+            config.system.inputRegionBytes = 4096;
+            if (faulty)
+                config.system.faults =
+                    fault::FaultPlan::fromSeed(0xc1a57e);
+            config.numSlots = 4;
+            config.numDevices = 2;
+            config.epochCycles = 512;
+            runtime::Session session(program, config);
+            for (const auto &stream : streams)
+                session.submit(stream);
+            cluster::ClusterReport report = session.finishCluster();
+            return std::make_pair(session.reports(), std::move(report));
+        };
+        const std::string label = faulty ? "faulty" : "clean";
+        auto [serial_jobs, serial_report] = runSession(1);
+        auto [parallel_jobs, parallel_report] = runSession(4);
+        ASSERT_TRUE(serial_report == parallel_report)
+            << label << ": 2-device ClusterReport diverges across "
+                        "thread counts";
+        ASSERT_EQ(serial_jobs.size(), parallel_jobs.size());
+        bool used_second_device = false;
+        for (size_t j = 0; j < serial_jobs.size(); ++j) {
+            ASSERT_TRUE(serial_jobs[j] == parallel_jobs[j])
+                << label << ": job " << j
+                << " (device placement included) diverges across "
+                   "thread counts";
+            used_second_device |= serial_jobs[j].device == 1;
+        }
+        ASSERT_TRUE(used_second_device)
+            << label << ": the fence never exercised device 1";
+        ASSERT_EQ(serial_report.devices.size(), 2u);
+        for (const auto &device : serial_report.devices)
+            ASSERT_NE(device.trace, nullptr);
+    }
+}
+
+TEST(Determinism, TwoDeviceClusterSessionBackendInvariantSchedule)
+{
+    // The placement schedule (job -> device/slot and all simulated
+    // timestamps) must survive a PU backend swap: Fast and RtlInterp
+    // differ in how a unit computes, never in when the scheduler acts.
+    auto program = testprogs::identity();
+    Rng stream_rng(91);
+    std::vector<BitBuffer> streams;
+    for (int j = 0; j < 12; ++j) {
+        BitBuffer s;
+        uint64_t bytes = 30 + stream_rng.nextBelow(120);
+        for (uint64_t i = 0; i < bytes; ++i)
+            s.appendBits(stream_rng.next(), 8);
+        streams.push_back(std::move(s));
+    }
+    auto runSession = [&](PuBackend backend) {
+        runtime::SessionConfig config;
+        config.system.numChannels = 2;
+        config.system.numThreads = 2;
+        config.system.backend = backend;
+        config.system.inputRegionBytes = 2048;
+        config.numSlots = 3;
+        config.numDevices = 2;
+        runtime::Session session(program, config);
+        for (const auto &stream : streams)
+            session.submit(stream);
+        session.finish();
+        return session.reports();
+    };
+    auto fast = runSession(PuBackend::Fast);
+    auto rtl = runSession(PuBackend::RtlInterp);
+    ASSERT_EQ(fast.size(), rtl.size());
+    for (size_t j = 0; j < fast.size(); ++j)
+        ASSERT_TRUE(fast[j] == rtl[j])
+            << "job " << j
+            << ": 2-device schedule diverges across PU backends";
+}
+
 } // namespace
 } // namespace system
 } // namespace fleet
